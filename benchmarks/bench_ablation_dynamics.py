@@ -1,0 +1,38 @@
+"""E15 — ablation: scheduler and flip-rule variants of the dynamics.
+
+The paper notes that the continuous-time Poisson-clock process is equivalent
+to the discrete-time uniformly-random-unhappy-agent chain, and that for
+tau < 1/2 the "flip only if it makes the agent happy" rule coincides with the
+"always flip when unhappy" variant.  The benchmark runs all three variants on
+shared initial configurations and checks that they terminate in states with
+statistically indistinguishable segregation levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import dynamics_ablation_experiment
+
+
+def bench_dynamics_ablation(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: dynamics_ablation_experiment(horizon=2, tau=0.45, n_replicates=3, seed=1501),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E15_dynamics_ablation", table, benchmark)
+
+    by_variant: dict[str, list[float]] = {}
+    for row in table:
+        assert row["terminated"]
+        assert row["final_unhappy_fraction"] == 0.0
+        by_variant.setdefault(str(row["variant"]), []).append(
+            float(row["final_homogeneity"])
+        )
+
+    means = {variant: float(np.mean(values)) for variant, values in by_variant.items()}
+    assert len(means) == 3
+    spread = max(means.values()) - min(means.values())
+    assert spread < 0.1, f"variants disagree on final homogeneity: {means}"
+    benchmark.extra_info["homogeneity_by_variant"] = means

@@ -1,0 +1,45 @@
+"""E13 — initial density sweep: complete segregation contrast (Fontes et al.).
+
+The paper proves that at p = 1/2 complete segregation does not occur w.h.p.
+for the studied intolerance range, while Fontes et al. show that at tau = 1/2
+and p close to 1 the dynamics fixates on a single type.  The benchmark sweeps
+the initial density at tau = 1/2 and checks that the final dominant-type
+fraction rises towards 1 with p and stays clearly below 1 at p = 1/2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import density_sweep_experiment
+
+
+def bench_density_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: density_sweep_experiment(
+            horizon=2,
+            tau=0.5,
+            densities=[0.5, 0.6, 0.7, 0.8, 0.9],
+            n_replicates=3,
+            seed=1301,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E13_density_sweep", table, benchmark)
+
+    by_density: dict[float, list[float]] = {}
+    for row in table:
+        by_density.setdefault(float(row["density"]), []).append(
+            float(row["final_dominant_fraction"])
+        )
+    densities = sorted(by_density)
+    means = [float(np.mean(by_density[d])) for d in densities]
+
+    # No complete segregation at p = 1/2; near-complete dominance at p = 0.9.
+    assert means[0] < 0.9
+    assert means[-1] > 0.95
+    # Broadly increasing in p (allow small non-monotonic wiggles).
+    assert means[-1] > means[0]
+    assert all(b >= a - 0.1 for a, b in zip(means, means[1:]))
+    benchmark.extra_info["dominance_by_density"] = dict(zip(map(str, densities), means))

@@ -1,0 +1,57 @@
+"""Engine micro-benchmarks: raw simulator and analysis throughput.
+
+These are not paper artefacts; they track the performance of the hot paths so
+that regressions in the incremental state updates or the window-sum code are
+visible in the benchmark report.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.regions import monochromatic_radius_map
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics
+from repro.core.initializer import random_configuration
+from repro.core.state import ModelState
+
+
+def bench_glauber_run_to_termination(benchmark):
+    """Full run on a 60x60 grid with horizon 2 (a few thousand flips)."""
+    config = ModelConfig.square(side=60, horizon=2, tau=0.45)
+
+    def run() -> int:
+        state = ModelState(config, random_configuration(config, seed=3))
+        result = GlauberDynamics(state, seed=4).run()
+        return result.n_flips
+
+    flips = benchmark(run)
+    assert flips > 0
+
+
+def bench_state_initialisation(benchmark):
+    """Building the derived state (window sums + samplers) for a 200x200 grid."""
+    config = ModelConfig.square(side=200, horizon=4, tau=0.45)
+    grid = random_configuration(config, seed=5)
+    state = benchmark(lambda: ModelState(config, grid.copy()))
+    assert state.n_unhappy > 0
+
+
+def bench_single_flip_update(benchmark):
+    """Incremental cost of one flip on a 200x200 grid with horizon 4."""
+    config = ModelConfig.square(side=200, horizon=4, tau=0.45)
+    state = ModelState(config, random_configuration(config, seed=6))
+
+    def flip_and_restore() -> None:
+        state.apply_flip(100, 100)
+        state.apply_flip(100, 100)
+
+    benchmark(flip_and_restore)
+
+
+def bench_monochromatic_radius_map(benchmark):
+    """Region-radius scan on a terminated 80x80 configuration."""
+    config = ModelConfig.square(side=80, horizon=2, tau=0.45)
+    state = ModelState(config, random_configuration(config, seed=7))
+    GlauberDynamics(state, seed=8).run()
+    spins = state.grid.spins
+    radii = benchmark(lambda: monochromatic_radius_map(spins, max_radius=10))
+    assert radii.max() >= 1

@@ -1,0 +1,38 @@
+"""E1 — Figure 1: self-organised segregation snapshots.
+
+The paper's Figure 1 shows a 1000x1000 grid with neighbourhood size 441 and
+tau = 0.42 evolving from a random configuration to large segregated regions,
+with all agents happy at termination.  The benchmark runs the scaled-down
+configuration (same tau, same grid-to-horizon ratio; see
+``repro.experiments.workloads.figure1_config``), records the four panels and
+checks the qualitative signatures: homogeneity rises, interfaces shrink,
+unhappy agents vanish.  Set ``REPRO_FULL_SCALE=1`` for the paper's exact
+parameters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1_snapshots
+
+
+def bench_figure1_snapshots(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure1_snapshots(seed=2017, n_intermediate=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E1_figure1_snapshots", result.metrics, benchmark)
+
+    homogeneity = result.metrics.numeric_column("local_homogeneity")
+    interfaces = result.metrics.numeric_column("interface_density")
+    unhappy = result.metrics.numeric_column("unhappy_fraction")
+    benchmark.extra_info["total_flips"] = result.total_flips
+    benchmark.extra_info["final_homogeneity"] = float(homogeneity[-1])
+
+    # Paper shape: the process terminates with every agent happy and with
+    # large segregated (high-homogeneity, low-interface) regions.
+    assert result.terminated
+    assert unhappy[-1] == 0.0
+    assert homogeneity[-1] > homogeneity[0] + 0.2
+    assert interfaces[-1] < interfaces[0] / 3
+    assert result.metrics.numeric_column("mean_monochromatic_size")[-1] > 50

@@ -1,0 +1,49 @@
+"""E2 — Figure 2: behaviour across the intolerance axis.
+
+Figure 2 partitions the intolerance axis into a static regime, an unknown
+window, the Theorem 2 (almost monochromatic) band and the Theorem 1
+(monochromatic) band, symmetric around 1/2.  The benchmark sweeps tau across
+all of these regimes at a fixed horizon and checks the empirical ordering:
+static intolerances barely flip, while both exponential regimes produce large
+segregated regions and substantial flip activity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2_interval_sweep
+from repro.types import Regime
+
+
+def bench_figure2_interval_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: figure2_interval_sweep(horizon=2, n_replicates=3, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E2_figure2_intervals", table, benchmark)
+
+    by_regime: dict[str, list[float]] = {}
+    flips_by_regime: dict[str, list[float]] = {}
+    for row in table:
+        regime = str(row["predicted_regime"])
+        by_regime.setdefault(regime, []).append(
+            float(row["final_mean_monochromatic_size_mean"])
+        )
+        flips_by_regime.setdefault(regime, []).append(float(row["n_flips_mean"]))
+
+    mono = Regime.EXPONENTIAL_MONOCHROMATIC.value
+    almost = Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC.value
+    segregating_sizes = by_regime.get(mono, []) + by_regime.get(almost, [])
+    assert segregating_sizes, "sweep must cover the theorem regimes"
+
+    # Paper shape: the segregating regimes produce much larger regions and far
+    # more flip activity than the static / unknown regimes.
+    quiet_regimes = [r for r in by_regime if r not in (mono, almost)]
+    if quiet_regimes:
+        quiet_sizes = [size for r in quiet_regimes for size in by_regime[r]]
+        quiet_flips = [f for r in quiet_regimes for f in flips_by_regime[r]]
+        assert np.mean(segregating_sizes) > 3 * np.mean(quiet_sizes)
+        segregating_flips = flips_by_regime.get(mono, []) + flips_by_regime.get(almost, [])
+        assert np.mean(segregating_flips) > np.mean(quiet_flips)

@@ -1,0 +1,38 @@
+"""E3 — Figure 3: exponent multipliers a(tau) and b(tau).
+
+Figure 3 plots the lower/upper exponent multipliers of Theorems 1 and 2 over
+the intolerance range, at the infimum trigger radius eps' = f(tau).  The
+benchmark evaluates the same closed forms, checks a < b everywhere, the
+symmetry about 1/2 and the monotonicity stated in the theorems (decreasing
+towards 1/2 from below, increasing above).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure3_exponent_table
+from repro.theory import is_monotone_on_half_interval
+
+
+def bench_figure3_exponents(benchmark, emit):
+    table = benchmark.pedantic(figure3_exponent_table, rounds=3, iterations=1)
+    emit("E3_figure3_exponents", table, benchmark)
+
+    taus = table.numeric_column("tau")
+    lower = table.numeric_column("a")
+    upper = table.numeric_column("b")
+
+    assert np.all(lower > 0)
+    assert np.all(lower < upper)
+    # Monotone away from 1/2 on each side (the theorem's statement).
+    assert is_monotone_on_half_interval(lower, taus)
+    assert is_monotone_on_half_interval(upper, taus)
+    # Symmetry about 1/2: compare each tau below 1/2 with its mirror.
+    below = {round(t, 4): a for t, a in zip(taus, lower) if t < 0.5}
+    above = {round(1.0 - t, 4): a for t, a in zip(taus, lower) if t > 0.5}
+    for tau, value in below.items():
+        if tau in above:
+            assert abs(value - above[tau]) < 1e-9
+    benchmark.extra_info["max_a"] = float(lower.max())
+    benchmark.extra_info["max_b"] = float(upper.max())

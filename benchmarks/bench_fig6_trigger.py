@@ -1,0 +1,31 @@
+"""E4 — Figure 6: the trigger-radius infimum f(tau).
+
+Figure 6 plots the infimum of the radical-region expansion factor eps' needed
+to ignite a cascade (Eq. 10): close to zero when tau is near 1/2 and growing
+as agents become more tolerant, staying below 1/2 on (tau2, 1/2).  The
+benchmark reproduces the curve and asserts that shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6_trigger_table
+from repro.theory import tau2
+
+
+def bench_figure6_trigger_curve(benchmark, emit):
+    table = benchmark.pedantic(figure6_trigger_table, rounds=3, iterations=1)
+    emit("E4_figure6_trigger", table, benchmark)
+
+    taus = table.numeric_column("tau")
+    values = table.numeric_column("f_tau")
+
+    # Paper shape: decreasing in tau, vanishing towards 1/2, below 1/2 on the
+    # whole (tau2, 1/2) interval.
+    assert np.all(np.diff(values) <= 1e-12)
+    assert values[-1] < 0.05
+    assert np.all(values < 0.5)
+    assert taus.min() > tau2()
+    benchmark.extra_info["f_at_left_end"] = float(values[0])
+    benchmark.extra_info["f_near_half"] = float(values[-1])

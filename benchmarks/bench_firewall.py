@@ -1,0 +1,48 @@
+"""E11 — Lemma 9 (firewalls are static) and Lemmas 5/10 (radical regions cascade).
+
+Two benchmarks:
+
+* planted monochromatic annuli withstand a fully adversarial exterior, both
+  in the static sufficient check and in an actual dynamics run (Lemma 9);
+* planted radical regions are expandable (Lemma 5) and, under the full
+  dynamics, leave their centre inside a monochromatic region at least as
+  large as the core window (the mechanism of Lemma 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import firewall_experiment, radical_expansion_experiment
+
+
+def bench_firewall_protection(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: firewall_experiment(horizon=2, tau=0.40, n_replicates=4, seed=1101),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E11_firewall", table, benchmark)
+
+    assert all(row["firewall_monochromatic"] for row in table)
+    assert all(row["static_check_holds"] for row in table)
+    assert all(row["survives_adversarial_run"] for row in table)
+    benchmark.extra_info["n_replicates"] = len(table)
+
+
+def bench_radical_region_cascade(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: radical_expansion_experiment(horizon=3, tau=0.45, n_replicates=4, seed=1102),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E11_radical_expansion", table, benchmark)
+
+    expanded = [bool(row["expandable"]) for row in table]
+    radii = [float(row["final_center_mono_radius"]) for row in table]
+    assert all(expanded)
+    assert all(row["terminated"] for row in table)
+    # The cascade leaves the planted centre in a monochromatic region of at
+    # least the core radius (w/2 = 1) in most replicates.
+    assert np.mean(radii) >= 1.0
+    benchmark.extra_info["mean_final_radius"] = float(np.mean(radii))

@@ -1,0 +1,38 @@
+"""E9 — Lemma 19: probability of an unhappy agent in the initial configuration.
+
+Lemma 19 brackets p_u between constants times 2^{-[1-H(tau')]N}/sqrt(N).  The
+benchmark measures the unhappy fraction of Bernoulli(1/2) configurations over
+a ladder of horizons, compares it with the exact binomial expression and with
+the lemma's bracket, and checks that the measured probability decays as the
+neighbourhood grows (the exponential-in-N signature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import lemma19_unhappy_experiment
+
+
+def bench_lemma19_unhappy_probability(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: lemma19_unhappy_experiment(
+            horizons=(1, 2, 3, 4), tau=0.45, n_trials=15, seed=909
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E9_lemma19_unhappy", table, benchmark)
+
+    empirical = table.numeric_column("empirical_unhappy_fraction")
+    exact = table.numeric_column("exact_probability")
+    lower = table.numeric_column("lemma_lower_bound")
+    upper = table.numeric_column("lemma_upper_bound")
+
+    # Monte-Carlo matches the exact binomial value and sits inside the bracket.
+    assert np.allclose(empirical, exact, atol=0.05)
+    assert np.all(lower <= exact)
+    assert np.all(exact <= upper)
+    # Exponential decay in N: strictly decreasing along the horizon ladder.
+    assert np.all(np.diff(exact) < 0)
+    benchmark.extra_info["exact_by_horizon"] = [float(v) for v in exact]

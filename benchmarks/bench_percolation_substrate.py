@@ -1,0 +1,62 @@
+"""E12 — percolation substrate checks (Theorems 3, 4 and 5 quoted by the paper).
+
+* Kesten (Theorem 3): point-to-point first-passage times concentrate at the
+  sqrt(k) scale and T_k/k converges to a time constant.
+* Garet-Marchand (Theorem 4): in comfortably supercritical site percolation
+  the chemical distance exceeds (1 + alpha)||x||_1 only rarely, and the
+  exceedance probability shrinks with the distance.
+* Grimmett (Theorem 5): the sub-critical origin-cluster radius tail decays
+  exponentially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import percolation_substrate_experiment
+
+
+def bench_percolation_substrates(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: percolation_substrate_experiment(
+            fpp_ks=(8, 16, 32),
+            fpp_trials=60,
+            chemical_p=0.85,
+            chemical_separations=(8, 16, 24),
+            chemical_trials=80,
+            subcritical_p=0.35,
+            radius_tail_radii=(1, 2, 3, 4, 6),
+            radius_tail_trials=500,
+            seed=1201,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E12_first_passage", results["first_passage"], benchmark)
+    emit("E12_chemical_distance", results["chemical"])
+    emit("E12_radius_tail", results["radius_tail"])
+
+    # Kesten: normalized fluctuations stay bounded as k grows and the time
+    # constant estimates agree across k within a modest factor.
+    fpp = results["first_passage"]
+    fluctuations = fpp.numeric_column("normalized_fluctuation")
+    constants = fpp.numeric_column("time_constant_estimate")
+    assert fluctuations.max() < 5 * max(fluctuations.min(), 0.05)
+    assert constants.max() < 2.0 * constants.min()
+
+    # Garet-Marchand: high connection rate and rare large stretches, shrinking
+    # with the separation.
+    chem = results["chemical"]
+    assert np.all(chem.numeric_column("connection_rate") > 0.9)
+    exceed = chem.numeric_column("exceed_prob_alpha_025")
+    assert exceed[-1] <= exceed[0] + 0.05
+
+    # Grimmett: the tail is decreasing and the fitted decay rate is positive.
+    tail = results["radius_tail"]
+    probabilities = [
+        float(row["tail_probability"]) for row in tail if row["radius"] >= 0
+    ]
+    assert all(b <= a for a, b in zip(probabilities, probabilities[1:]))
+    decay_rows = [row for row in tail if row["radius"] < 0]
+    assert decay_rows and float(decay_rows[0]["decay_rate"]) > 0
+    benchmark.extra_info["decay_rate"] = float(decay_rows[0]["decay_rate"])

@@ -1,0 +1,34 @@
+"""E10 — Proposition 1: self-similarity of sub-neighbourhood counts.
+
+Proposition 1 states that conditioned on a neighbourhood holding fewer than
+tau N minority agents, any sub-neighbourhood of relative size gamma holds
+close to gamma tau N of them, within an N^{1/2+eps} window, with probability
+approaching 1.  The benchmark estimates that conditional concentration
+probability by rejection sampling at several horizons and checks it is high
+and non-decreasing in N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import proposition1_experiment
+
+
+def bench_proposition1_concentration(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: proposition1_experiment(
+            horizons=(3, 5, 7), tau=0.45, gamma=0.25, n_samples=400, seed=1001
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E10_prop1_selfsimilar", table, benchmark)
+
+    probabilities = table.numeric_column("concentration_probability")
+    deviations = table.numeric_column("mean_deviation")
+    windows = table.numeric_column("window")
+
+    assert np.all(probabilities > 0.9)
+    assert np.all(deviations < windows)
+    benchmark.extra_info["concentration_by_horizon"] = [float(p) for p in probabilities]

@@ -1,0 +1,30 @@
+"""E8 — symmetry of the model around tau = 1/2 (Section IV.C).
+
+The paper extends every result from tau < 1/2 to tau > 1/2 through the
+super-unhappy-agent argument.  The benchmark runs the model at tau and 1 - tau
+on equally sized grids and checks that the resulting mean monochromatic
+region sizes agree within a factor, which is the finite-size signature of the
+symmetry.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import symmetry_experiment
+
+
+def bench_symmetry_about_half(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: symmetry_experiment(
+            horizon=2, taus_below_half=[0.40, 0.44, 0.47], n_replicates=3, seed=404
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E8_symmetry", table, benchmark)
+
+    for row in table:
+        ratio = float(row["ratio_above_over_below"])
+        assert 0.3 < ratio < 3.0, (
+            f"tau={row['tau']} and {row['mirrored_tau']} disagree by factor {ratio}"
+        )
+        benchmark.extra_info[f"ratio_tau_{row['tau']}"] = ratio

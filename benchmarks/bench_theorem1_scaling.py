@@ -1,0 +1,44 @@
+"""E5 — Theorem 1: E[M] grows exponentially in the neighbourhood size N.
+
+Theorem 1 brackets the expected monochromatic-region size between 2^{aN} and
+2^{bN} for tau in (tau1, 1/2).  Absolute constants are not reachable at
+simulable horizons (the o(N) corrections dominate), so the benchmark checks
+the shape: the measured mean region size grows with N at every tau in the
+range, the fitted growth rate of log2(E[M]) against N is positive, and the
+theoretical bracket a(tau) < b(tau) is reported next to it for comparison
+(EXPERIMENTS.md discusses the gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import theorem1_scaling
+
+
+def bench_theorem1_scaling(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: theorem1_scaling(
+            taus=[0.44, 0.46, 0.48],
+            horizons=[1, 2, 3],
+            n_replicates=3,
+            multiples=8,
+            seed=101,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E5_theorem1_measurements", result.measurements, benchmark)
+    emit("E5_theorem1_fits", result.fits)
+
+    for fit in result.fits:
+        assert fit["measured_rate"] > 0, f"no exponential growth at tau={fit['tau']}"
+        assert fit["theory_lower_rate"] < fit["theory_upper_rate"]
+        benchmark.extra_info[f"rate_tau_{fit['tau']}"] = float(fit["measured_rate"])
+
+    # Region sizes increase with the horizon for every tau in the range.
+    for tau in {row["tau"] for row in result.measurements}:
+        rows = [row for row in result.measurements if row["tau"] == tau]
+        rows.sort(key=lambda row: row["neighborhood_agents"])
+        sizes = [row["mean_region_size"] for row in rows]
+        assert sizes[-1] > sizes[0]

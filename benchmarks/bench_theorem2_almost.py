@@ -1,0 +1,61 @@
+"""E6 — Theorem 2: E[M'] (almost monochromatic regions) grows exponentially in N.
+
+Theorem 2 extends the exponential bracket to the almost monochromatic region
+size for tau in (tau2, tau1].  As for E5, the benchmark validates the shape at
+simulable horizons: almost-monochromatic region sizes grow with N, the fitted
+log2 growth rate is positive, and almost-monochromatic regions dominate the
+strictly monochromatic ones at the same parameters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import theorem1_scaling, theorem2_scaling
+
+
+def bench_theorem2_scaling(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: theorem2_scaling(
+            taus=[0.36, 0.40, 0.43],
+            horizons=[1, 2, 3],
+            n_replicates=3,
+            multiples=8,
+            seed=202,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E6_theorem2_measurements", result.measurements, benchmark)
+    emit("E6_theorem2_fits", result.fits)
+
+    for fit in result.fits:
+        assert fit["measured_rate"] > 0, f"no exponential growth at tau={fit['tau']}"
+        benchmark.extra_info[f"rate_tau_{fit['tau']}"] = float(fit["measured_rate"])
+
+    for tau in {row["tau"] for row in result.measurements}:
+        rows = sorted(
+            (row for row in result.measurements if row["tau"] == tau),
+            key=lambda row: row["neighborhood_agents"],
+        )
+        sizes = [row["mean_region_size"] for row in rows]
+        assert sizes[-1] > sizes[0]
+
+
+def bench_almost_regions_dominate_monochromatic(benchmark, emit):
+    """At the same tau and horizon, E[M'] >= E[M] (the defining inclusion)."""
+    tau, horizons = 0.43, [2]
+
+    def run_both():
+        almost = theorem2_scaling(
+            taus=[tau], horizons=horizons, n_replicates=2, multiples=8, seed=7
+        )
+        mono = theorem1_scaling(
+            taus=[tau], horizons=horizons, n_replicates=2, multiples=8, seed=7
+        )
+        return almost, mono
+
+    almost, mono = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit("E6_almost_vs_mono_almost", almost.measurements)
+    emit("E6_almost_vs_mono_mono", mono.measurements)
+    almost_size = almost.measurements[0]["mean_region_size"]
+    mono_size = mono.measurements[0]["mean_region_size"]
+    assert almost_size >= mono_size

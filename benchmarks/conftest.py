@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure/table/claim of the paper (see the
+experiment index in DESIGN.md).  The helpers here give each benchmark a
+uniform way to (a) print the reproduced rows so that the paper-vs-measured
+comparison is visible in the pytest output, and (b) persist them as CSV under
+``benchmarks/results/`` for later inspection or plotting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.results import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_table(name: str, table: ResultTable, benchmark=None) -> Path:
+    """Print ``table`` and write it to ``benchmarks/results/<name>.csv``.
+
+    When a pytest-benchmark fixture is passed, a couple of headline numbers
+    are attached to its ``extra_info`` so they appear in the benchmark report.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.csv"
+    table.to_csv(path)
+    print(f"\n[{name}] {len(table)} rows -> {path}")
+    print(table.to_markdown(float_format=".4g"))
+    if benchmark is not None:
+        benchmark.extra_info["rows"] = len(table)
+        benchmark.extra_info["csv"] = str(path)
+    return path
+
+
+@pytest.fixture
+def emit():
+    """Fixture handing benchmarks the :func:`emit_table` helper."""
+    return emit_table

@@ -1,0 +1,79 @@
+"""Model variants: two-sided comfort bands and per-type intolerances.
+
+The paper's concluding remarks point out that its model is biased towards
+segregation (agents never flip when surrounded by their own type) and suggest
+studying a variant where agents are uncomfortable both as a minority and as a
+majority; Section I.B also discusses the Barmpalias et al. model with a
+different intolerance per agent type.  This example runs both variants next
+to the baseline model on the same initial configuration and compares the
+outcomes.
+
+Usage::
+
+    python examples/model_variants.py [--side 48] [--horizon 2] [--tau 0.45] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ModelConfig
+from repro.analysis import segregation_metrics
+from repro.core import GlauberDynamics, ModelState, random_configuration
+from repro.core.variants import AsymmetricModelState, TwoSidedModelState
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--side", type=int, default=48)
+    parser.add_argument("--horizon", type=int, default=2)
+    parser.add_argument("--tau", type=float, default=0.45)
+    parser.add_argument("--tau-high", type=float, default=0.80)
+    parser.add_argument("--tau-minus", type=float, default=0.30)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def report(label: str, state, config: ModelConfig, n_flips: int) -> None:
+    metrics = segregation_metrics(
+        state.grid.spins, config, max_region_radius=4 * config.horizon
+    )
+    print(
+        f"{label:22s} flips={n_flips:6d} homogeneity={metrics.local_homogeneity:.3f} "
+        f"mean_mono_size={metrics.mean_monochromatic_size:8.1f} "
+        f"unhappy={metrics.unhappy_fraction:.3f}"
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    config = ModelConfig.square(side=args.side, horizon=args.horizon, tau=args.tau)
+    initial = random_configuration(config, seed=args.seed)
+    budget = 20 * config.n_sites
+    print(f"Model: {config.describe()}")
+    print(
+        f"Variants: two-sided band [{args.tau}, {args.tau_high}], "
+        f"per-type intolerances (tau_plus={args.tau}, tau_minus={args.tau_minus})\n"
+    )
+
+    baseline = ModelState(config, initial.copy())
+    base_result = GlauberDynamics(baseline, seed=args.seed).run()
+    report("paper model", baseline, config, base_result.n_flips)
+
+    two_sided = TwoSidedModelState(config, tau_high=args.tau_high, grid=initial.copy())
+    two_result = GlauberDynamics(two_sided, seed=args.seed).run(max_steps=budget)
+    report("two-sided comfort", two_sided, config, two_result.n_flips)
+
+    asymmetric = AsymmetricModelState(config, tau_minus=args.tau_minus, grid=initial.copy())
+    asym_result = GlauberDynamics(asymmetric, seed=args.seed).run(max_steps=budget)
+    report("per-type intolerance", asymmetric, config, asym_result.n_flips)
+
+    print(
+        "\nThe two-sided band caps how segregated a neighbourhood may become, so it "
+        "ends less homogeneous than the paper's model; lowering the -1 agents' "
+        "intolerance freezes them and shifts the flip activity onto +1 agents."
+    )
+
+
+if __name__ == "__main__":
+    main()

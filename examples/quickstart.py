@@ -1,0 +1,71 @@
+"""Quickstart: run the Schelling / Glauber segregation model once.
+
+Draws a Bernoulli(1/2) initial configuration on a torus, runs the paper's
+Glauber dynamics to termination, and prints before/after segregation metrics
+together with ASCII renderings of the two configurations.
+
+Usage::
+
+    python examples/quickstart.py [--side 80] [--horizon 3] [--tau 0.45] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ModelConfig, segregation_metrics, simulate
+from repro.theory import classify_regime, lower_exponent, upper_exponent
+from repro.viz import render_ascii, side_by_side
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--side", type=int, default=80, help="grid side length")
+    parser.add_argument("--horizon", type=int, default=3, help="neighbourhood radius w")
+    parser.add_argument("--tau", type=float, default=0.45, help="intolerance threshold")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    config = ModelConfig.square(side=args.side, horizon=args.horizon, tau=args.tau)
+    print(f"Model: {config.describe()}")
+    print(f"Predicted regime (Figure 2): {classify_regime(config.tau).value}")
+    if classify_regime(config.tau).value.startswith("exponential"):
+        print(
+            "Theorem exponents: "
+            f"a(tau) = {lower_exponent(config.tau):.4f}, "
+            f"b(tau) = {upper_exponent(config.tau):.4f}"
+        )
+
+    result = simulate(config, seed=args.seed, record_trajectory=True)
+    print(
+        f"\nRun finished: terminated={result.terminated}, "
+        f"flips={result.n_flips}, continuous time={result.final_time:.2f}"
+    )
+
+    max_radius = 4 * config.horizon
+    before = segregation_metrics(result.initial_spins, config, max_region_radius=max_radius)
+    after = segregation_metrics(result.final_spins, config, max_region_radius=max_radius)
+    print("\nMetric                        initial      final")
+    for name in (
+        "unhappy_fraction",
+        "local_homogeneity",
+        "interface_density",
+        "mean_monochromatic_size",
+        "largest_cluster_fraction",
+    ):
+        print(f"{name:28s} {getattr(before, name):10.4f} {getattr(after, name):10.4f}")
+
+    print("\nInitial (left) vs terminated (right) configuration:")
+    print(
+        side_by_side(
+            render_ascii(result.initial_spins, max_side=40),
+            render_ascii(result.final_spins, max_side=40),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

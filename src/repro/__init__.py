@@ -1,0 +1,150 @@
+"""repro — a reproduction of "Self-organized Segregation on the Grid".
+
+This package implements the Schelling / zero-temperature Ising segregation
+model of Omidvar & Franceschetti (PODC 2017) with Glauber dynamics on a torus,
+together with every substrate the paper's analysis relies on (percolation,
+first-passage percolation, chemical distances, block renormalisation), the
+theoretical thresholds and exponents of Theorems 1 and 2, and an experiment
+harness that regenerates the paper's figures.
+
+Quickstart::
+
+    from repro import ModelConfig, simulate, segregation_metrics
+
+    config = ModelConfig.square(side=80, horizon=3, tau=0.45)
+    result = simulate(config, seed=0)
+    print(segregation_metrics(result.final_spins, config).as_dict())
+"""
+
+from repro._version import PAPER, __version__
+from repro.analysis import (
+    SegregationMetrics,
+    almost_monochromatic_radius_map,
+    check_firewall_robustness,
+    classify_blocks,
+    expected_almost_region_size,
+    expected_region_size,
+    interface_density,
+    local_homogeneity,
+    monochromatic_radius,
+    monochromatic_radius_map,
+    segregation_metrics,
+    summarize_regions,
+    try_expand_radical_region,
+    unhappy_fraction,
+)
+from repro.core import (
+    GlauberDynamics,
+    KawasakiDynamics,
+    ModelConfig,
+    ModelState,
+    Simulation,
+    SimulationResult,
+    TorusGrid,
+    lyapunov_energy,
+    neighborhood_size,
+    planted_radical_region_configuration,
+    random_configuration,
+    run_to_completion,
+    simulate,
+)
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ExperimentError,
+    PercolationError,
+    ReproError,
+    StateError,
+)
+from repro.experiments import (
+    ExperimentSpec,
+    ResultTable,
+    SweepSpec,
+    figure1_snapshots,
+    figure2_interval_sweep,
+    figure3_exponent_table,
+    figure6_trigger_table,
+    run_sweep,
+    theorem1_scaling,
+    theorem2_scaling,
+)
+from repro.percolation import (
+    FirstPassagePercolation,
+    SitePercolation,
+    chemical_distance,
+    estimate_theta,
+)
+from repro.theory import (
+    binary_entropy,
+    classify_regime,
+    lower_exponent,
+    tau1,
+    tau2,
+    trigger_epsilon,
+    upper_exponent,
+)
+from repro.types import AgentType, DynamicsKind, FlipRule, Regime, SchedulerKind
+
+__all__ = [
+    "AgentType",
+    "AnalysisError",
+    "ConfigurationError",
+    "DynamicsKind",
+    "ExperimentError",
+    "ExperimentSpec",
+    "FirstPassagePercolation",
+    "FlipRule",
+    "GlauberDynamics",
+    "KawasakiDynamics",
+    "ModelConfig",
+    "ModelState",
+    "PAPER",
+    "PercolationError",
+    "Regime",
+    "ReproError",
+    "ResultTable",
+    "SchedulerKind",
+    "SegregationMetrics",
+    "Simulation",
+    "SimulationResult",
+    "SitePercolation",
+    "StateError",
+    "SweepSpec",
+    "TorusGrid",
+    "__version__",
+    "almost_monochromatic_radius_map",
+    "binary_entropy",
+    "check_firewall_robustness",
+    "chemical_distance",
+    "classify_blocks",
+    "classify_regime",
+    "estimate_theta",
+    "expected_almost_region_size",
+    "expected_region_size",
+    "figure1_snapshots",
+    "figure2_interval_sweep",
+    "figure3_exponent_table",
+    "figure6_trigger_table",
+    "interface_density",
+    "local_homogeneity",
+    "lower_exponent",
+    "lyapunov_energy",
+    "monochromatic_radius",
+    "monochromatic_radius_map",
+    "neighborhood_size",
+    "planted_radical_region_configuration",
+    "random_configuration",
+    "run_sweep",
+    "run_to_completion",
+    "segregation_metrics",
+    "simulate",
+    "summarize_regions",
+    "tau1",
+    "tau2",
+    "theorem1_scaling",
+    "theorem2_scaling",
+    "trigger_epsilon",
+    "try_expand_radical_region",
+    "unhappy_fraction",
+    "upper_exponent",
+]

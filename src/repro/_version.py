@@ -1,0 +1,6 @@
+"""Version information for the ``repro`` package."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the reproduced paper.
+PAPER = "Omidvar & Franceschetti, Self-organized Segregation on the Grid, PODC 2017"

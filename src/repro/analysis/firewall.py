@@ -1,0 +1,271 @@
+"""Annular and chemical firewalls.
+
+Lemma 9 of the paper: a monochromatic annulus ("firewall") of width
+``sqrt(2) w`` and sufficiently large radius stays monochromatic forever and
+shields its interior from the exterior configuration.  Section IV.B replaces
+the annulus with a *chemical firewall* — a cycle of good renormalised blocks
+surrounding the centre — when the intolerance is too low for the annular
+construction.
+
+This module provides:
+
+* detection of monochromatic annuli in a configuration;
+* an adversarial robustness check (set the whole exterior to the opposite
+  type and verify every firewall/interior agent stays happy), which is the
+  finite-size, checkable counterpart of Lemma 9;
+* an enclosure test for chemical firewalls on a good/bad block lattice, based
+  on the standard duality: a 4-connected cycle of good blocks separates the
+  centre from the boundary iff the centre cannot reach the boundary through
+  8-connected non-good blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.lyapunov import same_type_count_field
+from repro.core.neighborhood import annulus_mask, disc_mask
+from repro.core.state import ModelState
+from repro.errors import AnalysisError
+from repro.types import AgentType
+from repro.utils.validation import require_spin_array
+
+
+def default_firewall_width(config: ModelConfig) -> float:
+    """The paper's firewall width ``sqrt(2) * w``."""
+    return math.sqrt(2.0) * config.horizon
+
+
+def firewall_mask(
+    config: ModelConfig,
+    center: tuple[int, int],
+    outer_radius: float,
+    width: Optional[float] = None,
+) -> np.ndarray:
+    """Boolean mask of the annulus ``A_r(u)`` of Lemma 9."""
+    if width is None:
+        width = default_firewall_width(config)
+    inner = outer_radius - width
+    if inner <= 0:
+        raise AnalysisError(
+            f"outer_radius {outer_radius} must exceed the firewall width {width}"
+        )
+    return annulus_mask(config.n_rows, config.n_cols, center, inner, outer_radius)
+
+
+def is_monochromatic_firewall(
+    spins: np.ndarray,
+    config: ModelConfig,
+    center: tuple[int, int],
+    outer_radius: float,
+    width: Optional[float] = None,
+) -> bool:
+    """Whether the annulus around ``center`` is monochromatic (either type)."""
+    spins = require_spin_array(spins)
+    mask = firewall_mask(config, center, outer_radius, width)
+    values = spins[mask]
+    if values.size == 0:
+        raise AnalysisError("firewall annulus contains no agents")
+    return bool(np.all(values == values[0]))
+
+
+def firewall_agent_type(
+    spins: np.ndarray,
+    config: ModelConfig,
+    center: tuple[int, int],
+    outer_radius: float,
+    width: Optional[float] = None,
+) -> Optional[AgentType]:
+    """Type of a monochromatic firewall, or ``None`` if the annulus is mixed."""
+    spins = require_spin_array(spins)
+    mask = firewall_mask(config, center, outer_radius, width)
+    values = spins[mask]
+    if values.size and np.all(values == values[0]):
+        return AgentType(int(values[0]))
+    return None
+
+
+@dataclass(frozen=True)
+class FirewallRobustness:
+    """Result of the adversarial Lemma 9 check."""
+
+    firewall_monochromatic: bool
+    firewall_happy_under_adversary: bool
+    interior_happy_under_adversary: bool
+    n_firewall_agents: int
+    n_interior_agents: int
+
+    @property
+    def holds(self) -> bool:
+        """True when the firewall shields itself and its interior."""
+        return (
+            self.firewall_monochromatic
+            and self.firewall_happy_under_adversary
+            and self.interior_happy_under_adversary
+        )
+
+
+def check_firewall_robustness(
+    spins: np.ndarray,
+    config: ModelConfig,
+    center: tuple[int, int],
+    outer_radius: float,
+    width: Optional[float] = None,
+    interior_type: Optional[AgentType] = None,
+) -> FirewallRobustness:
+    """Adversarial counterpart of Lemma 9 for a finite configuration.
+
+    Replaces every agent strictly outside the firewall's outer circle with the
+    type opposite to the firewall and checks that (a) every firewall agent and
+    (b) every interior agent of the firewall's type remains happy.  If that
+    holds, no sequence of exterior flips can ever make a firewall agent
+    unhappy (exterior flips can only be *less* adversarial than this extreme
+    configuration, by monotonicity of the happiness count in the number of
+    same-type neighbours).
+    """
+    spins = require_spin_array(spins)
+    wall = firewall_mask(config, center, outer_radius, width)
+    interior = disc_mask(config.n_rows, config.n_cols, center, outer_radius) & ~wall
+    exterior = ~(wall | interior)
+    wall_values = spins[wall]
+    monochromatic = bool(wall_values.size and np.all(wall_values == wall_values[0]))
+    if not monochromatic:
+        return FirewallRobustness(False, False, False, int(wall.sum()), int(interior.sum()))
+    wall_type = int(wall_values[0])
+
+    adversarial = spins.copy()
+    adversarial[exterior] = -wall_type
+    if interior_type is not None:
+        adversarial[interior] = int(interior_type)
+    same = same_type_count_field(adversarial, config.horizon)
+    happy = same >= config.happiness_threshold
+
+    firewall_happy = bool(np.all(happy[wall]))
+    interior_same_type = interior & (adversarial == wall_type)
+    if interior_same_type.any():
+        interior_happy = bool(np.all(happy[interior_same_type]))
+    else:
+        interior_happy = True
+    return FirewallRobustness(
+        firewall_monochromatic=monochromatic,
+        firewall_happy_under_adversary=firewall_happy,
+        interior_happy_under_adversary=interior_happy,
+        n_firewall_agents=int(wall.sum()),
+        n_interior_agents=int(interior.sum()),
+    )
+
+
+def run_with_adversarial_exterior(
+    spins: np.ndarray,
+    config: ModelConfig,
+    center: tuple[int, int],
+    outer_radius: float,
+    width: Optional[float] = None,
+    seed: Optional[int] = None,
+    max_flips: Optional[int] = None,
+) -> bool:
+    """Dynamic version of the Lemma 9 check: actually run the process.
+
+    Sets the exterior to the opposite type, runs the Glauber dynamics to
+    termination and reports whether the firewall annulus is still
+    monochromatic of its original type at the end.
+    """
+    from repro.core.dynamics import GlauberDynamics  # avoid an import cycle
+
+    spins = require_spin_array(spins)
+    wall = firewall_mask(config, center, outer_radius, width)
+    wall_values = spins[wall]
+    if not (wall_values.size and np.all(wall_values == wall_values[0])):
+        raise AnalysisError("the firewall annulus is not monochromatic to begin with")
+    wall_type = int(wall_values[0])
+    interior = disc_mask(config.n_rows, config.n_cols, center, outer_radius) & ~wall
+    adversarial = spins.copy()
+    adversarial[~(wall | interior)] = -wall_type
+    state = ModelState(config, TorusGrid(adversarial))
+    dynamics = GlauberDynamics(state, seed=seed)
+    dynamics.run(max_flips=max_flips)
+    final_wall = state.grid.spins[wall]
+    return bool(np.all(final_wall == wall_type))
+
+
+# --------------------------------------------------------------------------
+# Chemical firewalls on the renormalised block lattice
+# --------------------------------------------------------------------------
+
+_KING_OFFSETS = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+
+def is_enclosed_by_good_blocks(
+    good_mask: np.ndarray, center_block: tuple[int, int]
+) -> bool:
+    """Whether a cycle of good blocks separates ``center_block`` from the boundary.
+
+    Duality on the square lattice: a 4-connected circuit of good blocks
+    surrounds the centre iff the centre's 8-connected component of non-good
+    blocks does not touch the boundary of the array.  A centre that is itself
+    good counts as enclosed (the trivial circuit through its own cluster is
+    handled by the caller when needed).
+    """
+    good = np.asarray(good_mask, dtype=bool)
+    if good.ndim != 2:
+        raise AnalysisError(f"good_mask must be 2-D, got shape {good.shape}")
+    n_rows, n_cols = good.shape
+    center_block = (center_block[0] % n_rows, center_block[1] % n_cols)
+    if good[center_block]:
+        return True
+    visited = np.zeros_like(good, dtype=bool)
+    queue: deque[tuple[int, int]] = deque([center_block])
+    visited[center_block] = True
+    while queue:
+        row, col = queue.popleft()
+        if row in (0, n_rows - 1) or col in (0, n_cols - 1):
+            return False
+        for dr, dc in _KING_OFFSETS:
+            nr, nc = row + dr, col + dc
+            if not (0 <= nr < n_rows and 0 <= nc < n_cols):
+                continue
+            if visited[nr, nc] or good[nr, nc]:
+                continue
+            visited[nr, nc] = True
+            queue.append((nr, nc))
+    return True
+
+
+def has_chemical_firewall(
+    good_mask: np.ndarray,
+    center_block: tuple[int, int],
+    inner_radius_blocks: int,
+    outer_radius_blocks: int,
+) -> bool:
+    """Whether a good-block cycle encircles the centre inside the given annulus.
+
+    This is the structural requirement of the r-chemical path (Section IV.B):
+    a cycle of good blocks contained in ``N_{3r} \\ N_r`` with the centre in
+    its interior.  The check restricts the lattice to the annulus (everything
+    inside the inner radius is treated as non-good so a cycle through the core
+    cannot cheat) and applies the enclosure duality.
+    """
+    good = np.asarray(good_mask, dtype=bool).copy()
+    if inner_radius_blocks < 0 or outer_radius_blocks <= inner_radius_blocks:
+        raise AnalysisError(
+            "need 0 <= inner_radius_blocks < outer_radius_blocks, got "
+            f"{inner_radius_blocks}, {outer_radius_blocks}"
+        )
+    n_rows, n_cols = good.shape
+    rows = np.arange(n_rows)[:, None]
+    cols = np.arange(n_cols)[None, :]
+    chebyshev = np.maximum(np.abs(rows - center_block[0]), np.abs(cols - center_block[1]))
+    good[chebyshev <= inner_radius_blocks] = False
+    good[chebyshev > outer_radius_blocks] = False
+    return is_enclosed_by_good_blocks(good, center_block)

@@ -1,0 +1,103 @@
+"""Trajectory analysis: how a run approached its terminal configuration.
+
+The dynamics engine can record a :class:`~repro.core.dynamics.Trajectory`
+(time, flip count, unhappy count, Lyapunov energy, magnetisation).  The
+helpers here turn those time series into the scalar diagnostics the Figure 1
+benchmark and the ablation benchmark report: termination time, flips per
+site, the monotonicity of the energy and the decay profile of the unhappy
+population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dynamics import Trajectory
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """Scalar summary of a recorded trajectory."""
+
+    final_time: float
+    total_flips: int
+    initial_unhappy: int
+    final_unhappy: int
+    initial_energy: int
+    final_energy: int
+    energy_monotone: bool
+
+    @property
+    def energy_gain(self) -> int:
+        """Total increase of the Lyapunov energy over the run."""
+        return self.final_energy - self.initial_energy
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for result tables."""
+        return {
+            "final_time": self.final_time,
+            "total_flips": float(self.total_flips),
+            "initial_unhappy": float(self.initial_unhappy),
+            "final_unhappy": float(self.final_unhappy),
+            "initial_energy": float(self.initial_energy),
+            "final_energy": float(self.final_energy),
+            "energy_gain": float(self.energy_gain),
+            "energy_monotone": float(self.energy_monotone),
+        }
+
+
+def summarize_trajectory(trajectory: Trajectory) -> TrajectorySummary:
+    """Summarise a recorded trajectory; raises if it is empty."""
+    if len(trajectory) == 0:
+        raise AnalysisError("trajectory is empty; was recording enabled?")
+    energy = np.asarray(trajectory.energy)
+    return TrajectorySummary(
+        final_time=float(trajectory.times[-1]),
+        total_flips=int(trajectory.n_flips[-1]),
+        initial_unhappy=int(trajectory.n_unhappy[0]),
+        final_unhappy=int(trajectory.n_unhappy[-1]),
+        initial_energy=int(energy[0]),
+        final_energy=int(energy[-1]),
+        energy_monotone=bool(np.all(np.diff(energy) >= 0)),
+    )
+
+
+def flips_per_site(trajectory: Trajectory, n_sites: int) -> float:
+    """Average number of flips per grid site over the run."""
+    if n_sites <= 0:
+        raise AnalysisError(f"n_sites must be positive, got {n_sites}")
+    if len(trajectory) == 0:
+        raise AnalysisError("trajectory is empty")
+    return trajectory.n_flips[-1] / n_sites
+
+
+def unhappy_decay_profile(trajectory: Trajectory) -> np.ndarray:
+    """Unhappy count as a fraction of its initial value at every sample.
+
+    Useful for plotting the relaxation of the process; the first entry is 1.0
+    by construction (or 0 if the run started already terminated).
+    """
+    if len(trajectory) == 0:
+        raise AnalysisError("trajectory is empty")
+    counts = np.asarray(trajectory.n_unhappy, dtype=float)
+    initial = counts[0]
+    if initial == 0:
+        return np.zeros_like(counts)
+    return counts / initial
+
+
+def time_to_fraction_unhappy(trajectory: Trajectory, fraction: float) -> float:
+    """First recorded time at which the unhappy count fell to ``fraction`` of its start.
+
+    Returns ``inf`` when the threshold was never reached within the recording.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise AnalysisError(f"fraction must lie in [0, 1], got {fraction}")
+    profile = unhappy_decay_profile(trajectory)
+    below = np.nonzero(profile <= fraction)[0]
+    if below.size == 0:
+        return float("inf")
+    return float(trajectory.times[int(below[0])])

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``repro info`` — print the paper's thresholds, the regime and exponents for
+  a given intolerance, and the exact initial unhappy probability.
+* ``repro simulate`` — run one seeded simulation and print before/after
+  segregation metrics (optionally an ASCII rendering and a CSV row).
+* ``repro sweep`` — sweep the intolerance at a fixed horizon, print the
+  aggregated table and optionally write it to CSV.
+
+The module is usable both as ``python -m repro ...`` and through the
+:func:`main` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import PAPER, __version__
+from repro.analysis.segregation import segregation_metrics
+from repro.core.config import ModelConfig
+from repro.core.simulation import Simulation
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import aggregate_sweep, run_sweep
+from repro.experiments.spec import SweepSpec
+from repro.experiments.workloads import default_tau_grid, grid_side_for_horizon
+from repro.theory.bounds import exact_unhappy_probability
+from repro.theory.exponents import lower_exponent, upper_exponent
+from repro.theory.intervals import classify_regime, segregation_expected
+from repro.theory.thresholds import interval_widths, tau1, tau2, trigger_epsilon
+from repro.viz.ascii_art import render_ascii
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=f"Reproduction toolkit for: {PAPER}",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="thresholds, regime and exponents")
+    info.add_argument("--tau", type=float, default=0.45, help="intolerance to inspect")
+    info.add_argument("--horizon", type=int, default=3, help="horizon w for finite-N quantities")
+
+    simulate = subparsers.add_parser("simulate", help="run one simulation")
+    simulate.add_argument("--side", type=int, default=80)
+    simulate.add_argument("--horizon", type=int, default=3)
+    simulate.add_argument("--tau", type=float, default=0.45)
+    simulate.add_argument("--density", type=float, default=0.5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--max-flips", type=int, default=None)
+    simulate.add_argument("--ascii", action="store_true", help="print the final grid")
+    simulate.add_argument("--csv", type=str, default=None, help="append metrics row to CSV")
+
+    sweep = subparsers.add_parser("sweep", help="sweep the intolerance axis")
+    sweep.add_argument("--horizon", type=int, default=2)
+    sweep.add_argument(
+        "--taus",
+        type=str,
+        default=None,
+        help="comma-separated intolerances (default: a grid spanning Figure 2)",
+    )
+    sweep.add_argument("--replicates", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--side", type=int, default=None)
+    sweep.add_argument("--csv", type=str, default=None, help="write aggregated rows to CSV")
+    return parser
+
+
+def _command_info(args: argparse.Namespace, out) -> int:
+    tau = args.tau
+    config = ModelConfig.square(
+        side=max(4 * (2 * args.horizon + 1), 24), horizon=args.horizon, tau=tau
+    )
+    widths = interval_widths()
+    print(f"Paper: {PAPER}", file=out)
+    print(f"tau1 = {tau1():.6f}   tau2 = {tau2():.6f}", file=out)
+    print(
+        "interval widths: monochromatic "
+        f"{widths['monochromatic']:.4f}, almost monochromatic "
+        f"{widths['almost_monochromatic']:.4f}",
+        file=out,
+    )
+    print(f"\ntau = {tau}", file=out)
+    print(f"  regime (Figure 2): {classify_regime(tau).value}", file=out)
+    if segregation_expected(tau):
+        print(f"  trigger infimum f(tau) = {trigger_epsilon(tau):.4f}", file=out)
+        print(
+            f"  exponents: a(tau) = {lower_exponent(tau):.6f}, "
+            f"b(tau) = {upper_exponent(tau):.6f}",
+            file=out,
+        )
+    print(
+        f"  at horizon w = {args.horizon} (N = {config.neighborhood_agents}): "
+        f"threshold {config.happiness_threshold}/{config.neighborhood_agents}, "
+        f"exact initial unhappy probability {exact_unhappy_probability(config):.6f}",
+        file=out,
+    )
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace, out) -> int:
+    config = ModelConfig.square(
+        side=args.side, horizon=args.horizon, tau=args.tau, density=args.density
+    )
+    print(f"Model: {config.describe()}", file=out)
+    simulation = Simulation(config, seed=args.seed)
+    result = simulation.run(max_flips=args.max_flips)
+    max_radius = min(4 * config.horizon, (min(config.shape) - 1) // 2)
+    before = segregation_metrics(result.initial_spins, config, max_region_radius=max_radius)
+    after = segregation_metrics(result.final_spins, config, max_region_radius=max_radius)
+    print(
+        f"terminated={result.terminated} flips={result.n_flips} "
+        f"time={result.final_time:.2f}",
+        file=out,
+    )
+    table = ResultTable()
+    row = {
+        "seed": args.seed,
+        "tau": config.tau,
+        "horizon": config.horizon,
+        "terminated": result.terminated,
+        "n_flips": result.n_flips,
+    }
+    for key, value in before.as_dict().items():
+        row[f"initial_{key}"] = value
+    for key, value in after.as_dict().items():
+        row[f"final_{key}"] = value
+    table.add_row(**row)
+    print(table.to_markdown(float_format=".4g"), file=out)
+    if args.ascii:
+        print(render_ascii(result.final_spins, max_side=60), file=out)
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"wrote {args.csv}", file=out)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace, out) -> int:
+    if args.taus:
+        try:
+            taus = [float(part) for part in args.taus.split(",") if part.strip()]
+        except ValueError as exc:
+            print(f"error: could not parse --taus: {exc}", file=sys.stderr)
+            return 2
+    else:
+        taus = default_tau_grid()
+    side = args.side if args.side else grid_side_for_horizon(args.horizon)
+    base = ModelConfig.square(side=side, horizon=args.horizon, tau=0.5)
+    sweep = SweepSpec(
+        name="cli-sweep",
+        base_config=base,
+        taus=taus,
+        n_replicates=args.replicates,
+        seed=args.seed,
+    )
+    print(
+        f"Sweeping {len(taus)} intolerances x {args.replicates} replicates on a "
+        f"{side}x{side} torus with w={args.horizon}",
+        file=out,
+    )
+    rows = run_sweep(sweep)
+    aggregated = aggregate_sweep(rows, group_keys=("tau",))
+    print(aggregated.to_markdown(float_format=".4g"), file=out)
+    if args.csv:
+        aggregated.to_csv(args.csv)
+        print(f"wrote {args.csv}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return _command_info(args, out)
+    if args.command == "simulate":
+        return _command_simulate(args, out)
+    if args.command == "sweep":
+        return _command_sweep(args, out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Core model: grid substrate, configuration, state tracking and dynamics."""
+
+from repro.core.config import ModelConfig, default_figure1_config
+from repro.core.dynamics import GlauberDynamics, RunResult, Trajectory, run_to_completion
+from repro.core.grid import TorusGrid
+from repro.core.initializer import (
+    checkerboard_configuration,
+    density_sweep_configurations,
+    planted_annulus_configuration,
+    planted_block_configuration,
+    planted_radical_region_configuration,
+    radical_region_threshold,
+    random_configuration,
+    striped_configuration,
+    uniform_configuration,
+)
+from repro.core.kawasaki import KawasakiDynamics, KawasakiRunResult
+from repro.core.lyapunov import (
+    agreement_pairs,
+    lyapunov_energy,
+    max_energy,
+    same_type_count_field,
+)
+from repro.core.neighborhood import (
+    annulus_mask,
+    disc_mask,
+    neighborhood_offsets,
+    neighborhood_size,
+    radius_for_size,
+    square_mask,
+    torus_euclidean_distance,
+    torus_l1_distance,
+    torus_linf_distance,
+    window_sums,
+    wrapped_window_indices,
+)
+from repro.core.simulation import Simulation, SimulationResult, Snapshot, simulate
+from repro.core.state import ModelState, make_state
+from repro.core.variants import AsymmetricModelState, TwoSidedModelState
+
+__all__ = [
+    "AsymmetricModelState",
+    "GlauberDynamics",
+    "TwoSidedModelState",
+    "KawasakiDynamics",
+    "KawasakiRunResult",
+    "ModelConfig",
+    "ModelState",
+    "RunResult",
+    "Simulation",
+    "SimulationResult",
+    "Snapshot",
+    "TorusGrid",
+    "Trajectory",
+    "agreement_pairs",
+    "annulus_mask",
+    "checkerboard_configuration",
+    "default_figure1_config",
+    "density_sweep_configurations",
+    "disc_mask",
+    "lyapunov_energy",
+    "make_state",
+    "max_energy",
+    "neighborhood_offsets",
+    "neighborhood_size",
+    "planted_annulus_configuration",
+    "planted_block_configuration",
+    "planted_radical_region_configuration",
+    "radical_region_threshold",
+    "radius_for_size",
+    "random_configuration",
+    "run_to_completion",
+    "same_type_count_field",
+    "simulate",
+    "square_mask",
+    "striped_configuration",
+    "torus_euclidean_distance",
+    "torus_l1_distance",
+    "torus_linf_distance",
+    "uniform_configuration",
+    "window_sums",
+    "wrapped_window_indices",
+]

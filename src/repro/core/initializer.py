@@ -1,0 +1,189 @@
+"""Initial configuration generators.
+
+Besides the paper's i.i.d. Bernoulli initialisation this module offers the
+planted configurations used by the substrate benchmarks: monochromatic blocks
+and annuli (firewall experiments), radical regions with a controlled minority
+count (Lemma 5 / Lemma 10 experiments) and a couple of classical patterns
+(stripes, checkerboard) that are convenient in tests because their happiness
+structure is known in closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.neighborhood import annulus_mask, neighborhood_size, square_mask
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.types import AgentType
+
+
+def random_configuration(config: ModelConfig, seed: SeedLike = None) -> TorusGrid:
+    """The paper's initial state: i.i.d. Bernoulli(``config.density``) types."""
+    rng = make_rng(seed)
+    return TorusGrid.from_random(config.n_rows, config.n_cols, config.density, rng)
+
+
+def uniform_configuration(config: ModelConfig, agent_type: AgentType) -> TorusGrid:
+    """A completely segregated grid of a single agent type."""
+    return TorusGrid.filled(config.n_rows, config.n_cols, agent_type)
+
+
+def checkerboard_configuration(config: ModelConfig) -> TorusGrid:
+    """Alternating +1/-1 agents; maximally mixed, useful as a worst case."""
+    rows = np.arange(config.n_rows)[:, None]
+    cols = np.arange(config.n_cols)[None, :]
+    spins = np.where((rows + cols) % 2 == 0, 1, -1).astype(np.int8)
+    return TorusGrid(spins)
+
+
+def striped_configuration(config: ModelConfig, stripe_width: int) -> TorusGrid:
+    """Horizontal stripes of alternating type, each ``stripe_width`` rows tall."""
+    if stripe_width <= 0:
+        raise ConfigurationError(f"stripe_width must be positive, got {stripe_width}")
+    rows = np.arange(config.n_rows)[:, None]
+    bands = (rows // stripe_width) % 2
+    spins = np.where(bands == 0, 1, -1).astype(np.int8)
+    spins = np.broadcast_to(spins, (config.n_rows, config.n_cols)).copy()
+    return TorusGrid(spins)
+
+
+def planted_block_configuration(
+    config: ModelConfig,
+    center: tuple[int, int],
+    block_radius: int,
+    block_type: AgentType = AgentType.PLUS,
+    seed: SeedLike = None,
+) -> TorusGrid:
+    """Bernoulli background with a monochromatic square block planted at ``center``.
+
+    Used by the firewall / region-of-expansion experiments: the planted block
+    plays the role of the monochromatic ``N_{w/2}`` produced by an expandable
+    radical region (Lemma 5).
+    """
+    grid = random_configuration(config, seed)
+    grid.set_square(center, block_radius, block_type)
+    return grid
+
+
+def planted_annulus_configuration(
+    config: ModelConfig,
+    center: tuple[int, int],
+    outer_radius: float,
+    width: Optional[float] = None,
+    annulus_type: AgentType = AgentType.PLUS,
+    interior_type: Optional[AgentType] = None,
+    seed: SeedLike = None,
+) -> TorusGrid:
+    """Bernoulli background with a monochromatic annular firewall planted.
+
+    ``width`` defaults to the paper's firewall width ``sqrt(2) * w``.  When
+    ``interior_type`` is given the interior disc is also made monochromatic,
+    which reproduces the post-cascade state of Lemma 10.
+    """
+    if width is None:
+        width = math.sqrt(2.0) * config.horizon
+    inner_radius = outer_radius - width
+    if inner_radius <= 0:
+        raise ConfigurationError(
+            f"firewall outer radius {outer_radius} is smaller than its width {width}"
+        )
+    grid = random_configuration(config, seed)
+    mask = annulus_mask(
+        config.n_rows, config.n_cols, center, inner_radius, outer_radius
+    )
+    grid.set_mask(mask, annulus_type)
+    if interior_type is not None:
+        interior = annulus_mask(config.n_rows, config.n_cols, center, 0.0, inner_radius)
+        interior &= ~mask
+        grid.set_mask(interior, interior_type)
+    return grid
+
+
+def planted_radical_region_configuration(
+    config: ModelConfig,
+    center: tuple[int, int],
+    epsilon_prime: float,
+    majority_type: AgentType = AgentType.PLUS,
+    minority_count: Optional[int] = None,
+    seed: SeedLike = None,
+) -> TorusGrid:
+    """Bernoulli background with a radical region planted at ``center``.
+
+    A radical region of the paper is a neighbourhood of radius
+    ``(1 + eps') * w`` containing *fewer than* ``tau_hat (1 + eps')^2 N``
+    agents of the minority type.  This generator places exactly
+    ``minority_count`` minority agents (default: just below the radical
+    threshold) uniformly at random inside that window and fills the rest with
+    the majority type, giving a configuration from which the cascade of
+    Lemma 5 can ignite.
+    """
+    if epsilon_prime <= 0:
+        raise ConfigurationError(
+            f"epsilon_prime must be positive, got {epsilon_prime}"
+        )
+    radius = int(math.floor((1.0 + epsilon_prime) * config.horizon))
+    if 2 * radius + 1 > min(config.n_rows, config.n_cols):
+        raise ConfigurationError(
+            f"radical region of radius {radius} does not fit on the grid"
+        )
+    n_inside = neighborhood_size(radius)
+    threshold = radical_region_threshold(config, epsilon_prime)
+    if minority_count is None:
+        minority_count = max(threshold - 1, 0)
+    if minority_count >= n_inside:
+        raise ConfigurationError(
+            f"minority_count {minority_count} exceeds the region size {n_inside}"
+        )
+    rng = make_rng(seed)
+    grid = random_configuration(config, rng)
+    mask = square_mask(config.n_rows, config.n_cols, center, radius)
+    grid.set_mask(mask, majority_type)
+    minority_type = majority_type.opposite
+    positions = np.flatnonzero(mask.ravel())
+    chosen = rng.choice(positions, size=minority_count, replace=False)
+    flat = grid.spins.ravel()
+    flat[chosen] = int(minority_type)
+    return grid
+
+
+def radical_region_threshold(config: ModelConfig, epsilon_prime: float) -> int:
+    """Maximum minority count of a radical region (exclusive bound).
+
+    The paper defines ``tau_hat = tau * (1 - 1 / (tau * N^{1/2 - eps}))`` and a
+    radical region as a radius ``(1 + eps') w`` neighbourhood holding fewer
+    than ``tau_hat (1 + eps')^2 N`` minority agents.  The technical ``eps``
+    exponent only matters asymptotically; we use ``eps = 0`` which gives the
+    most conservative (smallest) threshold at finite ``N``.
+    """
+    n = config.neighborhood_agents
+    tau = config.tau
+    if tau <= 0:
+        return 0
+    tau_hat = tau * (1.0 - 1.0 / (tau * math.sqrt(n)))
+    tau_hat = max(tau_hat, 0.0)
+    return int(math.floor(tau_hat * (1.0 + epsilon_prime) ** 2 * n))
+
+
+def density_sweep_configurations(
+    config: ModelConfig, densities: list[float], seed: SeedLike = None
+) -> list[TorusGrid]:
+    """One Bernoulli configuration per density, with independent seeds.
+
+    Used by the complete-segregation contrast experiment (E13): the paper
+    cites Fontes et al. showing complete segregation for ``p`` close to 1 at
+    ``tau = 1/2``, while its own bounds rule it out w.h.p. at ``p = 1/2``.
+    """
+    rng = make_rng(seed)
+    grids = []
+    for density in densities:
+        child = np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+        grids.append(
+            TorusGrid.from_random(config.n_rows, config.n_cols, density, child)
+        )
+    return grids

@@ -1,0 +1,153 @@
+"""Kawasaki (closed-system) dynamics baseline.
+
+The paper classifies Schelling-type models into Glauber dynamics (agents flip
+type; the model it analyses) and Kawasaki dynamics (pairs of unhappy agents of
+opposite type swap locations when the swap makes both of them happy; the model
+of Brandt et al. on the ring).  This module implements the Kawasaki variant so
+that the benchmark suite can compare the two on identical initial
+configurations (experiment E14 in DESIGN.md).
+
+Exact termination detection for Kawasaki dynamics requires examining every
+unhappy (+1, -1) pair, which is quadratic in the number of unhappy agents.
+The engine therefore uses the standard Monte-Carlo approach: it proposes
+uniformly random opposite-type unhappy pairs and declares the run converged
+after ``max_consecutive_failures`` rejected proposals in a row (an explicit,
+documented approximation).  An exhaustive check is available separately via
+:meth:`KawasakiDynamics.exists_productive_swap` for small grids and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.state import ModelState
+from repro.rng import SeedLike, make_rng
+from repro.types import Site, SwapEvent
+
+
+@dataclass(frozen=True)
+class KawasakiRunResult:
+    """Outcome of :meth:`KawasakiDynamics.run`."""
+
+    #: True when the run stopped because proposals kept failing (converged in
+    #: the Monte-Carlo sense), False when a step budget was exhausted first.
+    converged: bool
+    n_swaps: int
+    n_proposals: int
+    final_time: float
+
+
+class KawasakiDynamics:
+    """Pair-swap dynamics over a :class:`ModelState`."""
+
+    def __init__(self, state: ModelState, seed: SeedLike = None) -> None:
+        self.state = state
+        self.rng = make_rng(seed)
+        self.time = 0.0
+        self.n_swaps = 0
+        self.n_proposals = 0
+
+    # --------------------------------------------------------------- queries
+
+    def _unhappy_sites_by_type(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat indices of unhappy +1 agents and unhappy -1 agents."""
+        unhappy = self.state.unhappy_mask()
+        spins = self.state.grid.spins
+        plus = np.flatnonzero((unhappy & (spins == 1)).ravel())
+        minus = np.flatnonzero((unhappy & (spins == -1)).ravel())
+        return plus, minus
+
+    def swap_makes_both_happy(self, site_a: tuple[int, int], site_b: tuple[int, int]) -> bool:
+        """Whether swapping the (opposite-type) agents at the two sites makes both happy.
+
+        The check is performed by applying the swap, reading the two agents'
+        happiness, and undoing it, so it is exact regardless of whether the two
+        neighbourhoods overlap.
+        """
+        spins = self.state.grid.spins
+        if spins[site_a] == spins[site_b]:
+            return False
+        self.state.apply_flip(*site_a)
+        self.state.apply_flip(*site_b)
+        both_happy = self.state.is_happy(*site_a) and self.state.is_happy(*site_b)
+        self.state.apply_flip(*site_a)
+        self.state.apply_flip(*site_b)
+        return both_happy
+
+    def exists_productive_swap(self, max_pairs: Optional[int] = None) -> bool:
+        """Exhaustively check whether any opposite-type unhappy pair can swap.
+
+        ``max_pairs`` caps the number of pairs examined (useful in tests on
+        larger grids); ``None`` checks every pair.
+        """
+        plus, minus = self._unhappy_sites_by_type()
+        examined = 0
+        for a in plus:
+            for b in minus:
+                if max_pairs is not None and examined >= max_pairs:
+                    return False
+                examined += 1
+                site_a = self.state.site_of(int(a))
+                site_b = self.state.site_of(int(b))
+                if self.swap_makes_both_happy(site_a, site_b):
+                    return True
+        return False
+
+    # ----------------------------------------------------------------- steps
+
+    def step(self) -> Optional[SwapEvent]:
+        """Propose one swap; perform it if it makes both agents happy."""
+        plus, minus = self._unhappy_sites_by_type()
+        if plus.size == 0 or minus.size == 0:
+            return None
+        self.n_proposals += 1
+        self.time += float(self.rng.exponential(1.0))
+        site_a = self.state.site_of(int(self.rng.choice(plus)))
+        site_b = self.state.site_of(int(self.rng.choice(minus)))
+        if not self.swap_makes_both_happy(site_a, site_b):
+            return None
+        self.state.apply_flip(*site_a)
+        self.state.apply_flip(*site_b)
+        self.n_swaps += 1
+        return SwapEvent(time=self.time, site_a=Site(*site_a), site_b=Site(*site_b))
+
+    def run(
+        self,
+        max_swaps: Optional[int] = None,
+        max_proposals: Optional[int] = None,
+        max_consecutive_failures: int = 200,
+    ) -> KawasakiRunResult:
+        """Run until convergence (many failed proposals) or budget exhaustion."""
+        start_swaps = self.n_swaps
+        start_proposals = self.n_proposals
+        consecutive_failures = 0
+        converged = False
+        while True:
+            plus, minus = self._unhappy_sites_by_type()
+            if plus.size == 0 or minus.size == 0:
+                converged = True
+                break
+            if max_swaps is not None and self.n_swaps - start_swaps >= max_swaps:
+                break
+            if (
+                max_proposals is not None
+                and self.n_proposals - start_proposals >= max_proposals
+            ):
+                break
+            event = self.step()
+            if event is None:
+                consecutive_failures += 1
+                if consecutive_failures >= max_consecutive_failures:
+                    converged = True
+                    break
+            else:
+                consecutive_failures = 0
+        return KawasakiRunResult(
+            converged=converged,
+            n_swaps=self.n_swaps - start_swaps,
+            n_proposals=self.n_proposals - start_proposals,
+            final_time=self.time,
+        )

@@ -1,0 +1,151 @@
+"""High-level simulation facade.
+
+:class:`Simulation` wires together configuration, initialisation, state
+tracking and the Glauber dynamics engine behind a single object with a small
+surface: construct it from a :class:`~repro.core.config.ModelConfig` (and an
+optional planted initial grid), call :meth:`Simulation.run`, and read the
+resulting :class:`SimulationResult`.  The examples and the experiment harness
+are written against this facade rather than the lower-level pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics, RunResult, Trajectory
+from repro.core.grid import TorusGrid
+from repro.core.initializer import random_configuration
+from repro.core.state import ModelState
+from repro.errors import StateError
+from repro.rng import SeedLike, spawn_rngs
+from repro.types import FlipRule, SchedulerKind
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A copy of the configuration taken during a run."""
+
+    time: float
+    n_flips: int
+    spins: np.ndarray
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a caller usually wants after a run."""
+
+    config: ModelConfig
+    initial_spins: np.ndarray
+    final_spins: np.ndarray
+    terminated: bool
+    n_flips: int
+    n_steps: int
+    final_time: float
+    snapshots: tuple[Snapshot, ...]
+    trajectory: Optional[Trajectory]
+
+    @property
+    def flipped_fraction(self) -> float:
+        """Fraction of sites whose final type differs from their initial type."""
+        changed = np.count_nonzero(self.initial_spins != self.final_spins)
+        return changed / self.initial_spins.size
+
+
+class Simulation:
+    """One seeded run of the Glauber segregation process."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: SeedLike = None,
+        initial_grid: Optional[TorusGrid] = None,
+        scheduler: Optional[SchedulerKind] = None,
+        flip_rule: Optional[FlipRule] = None,
+    ) -> None:
+        self.config = config
+        init_rng, dynamics_rng = spawn_rngs(seed, 2)
+        if initial_grid is None:
+            initial_grid = random_configuration(config, init_rng)
+        self.state = ModelState(config, initial_grid.copy())
+        self.dynamics = GlauberDynamics(
+            self.state, seed=dynamics_rng, scheduler=scheduler, flip_rule=flip_rule
+        )
+        self._initial_spins = self.state.snapshot()
+        self._has_run = False
+
+    # ------------------------------------------------------------------- API
+
+    @property
+    def initial_spins(self) -> np.ndarray:
+        """Copy of the initial configuration."""
+        return self._initial_spins.copy()
+
+    def run(
+        self,
+        max_flips: Optional[int] = None,
+        max_time: Optional[float] = None,
+        snapshot_flip_counts: Optional[Sequence[int]] = None,
+        record_trajectory: bool = False,
+        record_every: int = 100,
+    ) -> SimulationResult:
+        """Run the dynamics (to termination unless a budget is given).
+
+        ``snapshot_flip_counts`` requests configuration snapshots after the
+        given cumulative flip counts — this is how the Figure 1 benchmark
+        collects its intermediate panels.
+        """
+        if self._has_run:
+            raise StateError("Simulation.run may only be called once per instance")
+        self._has_run = True
+
+        snapshots: list[Snapshot] = []
+        pending = sorted(set(snapshot_flip_counts)) if snapshot_flip_counts else []
+        if pending and pending[0] == 0:
+            snapshots.append(Snapshot(0.0, 0, self.state.snapshot()))
+            pending = pending[1:]
+
+        def callback(dynamics: GlauberDynamics, event: object) -> None:
+            while pending and dynamics.n_flips >= pending[0]:
+                snapshots.append(
+                    Snapshot(dynamics.time, dynamics.n_flips, dynamics.state.snapshot())
+                )
+                pending.pop(0)
+
+        result: RunResult = self.dynamics.run(
+            max_flips=max_flips,
+            max_time=max_time,
+            record_trajectory=record_trajectory,
+            record_every=record_every,
+            callback=callback if snapshot_flip_counts else None,
+        )
+        if not snapshots or snapshots[-1].n_flips != self.dynamics.n_flips:
+            snapshots.append(
+                Snapshot(self.dynamics.time, self.dynamics.n_flips, self.state.snapshot())
+            )
+        return SimulationResult(
+            config=self.config,
+            initial_spins=self._initial_spins.copy(),
+            final_spins=self.state.snapshot(),
+            terminated=result.terminated,
+            n_flips=result.n_flips,
+            n_steps=result.n_steps,
+            final_time=result.final_time,
+            snapshots=tuple(snapshots),
+            trajectory=result.trajectory,
+        )
+
+
+def simulate(
+    config: ModelConfig,
+    seed: SeedLike = None,
+    initial_grid: Optional[TorusGrid] = None,
+    max_flips: Optional[int] = None,
+    record_trajectory: bool = False,
+) -> SimulationResult:
+    """One-call helper: build a :class:`Simulation` and run it."""
+    simulation = Simulation(config, seed=seed, initial_grid=initial_grid)
+    return simulation.run(max_flips=max_flips, record_trajectory=record_trajectory)

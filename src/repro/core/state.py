@@ -1,0 +1,269 @@
+"""Incremental happiness bookkeeping.
+
+:class:`ModelState` pairs a :class:`~repro.core.grid.TorusGrid` with the
+paper's happiness semantics and keeps everything the dynamics engine needs —
+per-agent same-type neighbourhood counts, happy / unhappy / flippable masks
+and O(1)-sampling index sets — up to date incrementally: a single flip only
+touches the ``(2w+1) x (2w+1)`` window of agents whose neighbourhood contains
+the flipped site.
+
+Terminology (Section II.A of the paper):
+
+* ``same_type_count(u)`` — number of agents of the same type as ``u`` in its
+  neighbourhood, the agent itself included.
+* ``u`` is *happy* iff ``same_type_count(u) >= ceil(tau * N)``.
+* ``u`` is *flippable* iff it is unhappy **and** flipping its type would make
+  it happy (these are exactly the paper's *super-unhappy* agents when
+  ``tau > 1/2``; for ``tau <= 1/2`` every unhappy agent is flippable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.initializer import random_configuration
+from repro.errors import ConfigurationError, StateError
+from repro.rng import SeedLike
+from repro.utils.indexset import IndexSampler
+
+
+class ModelState:
+    """Mutable model state: grid plus derived happiness structures."""
+
+    def __init__(self, config: ModelConfig, grid: Optional[TorusGrid] = None) -> None:
+        self.config = config
+        if grid is None:
+            grid = random_configuration(config)
+        if grid.shape != config.shape:
+            raise ConfigurationError(
+                f"grid shape {grid.shape} does not match config shape {config.shape}"
+            )
+        self.grid = grid
+        n_sites = config.n_sites
+        self._unhappy = IndexSampler(n_sites)
+        self._flippable = IndexSampler(n_sites)
+        self._plus_counts = np.zeros(config.shape, dtype=np.int64)
+        self._happy_mask = np.zeros(config.shape, dtype=bool)
+        self._flippable_mask = np.zeros(config.shape, dtype=bool)
+        self.recompute_all()
+
+    # ------------------------------------------------------------- rebuilding
+
+    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(happy, flippable)`` boolean arrays for the given counts.
+
+        The base model's rule: happy iff the same-type count meets the single
+        threshold, flippable iff unhappy and the post-flip count would meet
+        it.  Variant models (two-sided comfort, per-type intolerances) override
+        this single hook; everything else — incremental updates, samplers,
+        dynamics — is inherited unchanged.
+        """
+        threshold = self.config.happiness_threshold
+        total = self.config.neighborhood_agents
+        happy = same >= threshold
+        flippable = (~happy) & (total - same + 1 >= threshold)
+        return happy, flippable
+
+    def recompute_all(self) -> None:
+        """Rebuild all derived structures from the grid (O(grid size))."""
+        w = self.config.horizon
+        self._plus_counts = self.grid.plus_neighborhood_counts(w)
+        same = self._same_counts_full()
+        self._happy_mask, self._flippable_mask = self._classify(self.grid.spins, same)
+        self._unhappy.clear()
+        self._flippable.clear()
+        unhappy_indices = np.flatnonzero(~self._happy_mask.ravel())
+        flippable_indices = np.flatnonzero(self._flippable_mask.ravel())
+        for index in unhappy_indices:
+            self._unhappy.add(int(index))
+        for index in flippable_indices:
+            self._flippable.add(int(index))
+
+    def _same_counts_full(self) -> np.ndarray:
+        total = self.config.neighborhood_agents
+        return np.where(
+            self.grid.spins == 1, self._plus_counts, total - self._plus_counts
+        )
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def n_unhappy(self) -> int:
+        """Current number of unhappy agents."""
+        return len(self._unhappy)
+
+    @property
+    def n_flippable(self) -> int:
+        """Current number of agents that would become happy by flipping."""
+        return len(self._flippable)
+
+    @property
+    def unhappy_sampler(self) -> IndexSampler:
+        """Sampler over flat indices of unhappy agents (owned by the state)."""
+        return self._unhappy
+
+    @property
+    def flippable_sampler(self) -> IndexSampler:
+        """Sampler over flat indices of flippable agents (owned by the state)."""
+        return self._flippable
+
+    def happy_mask(self) -> np.ndarray:
+        """Boolean array of happy agents (copy)."""
+        return self._happy_mask.copy()
+
+    def unhappy_mask(self) -> np.ndarray:
+        """Boolean array of unhappy agents (copy)."""
+        return ~self._happy_mask
+
+    def flippable_mask(self) -> np.ndarray:
+        """Boolean array of flippable (super-unhappy) agents (copy)."""
+        return self._flippable_mask.copy()
+
+    def plus_counts(self) -> np.ndarray:
+        """Per-agent count of ``+1`` agents in the neighbourhood (copy)."""
+        return self._plus_counts.copy()
+
+    def same_type_counts(self) -> np.ndarray:
+        """Per-agent count of same-type agents in the neighbourhood (copy)."""
+        return self._same_counts_full()
+
+    def same_type_count(self, row: int, col: int) -> int:
+        """Same-type neighbourhood count of a single agent."""
+        row %= self.config.n_rows
+        col %= self.config.n_cols
+        plus = int(self._plus_counts[row, col])
+        if self.grid.spins[row, col] == 1:
+            return plus
+        return self.config.neighborhood_agents - plus
+
+    def same_type_fraction(self, row: int, col: int) -> float:
+        """The paper's ``s(u)`` for a single agent."""
+        return self.same_type_count(row, col) / self.config.neighborhood_agents
+
+    def is_happy(self, row: int, col: int) -> bool:
+        """Whether the agent at ``(row, col)`` is happy."""
+        return bool(
+            self._happy_mask[row % self.config.n_rows, col % self.config.n_cols]
+        )
+
+    def is_flippable(self, row: int, col: int) -> bool:
+        """Whether flipping the agent at ``(row, col)`` would make it happy
+        (and it is currently unhappy)."""
+        return bool(
+            self._flippable_mask[row % self.config.n_rows, col % self.config.n_cols]
+        )
+
+    def would_be_happy_after_flip(self, row: int, col: int) -> bool:
+        """Whether the agent would be happy if it flipped right now."""
+        same = self.same_type_count(row, col)
+        total = self.config.neighborhood_agents
+        return total - same + 1 >= self.config.happiness_threshold
+
+    def energy(self) -> int:
+        """The paper's Lyapunov function: total same-type neighbourhood count.
+
+        Every flip performed under the model's rule strictly increases this
+        quantity, which is how the paper argues termination; the dynamics
+        tests assert that monotonicity.
+        """
+        return int(self._same_counts_full().sum())
+
+    def is_terminated(self) -> bool:
+        """True when no agent can flip (the paper's termination condition)."""
+        return len(self._flippable) == 0
+
+    # --------------------------------------------------------------- mutation
+
+    def apply_flip(self, row: int, col: int) -> int:
+        """Flip the agent at ``(row, col)`` and update all derived structures.
+
+        Returns the agent's new type.  The caller (the dynamics engine) is
+        responsible for deciding *whether* the flip is allowed; the state
+        object applies it unconditionally so that planted-configuration
+        experiments can also use it.
+        """
+        n_rows, n_cols = self.config.shape
+        row %= n_rows
+        col %= n_cols
+        new_value = self.grid.flip(row, col)
+        delta = 1 if new_value == 1 else -1
+        w = self.config.horizon
+        rows = np.arange(row - w, row + w + 1) % n_rows
+        cols = np.arange(col - w, col + w + 1) % n_cols
+        window = np.ix_(rows, cols)
+        self._plus_counts[window] += delta
+        self._refresh_window(rows, cols)
+        return new_value
+
+    def apply_spin_array(self, spins: np.ndarray) -> None:
+        """Replace the whole configuration and rebuild derived structures."""
+        if spins.shape != self.config.shape:
+            raise ConfigurationError(
+                f"spin array shape {spins.shape} does not match {self.config.shape}"
+            )
+        self.grid.spins[...] = spins
+        self.recompute_all()
+
+    def _refresh_window(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Recompute happiness/flippability for the agents at ``rows x cols``."""
+        total = self.config.neighborhood_agents
+        window = np.ix_(rows, cols)
+        sub_spins = self.grid.spins[window]
+        sub_plus = self._plus_counts[window]
+        sub_same = np.where(sub_spins == 1, sub_plus, total - sub_plus)
+        sub_happy, sub_flippable = self._classify(sub_spins, sub_same)
+
+        old_happy = self._happy_mask[window]
+        old_flippable = self._flippable_mask[window]
+        happy_changed = sub_happy != old_happy
+        flippable_changed = sub_flippable != old_flippable
+
+        self._happy_mask[window] = sub_happy
+        self._flippable_mask[window] = sub_flippable
+
+        if not happy_changed.any() and not flippable_changed.any():
+            return
+        n_cols = self.config.n_cols
+        flat = rows[:, None] * n_cols + cols[None, :]
+        for local in np.argwhere(happy_changed | flippable_changed):
+            i, j = int(local[0]), int(local[1])
+            index = int(flat[i, j])
+            self._unhappy.update_membership(index, not sub_happy[i, j])
+            self._flippable.update_membership(index, bool(sub_flippable[i, j]))
+
+    # ------------------------------------------------------------------ misc
+
+    def site_of(self, flat_index: int) -> tuple[int, int]:
+        """Convert a flat index used by the samplers back to ``(row, col)``."""
+        return self.grid.site_of(flat_index)
+
+    def sample_unhappy(self, rng: np.random.Generator) -> tuple[int, int]:
+        """A uniformly random unhappy agent; raises ``StateError`` if none."""
+        if len(self._unhappy) == 0:
+            raise StateError("no unhappy agents to sample")
+        return self.site_of(self._unhappy.sample(rng))
+
+    def sample_flippable(self, rng: np.random.Generator) -> tuple[int, int]:
+        """A uniformly random flippable agent; raises ``StateError`` if none."""
+        if len(self._flippable) == 0:
+            raise StateError("no flippable agents to sample")
+        return self.site_of(self._flippable.sample(rng))
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current spin configuration."""
+        return self.grid.spins.copy()
+
+
+def make_state(
+    config: ModelConfig,
+    grid: Optional[TorusGrid] = None,
+    seed: SeedLike = None,
+) -> ModelState:
+    """Convenience constructor: random initial configuration unless given one."""
+    if grid is None:
+        grid = random_configuration(config, seed)
+    return ModelState(config, grid)

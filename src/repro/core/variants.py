@@ -1,0 +1,133 @@
+"""Model variants discussed but not analysed in the paper.
+
+Section I.A and the concluding remarks (Section V) mention several variants of
+the basic model:
+
+* **Two-sided comfort** — agents are "uncomfortable being both a minority or a
+  majority in a largely segregated area": an agent is happy only when its
+  same-type fraction lies in a band ``[tau_low, tau_high]``.  The paper lists
+  this as a direction for further study; it is implemented here so the
+  ablation benchmarks can contrast it with the one-sided model (which is
+  "naturally biased towards segregation").
+* **Per-type intolerances** — the Barmpalias-Elwes-Lewis-Pye model the paper
+  compares against, where ``+1`` agents use ``tau_plus`` and ``-1`` agents use
+  ``tau_minus`` (the paper's results cover the special case
+  ``tau_plus = tau_minus``).
+
+Both variants reuse the incremental bookkeeping of
+:class:`~repro.core.state.ModelState` by overriding its single classification
+hook, and run under the unmodified :class:`~repro.core.dynamics.GlauberDynamics`
+engine.  Note that the two-sided variant no longer has the paper's Lyapunov
+function, so termination is not guaranteed — run it with a step budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.state import ModelState
+from repro.errors import ConfigurationError
+from repro.utils.validation import require_in_range
+
+
+class TwoSidedModelState(ModelState):
+    """State for the two-sided comfort variant.
+
+    An agent is happy iff ``tau_low <= s(u) <= tau_high``.  A selected unhappy
+    agent flips iff the flip lands its (new) same-type fraction inside the
+    band.  With ``tau_high = 1`` this reduces exactly to the paper's model
+    with ``tau = tau_low``.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        tau_high: float,
+        grid: Optional[TorusGrid] = None,
+    ) -> None:
+        tau_high = require_in_range(tau_high, "tau_high", 0.0, 1.0)
+        if tau_high < config.tau:
+            raise ConfigurationError(
+                f"tau_high={tau_high} must be at least the lower intolerance "
+                f"tau={config.tau}"
+            )
+        n = config.neighborhood_agents
+        # ceil for the lower threshold (as in the base model), floor for the
+        # upper one so the band is the integer interval [low, high].
+        self.high_threshold = int(math.floor(tau_high * n))
+        self.tau_high = tau_high
+        super().__init__(config, grid)
+
+    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        low = self.config.happiness_threshold
+        high = self.high_threshold
+        total = self.config.neighborhood_agents
+        happy = (same >= low) & (same <= high)
+        flipped_same = total - same + 1
+        flippable = (~happy) & (flipped_same >= low) & (flipped_same <= high)
+        return happy, flippable
+
+    def would_be_happy_after_flip(self, row: int, col: int) -> bool:
+        """Whether flipping would land the agent inside the comfort band."""
+        same = self.same_type_count(row, col)
+        flipped_same = self.config.neighborhood_agents - same + 1
+        return self.config.happiness_threshold <= flipped_same <= self.high_threshold
+
+
+class AsymmetricModelState(ModelState):
+    """State for the per-type intolerance variant (Barmpalias et al. [26]).
+
+    ``+1`` agents are happy when their same-type fraction is at least
+    ``config.tau``; ``-1`` agents use ``tau_minus`` instead.  With
+    ``tau_minus = config.tau`` this is exactly the base model.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        tau_minus: float,
+        grid: Optional[TorusGrid] = None,
+    ) -> None:
+        tau_minus = require_in_range(tau_minus, "tau_minus", 0.0, 1.0)
+        self.tau_minus = tau_minus
+        self.minus_threshold = int(math.ceil(tau_minus * config.neighborhood_agents))
+        super().__init__(config, grid)
+
+    def _threshold_for(self, spins: np.ndarray) -> np.ndarray:
+        """Per-agent happiness threshold as an array aligned with ``spins``."""
+        return np.where(
+            spins == 1, self.config.happiness_threshold, self.minus_threshold
+        )
+
+    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        total = self.config.neighborhood_agents
+        threshold = self._threshold_for(spins)
+        happy = same >= threshold
+        # After a flip the agent adopts the *other* type, hence the other
+        # type's threshold applies to its post-flip count.
+        flipped_threshold = self._threshold_for(-spins)
+        flippable = (~happy) & (total - same + 1 >= flipped_threshold)
+        return happy, flippable
+
+    def would_be_happy_after_flip(self, row: int, col: int) -> bool:
+        """Whether flipping satisfies the threshold of the agent's new type."""
+        spin = self.grid.get(row, col)
+        same = self.same_type_count(row, col)
+        flipped_same = self.config.neighborhood_agents - same + 1
+        new_threshold = (
+            self.minus_threshold if spin == 1 else self.config.happiness_threshold
+        )
+        return flipped_same >= new_threshold
+
+    def static_expected(self) -> bool:
+        """Barmpalias et al.: for equal intolerances above 3/4 or below 1/4 the
+        initial configuration stays static w.h.p.  Exposed for the ablation
+        benchmark when the two intolerances coincide."""
+        if self.tau_minus != self.config.tau:
+            return False
+        return self.config.tau < 0.25 or self.config.tau > 0.75

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError`` and
+friends coming from misuse of numpy, for example) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model, experiment or substrate configuration is invalid.
+
+    Raised for out-of-range parameters (e.g. an intolerance outside
+    ``[0, 1]``), incompatible combinations (a horizon larger than the grid)
+    or malformed planted configurations.
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """An operation was attempted on a model in an incompatible state.
+
+    For example stepping a dynamics engine that has already terminated with
+    ``strict=True``, or asking for a trajectory that was never recorded.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """A measurement routine received data it cannot analyse.
+
+    Raised when a configuration array has the wrong shape or dtype, or when a
+    requested region/agent lies outside the grid.
+    """
+
+
+class PercolationError(ReproError, ValueError):
+    """A percolation substrate routine received invalid input.
+
+    Raised for probabilities outside ``[0, 1]``, empty lattices, or
+    disconnected endpoints when a path is required.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness failure (empty sweep, inconsistent replicates)."""

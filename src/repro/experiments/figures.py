@@ -1,0 +1,404 @@
+"""Reproduction experiments for the paper's figures and theorems (E1-E8).
+
+Each function regenerates one evaluation artefact of the paper as a
+:class:`~repro.experiments.results.ResultTable` (plus ancillary data where it
+makes sense, e.g. the snapshot arrays of Figure 1).  The benchmark modules
+under ``benchmarks/`` call these with small default parameters and print the
+resulting rows; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.segregation import segregation_metrics
+from repro.core.config import ModelConfig
+from repro.core.simulation import Simulation, Snapshot
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import aggregate_sweep, run_sweep
+from repro.experiments.spec import SweepSpec
+from repro.experiments.workloads import (
+    default_tau_grid,
+    figure1_config,
+    grid_side_for_horizon,
+    scaling_horizons,
+    theorem1_taus,
+    theorem2_taus,
+)
+from repro.rng import replicate_seeds
+from repro.theory.exponents import lower_exponent, upper_exponent
+from repro.theory.intervals import classify_regime
+from repro.theory.thresholds import tau1, tau2, trigger_epsilon
+from repro.utils.stats import growth_rate_fit
+
+
+# ---------------------------------------------------------------------------
+# E1 — Figure 1: self-segregation snapshots
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Snapshots and per-snapshot metrics of the Figure 1 run."""
+
+    config: ModelConfig
+    snapshots: tuple[Snapshot, ...]
+    metrics: ResultTable
+    terminated: bool
+    total_flips: int
+
+
+def figure1_snapshots(
+    config: Optional[ModelConfig] = None,
+    seed: int = 2017,
+    n_intermediate: int = 2,
+    max_flips: Optional[int] = None,
+) -> Figure1Result:
+    """Reproduce Figure 1: initial, intermediate and final configurations.
+
+    The run is executed twice with the same seed: a first pass measures the
+    total number of flips to termination, a second pass (identical trajectory)
+    collects snapshots at evenly spaced flip counts — initial, two
+    intermediate panels and the terminated configuration, exactly as in the
+    paper's four panels.
+    """
+    if config is None:
+        config = figure1_config()
+    probe = Simulation(config, seed=seed)
+    probe_result = probe.run(max_flips=max_flips)
+    total_flips = probe_result.n_flips
+    fractions = np.linspace(0.0, 1.0, n_intermediate + 2)
+    snapshot_counts = sorted({int(round(fraction * total_flips)) for fraction in fractions})
+
+    simulation = Simulation(config, seed=seed)
+    result = simulation.run(max_flips=max_flips, snapshot_flip_counts=snapshot_counts)
+
+    metrics = ResultTable()
+    max_radius = min(4 * config.horizon, (min(config.shape) - 1) // 2)
+    for index, snapshot in enumerate(result.snapshots):
+        summary = segregation_metrics(
+            snapshot.spins, config, max_region_radius=max_radius
+        )
+        row = {
+            "panel": index,
+            "time": snapshot.time,
+            "n_flips": snapshot.n_flips,
+        }
+        row.update(summary.as_dict())
+        metrics.add_row(**row)
+    return Figure1Result(
+        config=config,
+        snapshots=result.snapshots,
+        metrics=metrics,
+        terminated=result.terminated,
+        total_flips=result.n_flips,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E2 — Figure 2: behaviour across the intolerance axis
+# ---------------------------------------------------------------------------
+
+
+def figure2_interval_sweep(
+    horizon: int = 3,
+    taus: Optional[Sequence[float]] = None,
+    n_replicates: int = 3,
+    seed: int = 11,
+    side: Optional[int] = None,
+) -> ResultTable:
+    """Empirical sweep over the intolerance axis with the predicted regime attached.
+
+    For every ``tau`` the table reports the mean final monochromatic /
+    almost-monochromatic region size, the flip activity and the regime
+    predicted by the paper (Figure 2): static configurations should barely
+    flip, while both exponential regimes should produce large regions.
+    """
+    if taus is None:
+        taus = default_tau_grid()
+    if side is None:
+        side = grid_side_for_horizon(horizon)
+    base = ModelConfig.square(side=side, horizon=horizon, tau=0.5)
+    sweep = SweepSpec(
+        name="figure2",
+        base_config=base,
+        taus=list(taus),
+        n_replicates=n_replicates,
+        seed=seed,
+    )
+    rows = run_sweep(sweep)
+    aggregated = aggregate_sweep(
+        rows,
+        group_keys=("tau",),
+        value_keys=(
+            "final_mean_monochromatic_size",
+            "final_mean_almost_monochromatic_size",
+            "final_local_homogeneity",
+            "flipped_fraction",
+            "n_flips",
+        ),
+    )
+    table = ResultTable()
+    for row in aggregated:
+        tau = float(row["tau"])
+        row = dict(row)
+        row["predicted_regime"] = classify_regime(tau).value
+        table.add_row(**row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E3 / E4 — Figures 3 and 6: exponent multipliers and trigger radius
+# ---------------------------------------------------------------------------
+
+
+def figure3_exponent_table(
+    taus: Optional[Sequence[float]] = None,
+    neighborhood_agents: Optional[int] = None,
+) -> ResultTable:
+    """Numerical reproduction of Figure 3: ``a(tau)`` and ``b(tau)``.
+
+    The default grid covers the theorem range on both sides of 1/2; each row
+    also carries the trigger infimum ``f(tau)`` and the predicted regime so
+    the table doubles as a machine-readable Figure 2 + Figure 3 combination.
+    """
+    if taus is None:
+        low = tau2() + 5e-3
+        taus = list(np.round(np.linspace(low, 0.49, 15), 4)) + list(
+            np.round(np.linspace(0.51, 1.0 - low, 15), 4)
+        )
+    table = ResultTable()
+    for tau in taus:
+        tau = float(tau)
+        table.add_row(
+            tau=tau,
+            a=lower_exponent(tau, neighborhood_agents),
+            b=upper_exponent(tau, neighborhood_agents),
+            f_tau=trigger_epsilon(tau),
+            regime=classify_regime(tau).value,
+        )
+    return table
+
+
+def figure6_trigger_table(
+    taus: Optional[Sequence[float]] = None,
+) -> ResultTable:
+    """Numerical reproduction of Figure 6: the trigger infimum ``f(tau)``."""
+    if taus is None:
+        taus = np.round(np.linspace(tau2() + 1e-3, 0.4999, 30), 4)
+    table = ResultTable()
+    for tau in taus:
+        tau = float(tau)
+        table.add_row(tau=tau, f_tau=trigger_epsilon(tau))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E5 / E6 — Theorem 1 and Theorem 2 scaling in the neighbourhood size
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Measurements and growth-rate fits of a Theorem 1/2 scaling experiment."""
+
+    measurements: ResultTable
+    fits: ResultTable
+
+
+def _scaling_experiment(
+    taus: Sequence[float],
+    horizons: Sequence[int],
+    size_column: str,
+    n_replicates: int,
+    seed: int,
+    multiples: int,
+) -> ScalingResult:
+    measurements = ResultTable()
+    fits = ResultTable()
+    for tau in taus:
+        sizes_by_n: list[tuple[int, float]] = []
+        for horizon in horizons:
+            side = grid_side_for_horizon(horizon, multiples=multiples)
+            base = ModelConfig.square(side=side, horizon=horizon, tau=tau)
+            sweep = SweepSpec(
+                name=f"scaling[tau={tau}]",
+                base_config=base,
+                horizons=[horizon],
+                n_replicates=n_replicates,
+                seed=seed,
+            )
+            rows = run_sweep(sweep)
+            mean_size = float(np.mean(rows.numeric_column(size_column)))
+            n_agents = base.neighborhood_agents
+            sizes_by_n.append((n_agents, mean_size))
+            measurements.add_row(
+                tau=tau,
+                horizon=horizon,
+                neighborhood_agents=n_agents,
+                mean_region_size=mean_size,
+                log2_mean_region_size=float(np.log2(mean_size)),
+            )
+        ns = [n for n, _ in sizes_by_n]
+        sizes = [s for _, s in sizes_by_n]
+        if len(ns) >= 2:
+            fit = growth_rate_fit(ns, sizes)
+            measured_rate, r_squared, n_points = fit.rate, fit.r_squared, fit.n_points
+        else:
+            # A single horizon cannot support a growth-rate fit; report the
+            # measurement only.
+            measured_rate, r_squared, n_points = float("nan"), float("nan"), len(ns)
+        fits.add_row(
+            tau=tau,
+            measured_rate=measured_rate,
+            r_squared=r_squared,
+            theory_lower_rate=lower_exponent(tau),
+            theory_upper_rate=upper_exponent(tau),
+            n_points=n_points,
+        )
+    return ScalingResult(measurements=measurements, fits=fits)
+
+
+def theorem1_scaling(
+    taus: Optional[Sequence[float]] = None,
+    horizons: Optional[Sequence[int]] = None,
+    n_replicates: int = 3,
+    seed: int = 101,
+    multiples: int = 10,
+) -> ScalingResult:
+    """E5: growth of the mean monochromatic region size with ``N`` (Theorem 1).
+
+    For each intolerance in the Theorem 1 range the mean final monochromatic
+    region size is measured across a ladder of horizons and fitted as
+    ``log2(size) ~ rate * N``; the theorem predicts a positive rate bracketed
+    (in order of magnitude) by ``a(tau)`` and ``b(tau)``.
+    """
+    if taus is None:
+        taus = theorem1_taus()
+    if horizons is None:
+        horizons = scaling_horizons()
+    return _scaling_experiment(
+        taus, horizons, "final_mean_monochromatic_size", n_replicates, seed, multiples
+    )
+
+
+def theorem2_scaling(
+    taus: Optional[Sequence[float]] = None,
+    horizons: Optional[Sequence[int]] = None,
+    n_replicates: int = 3,
+    seed: int = 202,
+    multiples: int = 10,
+) -> ScalingResult:
+    """E6: growth of the mean almost-monochromatic region size with ``N`` (Theorem 2)."""
+    if taus is None:
+        taus = theorem2_taus()
+    if horizons is None:
+        horizons = scaling_horizons()
+    return _scaling_experiment(
+        taus,
+        horizons,
+        "final_mean_almost_monochromatic_size",
+        n_replicates,
+        seed,
+        multiples,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E7 — monotonicity in the distance from 1/2
+# ---------------------------------------------------------------------------
+
+
+def monotonicity_experiment(
+    horizon: int = 3,
+    taus: Optional[Sequence[float]] = None,
+    n_replicates: int = 3,
+    seed: int = 303,
+) -> ResultTable:
+    """E7: farther from 1/2 (within the theorem range) means larger regions.
+
+    The paper's counter-intuitive observation: more tolerant agents (below
+    1/2) produce *larger* segregated regions.  The table reports the mean
+    final region size per ``tau`` ordered by distance from 1/2, plus the
+    theoretical exponent ``a(tau)`` which increases with that distance.
+    """
+    if taus is None:
+        t1 = tau1()
+        taus = [round(t1 + 0.005, 4), 0.45, 0.47, 0.49]
+    side = grid_side_for_horizon(horizon)
+    base = ModelConfig.square(side=side, horizon=horizon, tau=0.5)
+    sweep = SweepSpec(
+        name="monotonicity",
+        base_config=base,
+        taus=list(taus),
+        n_replicates=n_replicates,
+        seed=seed,
+    )
+    rows = run_sweep(sweep)
+    aggregated = aggregate_sweep(
+        rows,
+        group_keys=("tau",),
+        value_keys=("final_mean_monochromatic_size", "final_local_homogeneity"),
+    )
+    table = ResultTable()
+    for row in aggregated:
+        tau = float(row["tau"])
+        row = dict(row)
+        row["distance_from_half"] = abs(tau - 0.5)
+        row["theory_lower_exponent"] = lower_exponent(tau)
+        table.add_row(**row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E8 — symmetry around tau = 1/2
+# ---------------------------------------------------------------------------
+
+
+def symmetry_experiment(
+    horizon: int = 3,
+    taus_below_half: Optional[Sequence[float]] = None,
+    n_replicates: int = 3,
+    seed: int = 404,
+) -> ResultTable:
+    """E8: behaviour at ``tau`` mirrors behaviour at ``1 - tau`` (Section IV.C).
+
+    For each ``tau < 1/2`` the experiment runs the model at ``tau`` and at
+    ``1 - tau`` on independently seeded grids and reports both mean region
+    sizes side by side together with their ratio, which should hover around 1.
+    """
+    if taus_below_half is None:
+        taus_below_half = [0.40, 0.44, 0.47]
+    side = grid_side_for_horizon(horizon)
+    table = ResultTable()
+    for tau in taus_below_half:
+        paired_sizes = {}
+        for label, value in (("below", tau), ("above", 1.0 - tau)):
+            base = ModelConfig.square(side=side, horizon=horizon, tau=value)
+            sweep = SweepSpec(
+                name=f"symmetry[{label}]",
+                base_config=base,
+                taus=[value],
+                n_replicates=n_replicates,
+                seed=seed,
+            )
+            rows = run_sweep(sweep)
+            paired_sizes[label] = float(
+                np.mean(rows.numeric_column("final_mean_monochromatic_size"))
+            )
+        ratio = (
+            paired_sizes["above"] / paired_sizes["below"]
+            if paired_sizes["below"] > 0
+            else float("inf")
+        )
+        table.add_row(
+            tau=tau,
+            mirrored_tau=1.0 - tau,
+            mean_size_below=paired_sizes["below"],
+            mean_size_above=paired_sizes["above"],
+            ratio_above_over_below=ratio,
+        )
+    return table

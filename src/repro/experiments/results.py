@@ -1,0 +1,126 @@
+"""Result tables.
+
+Every experiment produces a :class:`ResultTable` — an ordered list of plain
+dict rows — which can be grouped, aggregated, exported to CSV and rendered as
+a markdown table.  This deliberately avoids any dataframe dependency while
+covering what the benchmark harness needs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.utils.stats import summarize
+from repro.viz.series import render_markdown_table, write_csv
+
+Row = dict[str, object]
+
+
+class ResultTable:
+    """An append-only table of dict rows with light aggregation support."""
+
+    def __init__(self, rows: Optional[Iterable[Mapping[str, object]]] = None) -> None:
+        self._rows: list[Row] = [dict(row) for row in rows] if rows else []
+
+    # ---------------------------------------------------------------- basics
+
+    def add_row(self, **values: object) -> None:
+        """Append a row given as keyword arguments."""
+        self._rows.append(dict(values))
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self._rows.append(dict(row))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    @property
+    def rows(self) -> list[Row]:
+        """The rows as a list of dicts (copy)."""
+        return [dict(row) for row in self._rows]
+
+    def columns(self) -> list[str]:
+        """Union of column names, in first-appearance order."""
+        columns: list[str] = []
+        for row in self._rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def column(self, name: str) -> list[object]:
+        """Values of one column (missing entries are skipped)."""
+        return [row[name] for row in self._rows if name in row]
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Values of one column as a float array."""
+        values = self.column(name)
+        if not values:
+            raise ExperimentError(f"column {name!r} is empty or missing")
+        return np.asarray(values, dtype=float)
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "ResultTable":
+        """New table containing only the rows satisfying ``predicate``."""
+        return ResultTable(row for row in self._rows if predicate(row))
+
+    # ----------------------------------------------------------- aggregation
+
+    def group_summary(
+        self, group_keys: Sequence[str], value_keys: Sequence[str]
+    ) -> "ResultTable":
+        """Mean / std / CI of ``value_keys`` within each group of ``group_keys``.
+
+        The output has one row per group with columns
+        ``<value>_mean``, ``<value>_std``, ``<value>_ci_low``,
+        ``<value>_ci_high`` and ``n`` alongside the group keys.
+        """
+        if not self._rows:
+            raise ExperimentError("cannot aggregate an empty table")
+        groups: dict[tuple, list[Row]] = {}
+        order: list[tuple] = []
+        for row in self._rows:
+            key = tuple(row.get(k) for k in group_keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        summary = ResultTable()
+        for key in order:
+            members = groups[key]
+            out: Row = {k: v for k, v in zip(group_keys, key)}
+            out["n"] = len(members)
+            for value_key in value_keys:
+                values = [
+                    float(row[value_key]) for row in members if value_key in row
+                ]
+                if not values:
+                    continue
+                stats = summarize(values)
+                out[f"{value_key}_mean"] = stats.mean
+                out[f"{value_key}_std"] = stats.std
+                out[f"{value_key}_ci_low"] = stats.ci_low
+                out[f"{value_key}_ci_high"] = stats.ci_high
+            summary._rows.append(out)
+        return summary
+
+    # ----------------------------------------------------------------- output
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the table to ``path`` as CSV."""
+        return write_csv(self._rows, path)
+
+    def to_markdown(self, float_format: str = ".4g") -> str:
+        """Render the table as a markdown string."""
+        return render_markdown_table(self._rows, float_format=float_format)

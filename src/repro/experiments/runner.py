@@ -1,0 +1,100 @@
+"""Replicate and sweep execution.
+
+The runner turns :class:`~repro.experiments.spec.ExperimentSpec` /
+:class:`~repro.experiments.spec.SweepSpec` objects into
+:class:`~repro.experiments.results.ResultTable` rows: one row per replicate
+with the full set of segregation metrics for the initial and final
+configurations, plus run metadata (flips, termination, wall-clock time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.segregation import segregation_metrics
+from repro.core.simulation import Simulation
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+from repro.rng import replicate_seeds
+from repro.utils.timer import Timer
+
+
+def run_replicate(
+    spec: ExperimentSpec, replicate_index: int, replicate_seed: int
+) -> dict[str, object]:
+    """Run one replicate of ``spec`` and return its result row."""
+    config = spec.config
+    max_region_radius = spec.max_region_radius
+    if max_region_radius is None:
+        max_region_radius = min(4 * config.horizon, (min(config.shape) - 1) // 2)
+    simulation = Simulation(config, seed=replicate_seed)
+    with Timer() as timer:
+        result = simulation.run(max_flips=spec.max_flips)
+    initial_metrics = segregation_metrics(
+        result.initial_spins, config, max_region_radius=max_region_radius
+    )
+    final_metrics = segregation_metrics(
+        result.final_spins, config, max_region_radius=max_region_radius
+    )
+    row: dict[str, object] = {
+        "experiment": spec.name,
+        "replicate": replicate_index,
+        "seed": replicate_seed,
+        "n_rows": config.n_rows,
+        "n_cols": config.n_cols,
+        "horizon": config.horizon,
+        "neighborhood_agents": config.neighborhood_agents,
+        "tau": config.tau,
+        "effective_tau": config.effective_tau,
+        "density": config.density,
+        "terminated": result.terminated,
+        "n_flips": result.n_flips,
+        "final_time": result.final_time,
+        "wall_clock_seconds": timer.elapsed,
+        "flipped_fraction": result.flipped_fraction,
+    }
+    for key, value in initial_metrics.as_dict().items():
+        row[f"initial_{key}"] = value
+    for key, value in final_metrics.as_dict().items():
+        row[f"final_{key}"] = value
+    return row
+
+
+def run_experiment(spec: ExperimentSpec) -> ResultTable:
+    """Run all replicates of one experiment cell."""
+    table = ResultTable()
+    seeds = replicate_seeds(spec.seed, spec.n_replicates)
+    for index, seed in enumerate(seeds):
+        table.add_row(**run_replicate(spec, index, seed))
+    return table
+
+
+def run_sweep(sweep: SweepSpec, progress: Optional[callable] = None) -> ResultTable:
+    """Run every cell of a sweep and concatenate the replicate rows.
+
+    ``progress`` (if given) is called with the cell spec after each cell
+    completes — benchmarks use it to emit a line per cell.
+    """
+    table = ResultTable()
+    for cell in sweep.cells():
+        cell_table = run_experiment(cell)
+        table.extend(cell_table.rows)
+        if progress is not None:
+            progress(cell)
+    return table
+
+
+def aggregate_sweep(
+    table: ResultTable,
+    group_keys: tuple[str, ...] = ("tau", "horizon", "density"),
+    value_keys: tuple[str, ...] = (
+        "final_mean_monochromatic_size",
+        "final_mean_almost_monochromatic_size",
+        "final_local_homogeneity",
+        "final_unhappy_fraction",
+        "final_largest_cluster_fraction",
+        "n_flips",
+    ),
+) -> ResultTable:
+    """Group replicate rows by parameter cell and summarise the key metrics."""
+    return table.group_summary(list(group_keys), list(value_keys))

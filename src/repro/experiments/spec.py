@@ -1,0 +1,94 @@
+"""Experiment specifications.
+
+An :class:`ExperimentSpec` names one cell of an experiment — a model
+configuration, a replicate count and a master seed — and a :class:`SweepSpec`
+expands a base configuration along the axes the paper sweeps (intolerance,
+horizon, density).  Keeping these as plain frozen dataclasses makes sweeps
+serialisable and the benchmark parameters explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.core.config import ModelConfig
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A single experiment cell: one configuration, several replicates."""
+
+    name: str
+    config: ModelConfig
+    n_replicates: int = 3
+    seed: int = 0
+    max_flips: Optional[int] = None
+    #: Cap on the region-scan radius used by the metrics (None = grid limit).
+    max_region_radius: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("experiment name must be non-empty")
+        if self.n_replicates <= 0:
+            raise ExperimentError(
+                f"n_replicates must be positive, got {self.n_replicates}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A sweep of :class:`ExperimentSpec` cells along tau / horizon / density."""
+
+    name: str
+    base_config: ModelConfig
+    taus: Sequence[float] = field(default_factory=tuple)
+    horizons: Sequence[int] = field(default_factory=tuple)
+    densities: Sequence[float] = field(default_factory=tuple)
+    n_replicates: int = 3
+    seed: int = 0
+    max_flips: Optional[int] = None
+    max_region_radius: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("sweep name must be non-empty")
+        if not (self.taus or self.horizons or self.densities):
+            raise ExperimentError("a sweep must vary at least one parameter")
+
+    def cells(self) -> Iterator[ExperimentSpec]:
+        """Yield one :class:`ExperimentSpec` per parameter combination.
+
+        Axes that are left empty keep the base configuration's value.  The
+        per-cell seed is derived deterministically from the sweep seed and the
+        cell index so that cells are independent yet reproducible.
+        """
+        taus = list(self.taus) or [self.base_config.tau]
+        horizons = list(self.horizons) or [self.base_config.horizon]
+        densities = list(self.densities) or [self.base_config.density]
+        index = 0
+        for horizon in horizons:
+            for tau in taus:
+                for density in densities:
+                    config = (
+                        self.base_config.with_horizon(horizon)
+                        .with_tau(tau)
+                        .with_density(density)
+                    )
+                    yield ExperimentSpec(
+                        name=f"{self.name}[w={horizon},tau={tau:.4f},p={density:.3f}]",
+                        config=config,
+                        n_replicates=self.n_replicates,
+                        seed=self.seed + 7919 * index,
+                        max_flips=self.max_flips,
+                        max_region_radius=self.max_region_radius,
+                    )
+                    index += 1
+
+    def n_cells(self) -> int:
+        """Number of cells the sweep expands to."""
+        taus = len(self.taus) or 1
+        horizons = len(self.horizons) or 1
+        densities = len(self.densities) or 1
+        return taus * horizons * densities

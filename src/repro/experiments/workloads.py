@@ -1,0 +1,106 @@
+"""Workload construction for the benchmark suite.
+
+The paper's experiments are parameterised by the intolerance ``tau``, the
+horizon ``w`` and the initial density ``p``.  These helpers pick sensible
+finite-size companions for those parameters — in particular a grid side large
+enough to hold several independent segregated regions for a given horizon —
+and honour the ``REPRO_FULL_SCALE`` environment variable that switches the
+Figure 1 benchmark to the paper's original 1000x1000 grid.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.core.config import ModelConfig
+from repro.errors import ExperimentError
+from repro.theory.thresholds import tau1, tau2
+
+
+def full_scale_requested() -> bool:
+    """Whether ``REPRO_FULL_SCALE=1`` is set in the environment."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+def grid_side_for_horizon(horizon: int, multiples: int = 12, minimum: int = 24) -> int:
+    """A grid side proportional to the horizon.
+
+    ``multiples`` windows of side ``2w+1`` fit along each axis, which leaves
+    room for several independently seeded segregated regions without making
+    small-horizon sweeps needlessly slow.
+    """
+    if horizon <= 0:
+        raise ExperimentError(f"horizon must be positive, got {horizon}")
+    return max(minimum, multiples * (2 * horizon + 1))
+
+
+def sweep_config(
+    horizon: int,
+    tau: float,
+    density: float = 0.5,
+    side: Optional[int] = None,
+    multiples: int = 12,
+) -> ModelConfig:
+    """A square configuration sized for sweep experiments."""
+    if side is None:
+        side = grid_side_for_horizon(horizon, multiples=multiples)
+    return ModelConfig.square(side=side, horizon=horizon, tau=tau, density=density)
+
+
+def figure1_config() -> ModelConfig:
+    """The Figure 1 configuration (scaled down unless full scale is requested).
+
+    The paper uses a 1000x1000 grid with ``w = 10`` (``N = 441``) and
+    ``tau = 0.42``.  The scaled default keeps ``tau`` and the ratio of grid
+    side to horizon (40 neighbourhood widths per side) but shrinks both to
+    ``side = 160``, ``w = 4`` so the run finishes in a couple of seconds; the
+    horizon must shrink along with the grid because at ``N = 441`` the initial
+    unhappy density (~3e-4) is too low for any cascade to ignite on a small
+    grid.  ``REPRO_FULL_SCALE=1`` switches to the paper's exact parameters.
+    """
+    if full_scale_requested():
+        return ModelConfig.square(side=1000, horizon=10, tau=0.42)
+    return ModelConfig.square(side=160, horizon=4, tau=0.42)
+
+
+def default_tau_grid(n_points: int = 11) -> list[float]:
+    """An intolerance grid spanning all Figure 2 regimes on both sides of 1/2."""
+    if n_points < 5:
+        raise ExperimentError(f"n_points must be at least 5, got {n_points}")
+    t1 = tau1()
+    t2 = tau2()
+    anchors = [0.30, t2 + 0.01, (t2 + t1) / 2.0, t1 + 0.01, 0.46, 0.48]
+    mirrored = [1.0 - tau for tau in reversed(anchors)]
+    taus = anchors + mirrored
+    if n_points < len(taus):
+        step = len(taus) / n_points
+        taus = [taus[int(i * step)] for i in range(n_points)]
+    return [round(tau, 4) for tau in taus]
+
+
+def theorem1_taus() -> list[float]:
+    """Intolerances inside the Theorem 1 (monochromatic) interval, below 1/2."""
+    return [0.44, 0.46, 0.48]
+
+
+def theorem2_taus() -> list[float]:
+    """Intolerances inside the Theorem 2 (almost monochromatic) interval, below 1/2."""
+    return [0.36, 0.40, 0.43]
+
+
+def scaling_horizons(max_horizon: int = 4) -> list[int]:
+    """Horizon ladder for the exponential-in-N scaling experiments."""
+    if max_horizon < 2:
+        raise ExperimentError(f"max_horizon must be at least 2, got {max_horizon}")
+    return list(range(1, max_horizon + 1))
+
+
+def density_ladder(values: Optional[Sequence[float]] = None) -> list[float]:
+    """Initial densities for the complete-segregation contrast experiment (E13)."""
+    if values is None:
+        values = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+    ladder = [float(v) for v in values]
+    if any(not 0.0 < v < 1.0 for v in ladder):
+        raise ExperimentError("densities must lie strictly between 0 and 1")
+    return ladder

@@ -1,0 +1,62 @@
+"""Percolation substrates used by the paper's proofs and benchmarks."""
+
+from repro.percolation.chemical import (
+    StretchEstimate,
+    chemical_distance,
+    estimate_chemical_stretch,
+    l1_distance,
+)
+from repro.percolation.cluster import (
+    RadiusTailEstimate,
+    cluster_containing,
+    cluster_radius,
+    cluster_sizes,
+    estimate_radius_tail,
+    label_clusters,
+    largest_cluster_size,
+)
+from repro.percolation.first_passage import (
+    FirstPassagePercolation,
+    PassageTimeStudy,
+    exponential_passage_times,
+    study_passage_times,
+    time_constant_curve,
+    uniform_passage_times,
+)
+from repro.percolation.renormalization import BlockGrid, divisible_block_side
+from repro.percolation.site import (
+    SQUARE_SITE_CRITICAL_PROBABILITY,
+    SitePercolation,
+    ThetaEstimate,
+    estimate_theta,
+    is_supercritical,
+)
+from repro.percolation.union_find import UnionFind
+
+__all__ = [
+    "BlockGrid",
+    "FirstPassagePercolation",
+    "PassageTimeStudy",
+    "RadiusTailEstimate",
+    "SQUARE_SITE_CRITICAL_PROBABILITY",
+    "SitePercolation",
+    "StretchEstimate",
+    "ThetaEstimate",
+    "UnionFind",
+    "chemical_distance",
+    "cluster_containing",
+    "cluster_radius",
+    "cluster_sizes",
+    "divisible_block_side",
+    "estimate_chemical_stretch",
+    "estimate_radius_tail",
+    "estimate_theta",
+    "exponential_passage_times",
+    "is_supercritical",
+    "l1_distance",
+    "label_clusters",
+    "largest_cluster_size",
+    "study_passage_times",
+    "time_constant_curve",
+    "uniform_passage_times",
+]

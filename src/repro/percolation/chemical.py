@@ -1,0 +1,149 @@
+"""Chemical distance on open sites of a percolation configuration.
+
+Theorem 4 of the paper (Garet & Marchand) says that in super-critical site
+percolation, the chemical distance ``D(0, x)`` — the length of the shortest
+path of open sites joining ``0`` and ``x`` — is with high probability at most
+``(1 + alpha) ||x||_1``.  The r-chemical paths of Section IV.B inherit their
+"length proportional to r" property from this theorem.  This module computes
+chemical distances by breadth-first search and provides a Monte-Carlo
+estimator of the stretch factor ``D(0, x) / ||x||_1`` used by the E12
+benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PercolationError
+from repro.rng import SeedLike, make_rng
+
+#: BFS neighbourhood of the square lattice (4-connectivity).
+_NEIGHBOR_OFFSETS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+def chemical_distance(
+    open_mask: np.ndarray,
+    source: tuple[int, int],
+    target: tuple[int, int],
+    periodic: bool = False,
+) -> float:
+    """Number of steps of the shortest open path from ``source`` to ``target``.
+
+    Returns ``inf`` when the two sites are not connected (or either is
+    closed).  Distances count lattice steps, so adjacent sites are at distance
+    1 and a site is at distance 0 from itself, matching ``D(0, x)`` up to the
+    inclusive/exclusive vertex-counting convention (the paper counts vertices,
+    which differs by exactly one; stretch statistics are unaffected
+    asymptotically and we keep the step-counting convention throughout).
+    """
+    mask = np.asarray(open_mask, dtype=bool)
+    if mask.ndim != 2:
+        raise PercolationError(f"open_mask must be 2-D, got shape {mask.shape}")
+    n_rows, n_cols = mask.shape
+    source = (source[0] % n_rows, source[1] % n_cols)
+    target = (target[0] % n_rows, target[1] % n_cols)
+    if not mask[source] or not mask[target]:
+        return float("inf")
+    if source == target:
+        return 0.0
+    distances = np.full(mask.shape, -1, dtype=np.int64)
+    distances[source] = 0
+    queue: deque[tuple[int, int]] = deque([source])
+    while queue:
+        row, col = queue.popleft()
+        base = distances[row, col]
+        for dr, dc in _NEIGHBOR_OFFSETS:
+            nr, nc = row + dr, col + dc
+            if periodic:
+                nr %= n_rows
+                nc %= n_cols
+            elif not (0 <= nr < n_rows and 0 <= nc < n_cols):
+                continue
+            if not mask[nr, nc] or distances[nr, nc] >= 0:
+                continue
+            distances[nr, nc] = base + 1
+            if (nr, nc) == target:
+                return float(base + 1)
+            queue.append((nr, nc))
+    return float("inf")
+
+
+def l1_distance(
+    a: tuple[int, int], b: tuple[int, int], shape: tuple[int, int], periodic: bool = False
+) -> int:
+    """l1 distance between two sites, optionally on the torus."""
+    dr = abs(a[0] - b[0])
+    dc = abs(a[1] - b[1])
+    if periodic:
+        dr = min(dr, shape[0] - dr)
+        dc = min(dc, shape[1] - dc)
+    return int(dr + dc)
+
+
+@dataclass(frozen=True)
+class StretchEstimate:
+    """Monte-Carlo estimate of the chemical-distance stretch at density ``p``."""
+
+    p_open: float
+    separation: int
+    n_trials: int
+    n_connected: int
+    stretches: np.ndarray
+
+    @property
+    def connection_rate(self) -> float:
+        """Fraction of trials in which the two reference sites were connected."""
+        return self.n_connected / self.n_trials if self.n_trials else 0.0
+
+    def exceed_probability(self, alpha: float) -> float:
+        """Empirical ``P(D(0, x) >= (1 + alpha) ||x||_1 | connected)``.
+
+        Theorem 4 states this probability decays exponentially in
+        ``||x||_1`` for ``p`` close enough to 1.
+        """
+        if self.stretches.size == 0:
+            return 0.0
+        return float(np.mean(self.stretches >= 1.0 + alpha))
+
+
+def estimate_chemical_stretch(
+    p_open: float,
+    separation: int,
+    n_trials: int,
+    margin: int = 8,
+    seed: SeedLike = None,
+) -> StretchEstimate:
+    """Estimate the stretch ``D(0, x) / ||x||_1`` between two sites ``separation`` apart.
+
+    Each trial draws a fresh Bernoulli configuration on a box large enough to
+    leave ``margin`` sites of slack around the two reference sites (both
+    forced open, mirroring the conditioning ``0 <-> x`` of Theorem 4).
+    """
+    if separation <= 0:
+        raise PercolationError(f"separation must be positive, got {separation}")
+    if n_trials <= 0:
+        raise PercolationError(f"n_trials must be positive, got {n_trials}")
+    rng = make_rng(seed)
+    side = separation + 2 * margin + 1
+    source = (side // 2, margin)
+    target = (side // 2, margin + separation)
+    stretches = []
+    connected = 0
+    for _ in range(n_trials):
+        mask = rng.random((side, side)) < p_open
+        mask[source] = True
+        mask[target] = True
+        distance = chemical_distance(mask, source, target)
+        if np.isfinite(distance):
+            connected += 1
+            stretches.append(distance / separation)
+    return StretchEstimate(
+        p_open=p_open,
+        separation=separation,
+        n_trials=n_trials,
+        n_connected=connected,
+        stretches=np.asarray(stretches, dtype=float),
+    )

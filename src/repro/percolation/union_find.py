@@ -1,0 +1,73 @@
+"""Disjoint-set (union-find) structure used for cluster labelling.
+
+A plain array-based implementation with union by size and path compression.
+It is used by the site-percolation substrate and by the segregation cluster
+analysis, both of which label connected components of boolean masks on grids
+that may or may not wrap around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0 .. n_elements - 1``."""
+
+    def __init__(self, n_elements: int) -> None:
+        if n_elements <= 0:
+            raise ValueError(f"n_elements must be positive, got {n_elements}")
+        self._parent = np.arange(n_elements, dtype=np.int64)
+        self._size = np.ones(n_elements, dtype=np.int64)
+        self._n_components = n_elements
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements managed by the structure."""
+        return self._parent.size
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint components."""
+        return self._n_components
+
+    def find(self, x: int) -> int:
+        """Representative of the component containing ``x`` (path compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; returns True if they were distinct."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, x: int) -> int:
+        """Size of the component containing ``x``."""
+        return int(self._size[self.find(x)])
+
+    def labels(self) -> np.ndarray:
+        """Array mapping every element to its component representative."""
+        return np.array([self.find(i) for i in range(self.n_elements)], dtype=np.int64)
+
+    def component_sizes(self) -> dict[int, int]:
+        """Mapping from representative to component size."""
+        labels = self.labels()
+        roots, counts = np.unique(labels, return_counts=True)
+        return {int(root): int(count) for root, count in zip(roots, counts)}

@@ -1,0 +1,79 @@
+"""Closed-form results of the paper: thresholds, exponents and bounds."""
+
+from repro.theory.bounds import (
+    exact_radical_region_probability,
+    exact_unhappy_probability,
+    firewall_radius_scale,
+    radical_in_neighborhood_exponent,
+    radical_region_probability_exponent,
+    unhappy_probability_bounds,
+    unhappy_probability_exponent,
+)
+from repro.theory.entropy import (
+    binary_entropy,
+    binary_entropy_complement,
+    binomial_tail_exponent,
+)
+from repro.theory.exponents import (
+    ExponentCurve,
+    expected_region_size_bounds,
+    figure3_curves,
+    is_monotone_on_half_interval,
+    lower_exponent,
+    upper_exponent,
+)
+from repro.theory.intervals import (
+    RegimeInterval,
+    classify_regime,
+    figure2_intervals,
+    segregation_expected,
+    static_expected,
+)
+from repro.theory.thresholds import (
+    interval_widths,
+    mirrored_tau,
+    tau1,
+    tau1_equation,
+    tau2,
+    tau2_equation,
+    tau_bar,
+    tau_hat,
+    tau_prime,
+    trigger_epsilon,
+    trigger_epsilon_curve,
+)
+
+__all__ = [
+    "ExponentCurve",
+    "RegimeInterval",
+    "binary_entropy",
+    "binary_entropy_complement",
+    "binomial_tail_exponent",
+    "classify_regime",
+    "exact_radical_region_probability",
+    "exact_unhappy_probability",
+    "expected_region_size_bounds",
+    "figure2_intervals",
+    "figure3_curves",
+    "firewall_radius_scale",
+    "interval_widths",
+    "is_monotone_on_half_interval",
+    "lower_exponent",
+    "mirrored_tau",
+    "radical_in_neighborhood_exponent",
+    "radical_region_probability_exponent",
+    "segregation_expected",
+    "static_expected",
+    "tau1",
+    "tau1_equation",
+    "tau2",
+    "tau2_equation",
+    "tau_bar",
+    "tau_hat",
+    "tau_prime",
+    "trigger_epsilon",
+    "trigger_epsilon_curve",
+    "unhappy_probability_bounds",
+    "unhappy_probability_exponent",
+    "upper_exponent",
+]

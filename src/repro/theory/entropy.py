@@ -1,0 +1,51 @@
+"""Binary entropy and related information-theoretic helpers.
+
+The exponents of the paper's Theorems 1 and 2 are all expressed through the
+binary entropy function ``H`` (Eq. 2) evaluated at (rescaled versions of) the
+intolerance, so this small module is the foundation of the whole
+:mod:`repro.theory` package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def binary_entropy(x: float | np.ndarray) -> float | np.ndarray:
+    """The binary entropy ``H(x) = -x log2 x - (1-x) log2 (1-x)``.
+
+    Accepts scalars or arrays; ``H(0) = H(1) = 0`` by continuity.  Values
+    outside ``[0, 1]`` raise :class:`~repro.errors.ConfigurationError`.
+    """
+    arr = np.asarray(x, dtype=float)
+    if np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise ConfigurationError(f"binary entropy argument must lie in [0, 1], got {x}")
+    result = np.zeros_like(arr)
+    interior = (arr > 0.0) & (arr < 1.0)
+    values = arr[interior]
+    result[interior] = -values * np.log2(values) - (1.0 - values) * np.log2(1.0 - values)
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(result)
+    return result
+
+
+def binary_entropy_complement(x: float | np.ndarray) -> float | np.ndarray:
+    """``1 - H(x)``, the rate that appears in every exponent of the paper."""
+    result = 1.0 - np.asarray(binary_entropy(x), dtype=float)
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(result)
+    return result
+
+
+def binomial_tail_exponent(fraction: float) -> float:
+    """Large-deviation exponent of ``P(Binomial(N, 1/2) <= fraction * N)``.
+
+    For ``fraction < 1/2`` the probability decays like
+    ``2^{-[1 - H(fraction)] N}`` (up to polynomial factors); this is exactly
+    the quantity ``1 - H(tau')`` of Lemma 19.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must lie in [0, 1], got {fraction}")
+    return float(binary_entropy_complement(fraction))

@@ -1,0 +1,150 @@
+"""Exponent multipliers ``a(tau)`` and ``b(tau)`` of Theorems 1 and 2.
+
+Theorem 1 (and Theorem 2 for the almost-monochromatic region) states
+
+``2^{a(tau) N - o(N)} <= E[M] <= 2^{b(tau) N + o(N)}``
+
+with, from the proofs,
+
+* ``a(tau) = [1 - (2 eps' + eps'^2)] [1 - H(tau')]``  (Eq. 12 / Eq. 21)
+* ``b(tau) = (3/2) (1 + eps')^2 [1 - H(tau')]``
+
+where ``eps' > f(tau)`` is the radical-region expansion factor (Eq. 10) and
+``tau' = (tau N - 2)/(N - 1)`` (asymptotically ``tau`` itself).  Figure 3 of
+the paper plots these multipliers at the infimum ``eps' = f(tau)``; this
+module reproduces those curves and the monotonicity properties stated in the
+theorems (``a`` and ``b`` decrease with ``tau`` below 1/2 and, by symmetry,
+increase above 1/2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.theory.entropy import binary_entropy_complement
+from repro.theory.thresholds import mirrored_tau, tau_prime, trigger_epsilon
+
+
+def _effective_tau(tau: float, neighborhood_agents: Optional[int]) -> float:
+    """``tau'`` at finite ``N``, or the asymptotic limit ``tau`` itself."""
+    tau = mirrored_tau(tau)
+    if neighborhood_agents is None:
+        return tau
+    return tau_prime(tau, neighborhood_agents)
+
+
+def _epsilon_prime(tau: float, epsilon_prime: Optional[float]) -> float:
+    """Validate or derive the expansion factor ``eps'``."""
+    tau = mirrored_tau(tau)
+    infimum = trigger_epsilon(tau)
+    if epsilon_prime is None:
+        return infimum
+    if epsilon_prime < infimum:
+        raise ConfigurationError(
+            f"epsilon_prime={epsilon_prime} is below the trigger infimum "
+            f"f(tau)={infimum:.4f} for tau={tau}"
+        )
+    return float(epsilon_prime)
+
+
+def lower_exponent(
+    tau: float,
+    neighborhood_agents: Optional[int] = None,
+    epsilon_prime: Optional[float] = None,
+) -> float:
+    """``a(tau)``: the lower-bound exponent multiplier of Theorems 1 and 2.
+
+    ``neighborhood_agents`` switches between the asymptotic curve
+    (``tau' = tau``) and the finite-``N`` value; ``epsilon_prime`` defaults to
+    the infimum ``f(tau)`` used for Figure 3.
+    """
+    if not 0.0 < tau < 1.0:
+        raise ConfigurationError(f"tau must lie in (0, 1), got {tau}")
+    eps = _epsilon_prime(tau, epsilon_prime)
+    rate = binary_entropy_complement(_effective_tau(tau, neighborhood_agents))
+    return float((1.0 - (2.0 * eps + eps * eps)) * rate)
+
+
+def upper_exponent(
+    tau: float,
+    neighborhood_agents: Optional[int] = None,
+    epsilon_prime: Optional[float] = None,
+) -> float:
+    """``b(tau)``: the upper-bound exponent multiplier of Theorems 1 and 2."""
+    if not 0.0 < tau < 1.0:
+        raise ConfigurationError(f"tau must lie in (0, 1), got {tau}")
+    eps = _epsilon_prime(tau, epsilon_prime)
+    rate = binary_entropy_complement(_effective_tau(tau, neighborhood_agents))
+    return float(1.5 * (1.0 + eps) ** 2 * rate)
+
+
+def expected_region_size_bounds(
+    tau: float, neighborhood_agents: int, epsilon_prime: Optional[float] = None
+) -> tuple[float, float]:
+    """Numeric ``(lower, upper)`` bounds ``2^{a N}`` and ``2^{b N}`` on ``E[M]``.
+
+    These ignore the ``o(N)`` corrections, so at small ``N`` they should be
+    read as orders of magnitude rather than sharp bounds; the scaling
+    benchmarks compare measured growth *rates* against ``a`` and ``b`` rather
+    than absolute sizes.
+    """
+    a = lower_exponent(tau, neighborhood_agents, epsilon_prime)
+    b = upper_exponent(tau, neighborhood_agents, epsilon_prime)
+    return (2.0 ** (a * neighborhood_agents), 2.0 ** (b * neighborhood_agents))
+
+
+@dataclass(frozen=True)
+class ExponentCurve:
+    """A sampled Figure-3 style curve of ``a(tau)`` and ``b(tau)``."""
+
+    taus: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Rows suitable for a result table / CSV export."""
+        return [
+            {"tau": float(t), "a": float(a), "b": float(b)}
+            for t, a, b in zip(self.taus, self.lower, self.upper)
+        ]
+
+
+def figure3_curves(
+    taus: Optional[np.ndarray] = None, neighborhood_agents: Optional[int] = None
+) -> ExponentCurve:
+    """Reproduce the curves of Figure 3 over the theorem range.
+
+    The default grid spans ``(tau2, 1 - tau2)`` excluding a small window
+    around ``1/2`` (where the exponents are largest and the paper's point
+    ``tau = 1/2`` itself is excluded).
+    """
+    from repro.theory.thresholds import tau2  # local import avoids a cycle at import time
+
+    if taus is None:
+        low = tau2() + 1e-3
+        taus = np.concatenate(
+            [np.linspace(low, 0.499, 60), np.linspace(0.501, 1.0 - low, 60)]
+        )
+    taus = np.asarray(taus, dtype=float)
+    lower = np.array([lower_exponent(float(t), neighborhood_agents) for t in taus])
+    upper = np.array([upper_exponent(float(t), neighborhood_agents) for t in taus])
+    return ExponentCurve(taus=taus, lower=lower, upper=upper)
+
+
+def is_monotone_on_half_interval(values: np.ndarray, taus: np.ndarray) -> bool:
+    """Check the theorem's monotonicity: decreasing below 1/2, increasing above.
+
+    Used by the Figure 3 benchmark to assert the qualitative shape of the
+    reproduced curves.
+    """
+    values = np.asarray(values, dtype=float)
+    taus = np.asarray(taus, dtype=float)
+    below = values[taus < 0.5]
+    above = values[taus > 0.5]
+    below_ok = np.all(np.diff(below) <= 1e-12) if below.size > 1 else True
+    above_ok = np.all(np.diff(above) >= -1e-12) if above.size > 1 else True
+    return bool(below_ok and above_ok)

@@ -1,0 +1,100 @@
+"""Regime classification of the intolerance axis (Figure 2).
+
+The paper, together with the prior work it cites, partitions the intolerance
+interval ``[0, 1]`` (for ``p = 1/2`` on the two-dimensional torus) into:
+
+* ``tau < 1/4`` or ``tau > 3/4`` — the initial configuration is static w.h.p.
+  (Barmpalias et al. [26], the equal-intolerance special case).
+* ``tau in [1/4, tau2]`` or ``tau in [1 - tau2, 3/4]`` — behaviour unknown.
+* ``tau in (tau2, tau1]`` or ``tau in [1 - tau1, 1 - tau2)`` — expected
+  almost-monochromatic region exponential in ``N`` (Theorem 2, the black
+  region of Figure 2).
+* ``tau in (tau1, 1/2)`` or ``tau in (1/2, 1 - tau1)`` — expected
+  monochromatic region exponential in ``N`` (Theorem 1, the grey region).
+* ``tau = 1/2`` — open in two dimensions (polynomial in one dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.theory.thresholds import tau1, tau2
+from repro.types import Regime
+
+
+@dataclass(frozen=True)
+class RegimeInterval:
+    """A half-open or closed sub-interval of the intolerance axis."""
+
+    low: float
+    high: float
+    low_inclusive: bool
+    high_inclusive: bool
+    regime: Regime
+    source: str
+
+    def contains(self, tau: float) -> bool:
+        """Whether ``tau`` falls inside this interval."""
+        above = tau > self.low or (self.low_inclusive and tau == self.low)
+        below = tau < self.high or (self.high_inclusive and tau == self.high)
+        return above and below
+
+    def describe(self) -> str:
+        """Human-readable interval string, e.g. ``(0.433, 0.500)``."""
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        return f"{left}{self.low:.4f}, {self.high:.4f}{right} -> {self.regime.value}"
+
+
+def figure2_intervals() -> list[RegimeInterval]:
+    """The full partition of ``[0, 1]`` into known regimes (Figure 2)."""
+    t1 = tau1()
+    t2 = tau2()
+    return [
+        RegimeInterval(0.0, 0.25, True, False, Regime.STATIC, "Barmpalias et al. [26]"),
+        RegimeInterval(0.25, t2, True, True, Regime.UNKNOWN, "open"),
+        RegimeInterval(
+            t2, t1, False, True, Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC, "Theorem 2"
+        ),
+        RegimeInterval(
+            t1, 0.5, False, False, Regime.EXPONENTIAL_MONOCHROMATIC, "Theorem 1"
+        ),
+        RegimeInterval(0.5, 0.5, True, True, Regime.BALANCED, "open (tau = 1/2)"),
+        RegimeInterval(
+            0.5, 1.0 - t1, False, False, Regime.EXPONENTIAL_MONOCHROMATIC, "Theorem 1"
+        ),
+        RegimeInterval(
+            1.0 - t1,
+            1.0 - t2,
+            True,
+            False,
+            Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC,
+            "Theorem 2",
+        ),
+        RegimeInterval(1.0 - t2, 0.75, True, True, Regime.UNKNOWN, "open"),
+        RegimeInterval(0.75, 1.0, False, True, Regime.STATIC, "Barmpalias et al. [26]"),
+    ]
+
+
+def classify_regime(tau: float) -> Regime:
+    """Return the predicted regime for intolerance ``tau`` (Figure 2)."""
+    if not 0.0 <= tau <= 1.0:
+        raise ConfigurationError(f"tau must lie in [0, 1], got {tau}")
+    for interval in figure2_intervals():
+        if interval.contains(tau):
+            return interval.regime
+    raise ConfigurationError(f"no regime interval covers tau={tau}")  # pragma: no cover
+
+
+def segregation_expected(tau: float) -> bool:
+    """True when the paper predicts exponentially large (almost) segregated regions."""
+    return classify_regime(tau) in (
+        Regime.EXPONENTIAL_MONOCHROMATIC,
+        Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC,
+    )
+
+
+def static_expected(tau: float) -> bool:
+    """True when the initial configuration is expected to remain static w.h.p."""
+    return classify_regime(tau) is Regime.STATIC

@@ -1,0 +1,106 @@
+"""Small shared value types used across the ``repro`` package.
+
+The library manipulates two-dimensional integer spin arrays where each entry
+is either ``+1`` or ``-1``.  The :class:`AgentType` enum gives those two
+values a name, and the remaining enums identify dynamics flavours and
+scheduler kinds without resorting to stringly-typed parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AgentType(enum.IntEnum):
+    """The two agent types of the Schelling / zero-temperature Ising model."""
+
+    PLUS = 1
+    MINUS = -1
+
+    @property
+    def opposite(self) -> "AgentType":
+        """Return the other agent type."""
+        return AgentType.MINUS if self is AgentType.PLUS else AgentType.PLUS
+
+
+class DynamicsKind(enum.Enum):
+    """Which evolution rule a simulation uses."""
+
+    #: Open-system single-agent flips (the paper's model).
+    GLAUBER = "glauber"
+    #: Closed-system pair swaps (the classical Schelling / Brandt et al. model).
+    KAWASAKI = "kawasaki"
+
+
+class SchedulerKind(enum.Enum):
+    """How agent updates are ordered in time."""
+
+    #: Independent rate-1 Poisson clocks (exponential waiting times).
+    CONTINUOUS = "continuous"
+    #: One uniformly random unhappy agent per discrete step (the equivalent
+    #: embedded chain described in Section II.A of the paper).
+    DISCRETE = "discrete"
+
+
+class FlipRule(enum.Enum):
+    """When an unhappy agent that has been selected actually changes type."""
+
+    #: Flip only if the flip makes the agent happy (the paper's rule).
+    ONLY_IF_HAPPY = "only_if_happy"
+    #: Flip whenever unhappy (a variant discussed in Section I.A).
+    ALWAYS = "always"
+
+
+class Regime(enum.Enum):
+    """Qualitative behaviour predicted for an intolerance value (Figure 2)."""
+
+    #: Initial configuration static w.h.p. (tau < 1/4 or tau > 3/4).
+    STATIC = "static"
+    #: Behaviour not covered by known results.
+    UNKNOWN = "unknown"
+    #: Expected almost monochromatic region exponential in N (Theorem 2).
+    EXPONENTIAL_ALMOST_MONOCHROMATIC = "exponential_almost_monochromatic"
+    #: Expected monochromatic region exponential in N (Theorem 1).
+    EXPONENTIAL_MONOCHROMATIC = "exponential_monochromatic"
+    #: The open boundary case tau = 1/2 (polynomial in 1D, open in 2D).
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A grid coordinate.
+
+    Coordinates follow numpy convention: ``row`` indexes the first axis and
+    ``col`` the second.  All arithmetic on the torus is performed modulo the
+    grid side by the functions that consume sites.
+    """
+
+    row: int
+    col: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(row, col)`` as a plain tuple."""
+        return (self.row, self.col)
+
+
+@dataclass(frozen=True)
+class FlipEvent:
+    """A single type flip performed by a dynamics engine."""
+
+    #: Simulation time at which the flip occurred (continuous time for the
+    #: Poisson-clock scheduler, step index for the discrete scheduler).
+    time: float
+    #: Location of the flipped agent.
+    site: Site
+    #: Type of the agent *after* the flip.
+    new_type: AgentType
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """A single pair swap performed by the Kawasaki dynamics engine."""
+
+    time: float
+    site_a: Site
+    site_b: Site

@@ -1,0 +1,35 @@
+"""Cross-cutting helpers: validation, statistics and timing utilities."""
+
+from repro.utils.indexset import IndexSampler
+from repro.utils.stats import (
+    SummaryStats,
+    bootstrap_confidence_interval,
+    growth_rate_fit,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    require_in_range,
+    require_odd,
+    require_positive,
+    require_positive_int,
+    require_probability,
+    require_spin_array,
+)
+
+__all__ = [
+    "IndexSampler",
+    "SummaryStats",
+    "Timer",
+    "bootstrap_confidence_interval",
+    "growth_rate_fit",
+    "mean_confidence_interval",
+    "require_in_range",
+    "require_odd",
+    "require_positive",
+    "require_positive_int",
+    "require_probability",
+    "require_spin_array",
+    "summarize",
+]

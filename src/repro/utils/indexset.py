@@ -1,0 +1,88 @@
+"""A dynamic set of integer indices supporting O(1) add/remove/sample.
+
+The Glauber dynamics engine must repeatedly pick a uniformly random element
+from the set of currently flippable (or unhappy) agents, and that set changes
+by only a handful of elements per flip.  Rebuilding ``np.flatnonzero`` of a
+boolean mask on every step would dominate the run time on large grids, so the
+engine keeps an :class:`IndexSampler` instead: a compact array of members plus
+a position table, which is the classic "randomised set" data structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IndexSampler:
+    """Set of integers in ``[0, capacity)`` with O(1) add, remove and sample."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        # _members[:size] holds the current elements in arbitrary order.
+        self._members = np.empty(self._capacity, dtype=np.int64)
+        # _positions[i] is the index of element i inside _members, or -1.
+        self._positions = np.full(self._capacity, -1, dtype=np.int64)
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum element value plus one."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, index: int) -> bool:
+        return 0 <= index < self._capacity and self._positions[index] >= 0
+
+    def add(self, index: int) -> None:
+        """Insert ``index``; inserting an existing element is a no-op."""
+        self._check(index)
+        if self._positions[index] >= 0:
+            return
+        self._members[self._size] = index
+        self._positions[index] = self._size
+        self._size += 1
+
+    def remove(self, index: int) -> None:
+        """Remove ``index``; removing a missing element is a no-op."""
+        self._check(index)
+        pos = self._positions[index]
+        if pos < 0:
+            return
+        last = self._members[self._size - 1]
+        self._members[pos] = last
+        self._positions[last] = pos
+        self._positions[index] = -1
+        self._size -= 1
+
+    def update_membership(self, index: int, member: bool) -> None:
+        """Add or remove ``index`` according to the boolean ``member``."""
+        if member:
+            self.add(index)
+        else:
+            self.remove(index)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Return a uniformly random element; raises ``IndexError`` if empty."""
+        if self._size == 0:
+            raise IndexError("cannot sample from an empty IndexSampler")
+        pos = int(rng.integers(0, self._size))
+        return int(self._members[pos])
+
+    def to_array(self) -> np.ndarray:
+        """Return the current members as a sorted array (copy)."""
+        return np.sort(self._members[: self._size].copy())
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._positions[self._members[: self._size]] = -1
+        self._size = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._capacity:
+            raise IndexError(
+                f"index {index} out of range for capacity {self._capacity}"
+            )

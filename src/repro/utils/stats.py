@@ -1,0 +1,139 @@
+"""Statistics helpers for experiment aggregation.
+
+The benchmark harness needs three things repeatedly: summary statistics with
+confidence intervals across replicates, bootstrap intervals for skewed
+quantities such as region sizes, and ordinary-least-squares growth-rate fits
+of ``log2(size)`` against the neighbourhood size ``N`` (the signature of the
+paper's exponential-in-``N`` results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread and a normal-approximation confidence interval."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dictionary (for result tables)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def summarize(values: Sequence[float], z: float = 1.96) -> SummaryStats:
+    """Summarise ``values`` with a ``z``-sigma normal confidence interval."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sequence")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half_width = z * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SummaryStats(
+        count=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float, float]:
+    """Return ``(mean, low, high)`` for ``values`` using a normal interval."""
+    stats = summarize(values, z=z)
+    return stats.mean, stats.ci_low, stats.ci_high
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = None,
+) -> tuple[float, float, float]:
+    """Return ``(mean, low, high)`` using a percentile bootstrap.
+
+    Region sizes are heavy-tailed (a few agents sit inside very large
+    monochromatic regions), so the benchmarks prefer bootstrap intervals over
+    normal approximations when sample sizes are small.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    rng = make_rng(seed)
+    means = np.empty(n_resamples, dtype=float)
+    for i in range(n_resamples):
+        resample = rng.choice(arr, size=arr.size, replace=True)
+        means[i] = resample.mean()
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(arr.mean()), float(low), float(high)
+
+
+@dataclass(frozen=True)
+class GrowthRateFit:
+    """Result of fitting ``log2(y) = rate * x + intercept``."""
+
+    rate: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    def predict_log2(self, x: float) -> float:
+        """Predicted ``log2(y)`` at ``x``."""
+        return self.rate * x + self.intercept
+
+
+def growth_rate_fit(xs: Sequence[float], ys: Sequence[float]) -> GrowthRateFit:
+    """Fit ``log2(ys)`` against ``xs`` with ordinary least squares.
+
+    This is the estimator used to compare the measured growth of
+    ``E[M]`` with the theoretical exponents ``a(tau)`` and ``b(tau)``: a
+    positive rate indicates exponential growth in the neighbourhood size.
+    """
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("xs and ys must have the same length")
+    if x.size < 2:
+        raise ValueError("need at least two points for a growth-rate fit")
+    if np.any(y <= 0):
+        raise ValueError("ys must be strictly positive to take log2")
+    log_y = np.log2(y)
+    slope, intercept = np.polyfit(x, log_y, deg=1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((log_y - predicted) ** 2))
+    ss_tot = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return GrowthRateFit(
+        rate=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        n_points=int(x.size),
+    )

@@ -1,0 +1,39 @@
+"""A tiny wall-clock timer used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    Example::
+
+        with Timer() as timer:
+            run_simulation()
+        print(timer.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds spent inside the ``with`` block (or since entry if inside)."""
+        if self._start is None:
+            raise RuntimeError("Timer was never started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed

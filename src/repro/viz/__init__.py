@@ -1,0 +1,32 @@
+"""Rendering helpers: ASCII grids, PPM images and tabular output."""
+
+from repro.viz.ascii_art import (
+    DEFAULT_GLYPHS,
+    downsample_majority,
+    render_ascii,
+    render_with_happiness,
+    side_by_side,
+)
+from repro.viz.ppm import (
+    FIGURE1_COLORS,
+    spins_to_rgb,
+    write_configuration_image,
+    write_pgm,
+    write_ppm,
+)
+from repro.viz.series import render_markdown_table, write_csv
+
+__all__ = [
+    "DEFAULT_GLYPHS",
+    "FIGURE1_COLORS",
+    "downsample_majority",
+    "render_ascii",
+    "render_markdown_table",
+    "render_with_happiness",
+    "side_by_side",
+    "spins_to_rgb",
+    "write_configuration_image",
+    "write_csv",
+    "write_pgm",
+    "write_ppm",
+]

@@ -1,0 +1,108 @@
+"""ASCII rendering of configurations.
+
+There is no plotting library available offline, so the examples and the
+Figure 1 benchmark render configurations as character grids (optionally
+downsampled by majority vote per block) and as PPM images
+(:mod:`repro.viz.ppm`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.utils.validation import require_spin_array
+
+#: Default glyphs: '#' for +1 agents, '.' for -1 agents.
+DEFAULT_GLYPHS = {1: "#", -1: "."}
+
+
+def downsample_majority(spins: np.ndarray, factor: int) -> np.ndarray:
+    """Shrink a configuration by majority vote over ``factor x factor`` blocks.
+
+    Rows/columns that do not fill a complete block are dropped, which is fine
+    for display purposes.  Ties resolve to ``+1``.
+    """
+    spins = require_spin_array(spins)
+    if factor <= 0:
+        raise AnalysisError(f"factor must be positive, got {factor}")
+    if factor == 1:
+        return spins.copy()
+    n_rows = (spins.shape[0] // factor) * factor
+    n_cols = (spins.shape[1] // factor) * factor
+    if n_rows == 0 or n_cols == 0:
+        raise AnalysisError(
+            f"factor {factor} is too large for configuration shape {spins.shape}"
+        )
+    trimmed = spins[:n_rows, :n_cols].astype(np.int64)
+    blocks = trimmed.reshape(n_rows // factor, factor, n_cols // factor, factor)
+    sums = blocks.sum(axis=(1, 3))
+    return np.where(sums >= 0, 1, -1).astype(np.int8)
+
+
+def render_ascii(
+    spins: np.ndarray,
+    glyphs: Optional[dict[int, str]] = None,
+    max_side: int = 80,
+) -> str:
+    """Render a configuration as a newline-joined character grid.
+
+    Configurations wider or taller than ``max_side`` are downsampled by
+    majority vote so the output stays terminal-sized.
+    """
+    spins = require_spin_array(spins)
+    if glyphs is None:
+        glyphs = DEFAULT_GLYPHS
+    factor = max(1, int(np.ceil(max(spins.shape) / max_side)))
+    display = downsample_majority(spins, factor)
+    lines = []
+    for row in display:
+        lines.append("".join(glyphs[int(value)] for value in row))
+    return "\n".join(lines)
+
+
+def render_with_happiness(
+    spins: np.ndarray,
+    happy_mask: np.ndarray,
+    max_side: int = 80,
+) -> str:
+    """Render agents with happiness information, matching Figure 1's legend.
+
+    ``#``/``.`` mark happy +1/-1 agents; ``+``/``-`` mark unhappy +1/-1
+    agents.  No downsampling is applied (happiness is not meaningfully
+    averaged), so large grids are cropped to the top-left ``max_side`` square.
+    """
+    spins = require_spin_array(spins)
+    if happy_mask.shape != spins.shape:
+        raise AnalysisError(
+            f"happy_mask shape {happy_mask.shape} does not match spins {spins.shape}"
+        )
+    view_rows = min(spins.shape[0], max_side)
+    view_cols = min(spins.shape[1], max_side)
+    lines = []
+    for row in range(view_rows):
+        chars = []
+        for col in range(view_cols):
+            if spins[row, col] == 1:
+                chars.append("#" if happy_mask[row, col] else "+")
+            else:
+                chars.append("." if happy_mask[row, col] else "-")
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two ASCII renderings horizontally (for before/after displays)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    width = max((len(line) for line in left_lines), default=0)
+    padding = " " * gap
+    lines = []
+    for i in range(height):
+        l_line = left_lines[i] if i < len(left_lines) else ""
+        r_line = right_lines[i] if i < len(right_lines) else ""
+        lines.append(l_line.ljust(width) + padding + r_line)
+    return "\n".join(lines)

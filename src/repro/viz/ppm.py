@@ -1,0 +1,88 @@
+"""Plain PPM/PGM image export (no external imaging dependency).
+
+The Figure 1 benchmark writes its panels as binary PPM images using the
+paper's colour legend: green/blue for happy +1/-1 agents, white/yellow for
+unhappy +1/-1 agents.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.utils.validation import require_spin_array
+
+#: Figure 1 legend, as RGB triples.
+FIGURE1_COLORS = {
+    ("plus", "happy"): (60, 170, 60),      # green
+    ("minus", "happy"): (50, 80, 200),     # blue
+    ("plus", "unhappy"): (255, 255, 255),  # white
+    ("minus", "unhappy"): (240, 210, 40),  # yellow
+}
+
+
+def spins_to_rgb(
+    spins: np.ndarray, happy_mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Convert a configuration (plus optional happiness mask) to an RGB array."""
+    spins = require_spin_array(spins)
+    if happy_mask is None:
+        happy_mask = np.ones(spins.shape, dtype=bool)
+    if happy_mask.shape != spins.shape:
+        raise AnalysisError(
+            f"happy_mask shape {happy_mask.shape} does not match spins {spins.shape}"
+        )
+    rgb = np.zeros((*spins.shape, 3), dtype=np.uint8)
+    selections = {
+        ("plus", "happy"): (spins == 1) & happy_mask,
+        ("minus", "happy"): (spins == -1) & happy_mask,
+        ("plus", "unhappy"): (spins == 1) & ~happy_mask,
+        ("minus", "unhappy"): (spins == -1) & ~happy_mask,
+    }
+    for key, mask in selections.items():
+        rgb[mask] = FIGURE1_COLORS[key]
+    return rgb
+
+
+def write_ppm(rgb: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an RGB array as a binary (P6) PPM file; returns the path."""
+    rgb = np.asarray(rgb, dtype=np.uint8)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise AnalysisError(f"rgb must have shape (rows, cols, 3), got {rgb.shape}")
+    path = Path(path)
+    header = f"P6\n{rgb.shape[1]} {rgb.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(rgb.tobytes())
+    return path
+
+
+def write_pgm(values: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write a 2-D array as an 8-bit grayscale (P5) PGM file, rescaled to 0-255."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 2:
+        raise AnalysisError(f"values must be 2-D, got shape {arr.shape}")
+    low, high = float(arr.min()), float(arr.max())
+    if high > low:
+        scaled = (arr - low) / (high - low) * 255.0
+    else:
+        scaled = np.zeros_like(arr)
+    gray = scaled.astype(np.uint8)
+    path = Path(path)
+    header = f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(gray.tobytes())
+    return path
+
+
+def write_configuration_image(
+    spins: np.ndarray,
+    path: Union[str, Path],
+    happy_mask: Optional[np.ndarray] = None,
+) -> Path:
+    """One-call helper: configuration (+ happiness) straight to a PPM file."""
+    return write_ppm(spins_to_rgb(spins, happy_mask), path)

@@ -1,0 +1,62 @@
+"""Tabular output helpers: CSV files and markdown tables.
+
+The benchmark harness reports every figure/table of the paper as rows of
+plain dictionaries; these helpers render them for the terminal (markdown) and
+persist them for later plotting (CSV), since no plotting library is available
+offline.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from repro.errors import ExperimentError
+
+Row = Mapping[str, object]
+
+
+def _columns(rows: Sequence[Row]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows (dicts) to a CSV file; returns the path."""
+    if not rows:
+        raise ExperimentError("cannot write an empty row set to CSV")
+    path = Path(path)
+    columns = _columns(rows)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+    return path
+
+
+def _format_value(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def render_markdown_table(rows: Sequence[Row], float_format: str = ".4g") -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        raise ExperimentError("cannot render an empty row set")
+    columns = _columns(rows)
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, separator]
+    for row in rows:
+        cells = [_format_value(row.get(column, ""), float_format) for column in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

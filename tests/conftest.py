@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, fast model configurations and deterministic
+random generators so that every test runs in milliseconds and is reproducible
+in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.initializer import random_configuration
+from repro.core.state import ModelState
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> ModelConfig:
+    """A small torus with horizon 1 (3x3 neighbourhoods)."""
+    return ModelConfig.square(side=12, horizon=1, tau=0.4)
+
+
+@pytest.fixture
+def medium_config() -> ModelConfig:
+    """A medium torus with horizon 2 (5x5 neighbourhoods), tau in Theorem 1 range."""
+    return ModelConfig.square(side=30, horizon=2, tau=0.45)
+
+
+@pytest.fixture
+def small_grid(small_config, rng) -> TorusGrid:
+    """A random configuration on the small torus."""
+    return random_configuration(small_config, rng)
+
+
+@pytest.fixture
+def medium_grid(medium_config, rng) -> TorusGrid:
+    """A random configuration on the medium torus."""
+    return random_configuration(medium_config, rng)
+
+
+@pytest.fixture
+def medium_state(medium_config, medium_grid) -> ModelState:
+    """A model state ready for dynamics tests."""
+    return ModelState(medium_config, medium_grid)
+
+
+def brute_force_window_sum(array: np.ndarray, row: int, col: int, radius: int) -> int:
+    """Reference implementation of a wrapped window sum (used in several tests)."""
+    n_rows, n_cols = array.shape
+    total = 0
+    for dr in range(-radius, radius + 1):
+        for dc in range(-radius, radius + 1):
+            total += int(array[(row + dr) % n_rows, (col + dc) % n_cols])
+    return total

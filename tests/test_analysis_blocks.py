@@ -1,0 +1,92 @@
+"""Tests for good/bad block classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.blocks import (
+    classify_blocks,
+    good_block_probability,
+    good_block_threshold,
+)
+from repro.core.config import ModelConfig
+from repro.core.initializer import random_configuration, uniform_configuration
+from repro.errors import AnalysisError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=48, horizon=2, tau=0.45)
+
+
+class TestThreshold:
+    def test_scaling_with_n(self):
+        small = good_block_threshold(ModelConfig.square(48, 2, 0.45))
+        large = good_block_threshold(ModelConfig.square(48, 4, 0.45))
+        assert large > small
+
+    def test_epsilon_validation(self, config):
+        with pytest.raises(AnalysisError):
+            good_block_threshold(config, epsilon=0.6)
+
+    def test_constant_validation(self, config):
+        with pytest.raises(AnalysisError):
+            good_block_threshold(config, constant=0.0)
+
+
+class TestClassification:
+    def test_balanced_random_grid_mostly_good(self, config):
+        spins = random_configuration(config, seed=0).spins
+        classification = classify_blocks(spins, config, block_side=8)
+        assert classification.bad_fraction < 0.3
+        assert classification.n_blocks == 36
+
+    def test_all_minus_grid_is_all_bad(self, config):
+        # Every window is 100% minority, far above any balanced threshold.
+        spins = uniform_configuration(config, AgentType.MINUS).spins
+        classification = classify_blocks(spins, config, block_side=8)
+        assert classification.bad_fraction == 1.0
+        assert classification.bad_to_good_ratio() == float("inf")
+
+    def test_all_plus_grid_is_all_good(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        classification = classify_blocks(spins, config, block_side=8)
+        assert classification.bad_fraction == 0.0
+
+    def test_planted_minority_patch_makes_its_block_bad(self, config):
+        grid = random_configuration(config, seed=1)
+        grid.set_square((4, 4), 3, AgentType.MINUS)  # a 7x7 solid minority patch
+        classification = classify_blocks(grid.spins, config, block_side=8)
+        assert not classification.good_blocks[0, 0]
+
+    def test_shape_mismatch_rejected(self, config):
+        with pytest.raises(AnalysisError):
+            classify_blocks(np.ones((10, 10), dtype=np.int8), config)
+
+    def test_default_block_side_divides_grid(self, config):
+        spins = random_configuration(config, seed=2).spins
+        classification = classify_blocks(spins, config)
+        block_side = classification.block_grid.block_side
+        assert config.n_rows % block_side == 0
+
+    def test_largest_bad_cluster_radius(self, config):
+        grid = random_configuration(config, seed=3)
+        grid.set_square((4, 4), 3, AgentType.MINUS)
+        classification = classify_blocks(grid.spins, config, block_side=8)
+        assert classification.largest_bad_cluster_radius() >= 0
+
+    def test_no_bad_blocks_gives_zero_radius(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        classification = classify_blocks(spins, config, block_side=8)
+        assert classification.largest_bad_cluster_radius() == 0
+
+
+class TestGoodBlockProbability:
+    def test_probability_high_for_balanced_grid(self):
+        config = ModelConfig.square(side=32, horizon=2, tau=0.45)
+        probability = good_block_probability(config, block_side=8, n_trials=30, seed=0)
+        assert probability > 0.5
+
+    def test_invalid_trials_rejected(self, config):
+        with pytest.raises(AnalysisError):
+            good_block_probability(config, n_trials=0)

@@ -1,0 +1,91 @@
+"""Tests for same-type cluster statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clusters import (
+    both_type_statistics,
+    cluster_size_distribution,
+    dominant_type_fraction,
+    is_completely_segregated,
+    largest_monochromatic_cluster_fraction,
+    type_cluster_statistics,
+)
+from repro.types import AgentType
+
+
+def striped(side: int, width: int) -> np.ndarray:
+    rows = np.arange(side)[:, None]
+    spins = np.where((rows // width) % 2 == 0, 1, -1).astype(np.int8)
+    return np.broadcast_to(spins, (side, side)).copy()
+
+
+class TestTypeClusterStatistics:
+    def test_uniform_grid_single_cluster(self):
+        spins = np.ones((8, 8), dtype=np.int8)
+        stats = type_cluster_statistics(spins, AgentType.PLUS)
+        assert stats.n_clusters == 1
+        assert stats.largest_cluster == 64
+        assert stats.largest_cluster_fraction == 1.0
+
+    def test_absent_type_empty_stats(self):
+        spins = np.ones((8, 8), dtype=np.int8)
+        stats = type_cluster_statistics(spins, AgentType.MINUS)
+        assert stats.n_clusters == 0
+        assert stats.n_agents == 0
+        assert stats.largest_cluster_fraction == 0.0
+
+    def test_stripes_form_bands(self):
+        spins = striped(12, 3)
+        stats = type_cluster_statistics(spins, AgentType.PLUS, periodic=False)
+        assert stats.n_clusters == 2
+        assert stats.largest_cluster == 3 * 12
+
+    def test_periodic_joins_wrap_around_stripes(self):
+        spins = striped(12, 3)
+        open_stats = type_cluster_statistics(spins, AgentType.MINUS, periodic=False)
+        torus_stats = type_cluster_statistics(spins, AgentType.MINUS, periodic=True)
+        assert open_stats.n_clusters >= torus_stats.n_clusters
+
+    def test_as_dict_keys(self):
+        spins = striped(8, 2)
+        d = type_cluster_statistics(spins, AgentType.PLUS).as_dict()
+        assert "largest_cluster_fraction" in d
+        assert "mean_cluster_size" in d
+
+    def test_both_types_cover_grid(self):
+        spins = striped(10, 2)
+        stats = both_type_statistics(spins)
+        total = stats[AgentType.PLUS].n_agents + stats[AgentType.MINUS].n_agents
+        assert total == 100
+
+
+class TestDistributions:
+    def test_cluster_size_distribution_sorted_descending(self, rng):
+        spins = np.where(rng.random((20, 20)) < 0.5, 1, -1).astype(np.int8)
+        sizes = cluster_size_distribution(spins, AgentType.PLUS)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes.sum() == np.count_nonzero(spins == 1)
+
+
+class TestGlobalIndicators:
+    def test_dominant_type_fraction_balanced(self):
+        spins = striped(10, 5)
+        assert dominant_type_fraction(spins) == pytest.approx(0.5)
+
+    def test_dominant_type_fraction_uniform(self):
+        assert dominant_type_fraction(np.ones((5, 5), dtype=np.int8)) == 1.0
+
+    def test_is_completely_segregated(self):
+        assert is_completely_segregated(np.ones((4, 4), dtype=np.int8))
+        assert is_completely_segregated(-np.ones((4, 4), dtype=np.int8))
+        mixed = np.ones((4, 4), dtype=np.int8)
+        mixed[0, 0] = -1
+        assert not is_completely_segregated(mixed)
+
+    def test_largest_monochromatic_cluster_fraction(self):
+        spins = striped(12, 6)
+        assert largest_monochromatic_cluster_fraction(spins) == pytest.approx(0.5)
+
+    def test_largest_cluster_fraction_uniform(self):
+        assert largest_monochromatic_cluster_fraction(np.ones((6, 6), dtype=np.int8)) == 1.0

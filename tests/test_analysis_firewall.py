@@ -1,0 +1,156 @@
+"""Tests for annular and chemical firewalls."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.firewall import (
+    check_firewall_robustness,
+    default_firewall_width,
+    firewall_agent_type,
+    firewall_mask,
+    has_chemical_firewall,
+    is_enclosed_by_good_blocks,
+    is_monochromatic_firewall,
+    run_with_adversarial_exterior,
+)
+from repro.core.config import ModelConfig
+from repro.core.initializer import planted_annulus_configuration, random_configuration
+from repro.errors import AnalysisError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    # tau = 0.40 keeps the finite-size annulus check away from the discrete
+    # corner cases documented in the firewall experiment.
+    return ModelConfig.square(side=48, horizon=2, tau=0.40)
+
+
+CENTER = (24, 24)
+RADIUS = 10.0
+
+
+class TestMaskAndDetection:
+    def test_default_width(self, config):
+        assert default_firewall_width(config) == pytest.approx(np.sqrt(2.0) * 2)
+
+    def test_mask_is_annulus(self, config):
+        mask = firewall_mask(config, CENTER, RADIUS)
+        assert not mask[CENTER]
+        assert mask[24, 24 + 9]
+        assert not mask[24, 24 + 12]
+
+    def test_mask_rejects_tiny_radius(self, config):
+        with pytest.raises(AnalysisError):
+            firewall_mask(config, CENTER, 1.0)
+
+    def test_monochromatic_detection(self, config):
+        grid = planted_annulus_configuration(
+            config, CENTER, RADIUS, annulus_type=AgentType.PLUS, seed=0
+        )
+        assert is_monochromatic_firewall(grid.spins, config, CENTER, RADIUS)
+        assert firewall_agent_type(grid.spins, config, CENTER, RADIUS) is AgentType.PLUS
+
+    def test_random_grid_not_a_firewall(self, config):
+        spins = random_configuration(config, seed=1).spins
+        assert not is_monochromatic_firewall(spins, config, CENTER, RADIUS)
+        assert firewall_agent_type(spins, config, CENTER, RADIUS) is None
+
+
+class TestRobustness:
+    def test_planted_firewall_with_interior_holds(self, config):
+        grid = planted_annulus_configuration(
+            config,
+            CENTER,
+            RADIUS,
+            annulus_type=AgentType.PLUS,
+            interior_type=AgentType.PLUS,
+            seed=2,
+        )
+        robustness = check_firewall_robustness(grid.spins, config, CENTER, RADIUS)
+        assert robustness.firewall_monochromatic
+        assert robustness.holds
+
+    def test_mixed_annulus_reported_not_monochromatic(self, config):
+        spins = random_configuration(config, seed=3).spins
+        robustness = check_firewall_robustness(spins, config, CENTER, RADIUS)
+        assert not robustness.firewall_monochromatic
+        assert not robustness.holds
+
+    def test_adversarial_dynamic_run_preserves_firewall(self, config):
+        grid = planted_annulus_configuration(
+            config,
+            CENTER,
+            RADIUS,
+            annulus_type=AgentType.MINUS,
+            interior_type=AgentType.MINUS,
+            seed=4,
+        )
+        assert run_with_adversarial_exterior(grid.spins, config, CENTER, RADIUS, seed=5)
+
+    def test_adversarial_run_requires_monochromatic_annulus(self, config):
+        spins = random_configuration(config, seed=6).spins
+        with pytest.raises(AnalysisError):
+            run_with_adversarial_exterior(spins, config, CENTER, RADIUS, seed=7)
+
+    def test_agent_counts_reported(self, config):
+        grid = planted_annulus_configuration(
+            config,
+            CENTER,
+            RADIUS,
+            annulus_type=AgentType.PLUS,
+            interior_type=AgentType.PLUS,
+            seed=8,
+        )
+        robustness = check_firewall_robustness(grid.spins, config, CENTER, RADIUS)
+        assert robustness.n_firewall_agents > 0
+        assert robustness.n_interior_agents > 0
+
+
+class TestChemicalFirewallEnclosure:
+    def test_full_good_ring_encloses(self):
+        good = np.zeros((9, 9), dtype=bool)
+        good[2, 2:7] = True
+        good[6, 2:7] = True
+        good[2:7, 2] = True
+        good[2:7, 6] = True
+        assert is_enclosed_by_good_blocks(good, (4, 4))
+
+    def test_broken_ring_does_not_enclose(self):
+        good = np.zeros((9, 9), dtype=bool)
+        good[2, 2:7] = True
+        good[6, 2:7] = True
+        good[2:7, 2] = True
+        good[2:7, 6] = True
+        good[2, 4] = False  # puncture the ring
+        assert not is_enclosed_by_good_blocks(good, (4, 4))
+
+    def test_no_good_blocks_does_not_enclose(self):
+        assert not is_enclosed_by_good_blocks(np.zeros((7, 7), dtype=bool), (3, 3))
+
+    def test_good_center_counts_as_enclosed(self):
+        good = np.zeros((5, 5), dtype=bool)
+        good[2, 2] = True
+        assert is_enclosed_by_good_blocks(good, (2, 2))
+
+    def test_all_good_lattice_encloses(self):
+        assert is_enclosed_by_good_blocks(np.ones((7, 7), dtype=bool), (3, 3))
+
+    def test_has_chemical_firewall_respects_annulus(self):
+        good = np.zeros((11, 11), dtype=bool)
+        good[3, 3:8] = True
+        good[7, 3:8] = True
+        good[3:8, 3] = True
+        good[3:8, 7] = True
+        assert has_chemical_firewall(good, (5, 5), inner_radius_blocks=1, outer_radius_blocks=4)
+        # A ring hugging the centre inside the inner radius does not count.
+        tight = np.zeros((11, 11), dtype=bool)
+        tight[4, 4:7] = True
+        tight[6, 4:7] = True
+        tight[4:7, 4] = True
+        tight[4:7, 6] = True
+        assert not has_chemical_firewall(tight, (5, 5), inner_radius_blocks=2, outer_radius_blocks=4)
+
+    def test_invalid_radii_rejected(self):
+        with pytest.raises(AnalysisError):
+            has_chemical_firewall(np.ones((5, 5), dtype=bool), (2, 2), 3, 2)

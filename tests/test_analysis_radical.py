@@ -1,0 +1,143 @@
+"""Tests for radical regions, unhappy cores and the expandability check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.radical import (
+    count_radical_regions,
+    is_radical_region,
+    minority_count_in_window,
+    radical_region_mask,
+    radical_region_radius,
+    try_expand_radical_region,
+    unhappy_core_count,
+    unhappy_core_target,
+)
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.initializer import (
+    planted_radical_region_configuration,
+    radical_region_threshold,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.core.state import ModelState
+from repro.errors import AnalysisError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=48, horizon=3, tau=0.45)
+
+
+EPS = 0.5
+
+
+class TestDetection:
+    def test_radius_formula(self, config):
+        assert radical_region_radius(config, 0.5) == int(1.5 * config.horizon)
+
+    def test_invalid_epsilon_rejected(self, config):
+        with pytest.raises(AnalysisError):
+            radical_region_radius(config, 0.0)
+
+    def test_minority_count_in_window(self, config):
+        grid = uniform_configuration(config, AgentType.PLUS)
+        grid.set(10, 10, -1)
+        assert minority_count_in_window(grid.spins, (10, 10), 2, AgentType.PLUS) == 1
+        assert minority_count_in_window(grid.spins, (30, 30), 2, AgentType.PLUS) == 0
+
+    def test_uniform_grid_every_center_is_radical(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        assert is_radical_region(spins, config, (10, 10), EPS)
+        assert count_radical_regions(spins, config, EPS) == config.n_sites
+
+    def test_opposite_uniform_grid_has_no_radical_regions(self, config):
+        spins = uniform_configuration(config, AgentType.MINUS).spins
+        assert count_radical_regions(spins, config, EPS, AgentType.PLUS) == 0
+
+    def test_planted_region_detected(self, config):
+        center = (24, 24)
+        grid = planted_radical_region_configuration(config, center, EPS, seed=0)
+        assert is_radical_region(grid.spins, config, center, EPS)
+
+    def test_mask_matches_scalar_checks(self, config):
+        spins = random_configuration(config, seed=1).spins
+        mask = radical_region_mask(spins, config, EPS)
+        for site in [(0, 0), (13, 29), (40, 7)]:
+            assert mask[site] == is_radical_region(spins, config, site, EPS)
+
+    def test_random_grid_radical_fraction_matches_exact_probability(self, config):
+        from repro.theory.bounds import exact_radical_region_probability
+
+        spins = random_configuration(config, seed=2).spins
+        fraction = count_radical_regions(spins, config, EPS) / config.n_sites
+        expected = exact_radical_region_probability(config, epsilon_prime=EPS)
+        # The per-centre events are positively correlated but exchangeable, so
+        # the empirical fraction should sit near the exact single-centre
+        # probability (Lemma 20) rather than near 1/2.
+        assert fraction < 0.2
+        assert fraction == pytest.approx(expected, abs=0.08)
+
+
+class TestUnhappyCore:
+    def test_target_positive(self, config):
+        assert unhappy_core_target(config, 0.8) >= 0
+
+    def test_core_count_on_planted_region(self, config):
+        center = (24, 24)
+        grid = planted_radical_region_configuration(
+            config, center, EPS, minority_count=0, seed=3
+        )
+        state = ModelState(config, grid)
+        # With no minority agents inside, the core has no unhappy minority agents.
+        assert unhappy_core_count(state, center, EPS) == 0
+
+    def test_core_count_bounded_by_core_size(self, config):
+        center = (24, 24)
+        grid = random_configuration(config, seed=4)
+        state = ModelState(config, grid)
+        core_radius = int(EPS * config.horizon)
+        core_size = (2 * core_radius + 1) ** 2
+        assert 0 <= unhappy_core_count(state, center, EPS) <= core_size
+
+
+class TestExpansion:
+    def test_planted_region_expands(self, config):
+        center = (24, 24)
+        grid = planted_radical_region_configuration(config, center, EPS, seed=5)
+        result = try_expand_radical_region(config, grid.spins, center, EPS)
+        assert result.expanded
+        assert result.n_flips <= result.flip_budget
+        assert result.within_budget
+
+    def test_expansion_does_not_mutate_input(self, config):
+        center = (24, 24)
+        grid = planted_radical_region_configuration(config, center, EPS, seed=6)
+        before = grid.spins.copy()
+        try_expand_radical_region(config, grid.spins, center, EPS)
+        assert np.array_equal(grid.spins, before)
+
+    def test_already_monochromatic_core_expands_with_zero_flips(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        result = try_expand_radical_region(config, spins, (24, 24), EPS)
+        assert result.expanded
+        assert result.n_flips == 0
+
+    def test_hostile_region_does_not_expand(self, config):
+        # A solidly -1 grid cannot be turned +1 by flips inside one window.
+        spins = uniform_configuration(config, AgentType.MINUS).spins
+        result = try_expand_radical_region(config, spins, (24, 24), EPS)
+        assert not result.expanded
+
+    def test_flip_budget_respected(self, config):
+        center = (24, 24)
+        grid = planted_radical_region_configuration(config, center, EPS, seed=7)
+        result = try_expand_radical_region(
+            config, grid.spins, center, EPS, flip_budget=1
+        )
+        assert result.n_flips <= 1
+
+    def test_threshold_consistent_with_initializer(self, config):
+        assert radical_region_threshold(config, EPS) > 0

@@ -1,0 +1,97 @@
+"""Tests for the whole-configuration segregation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.segregation import (
+    interface_density,
+    local_homogeneity,
+    segregation_gain,
+    segregation_metrics,
+    unhappy_fraction,
+)
+from repro.core.config import ModelConfig
+from repro.core.initializer import (
+    checkerboard_configuration,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.core.simulation import simulate
+from repro.core.state import ModelState
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=24, horizon=2, tau=0.45)
+
+
+class TestScalarMetrics:
+    def test_unhappy_fraction_matches_state(self, config):
+        grid = random_configuration(config, seed=0)
+        state = ModelState(config, grid)
+        expected = state.n_unhappy / config.n_sites
+        assert unhappy_fraction(grid.spins, config) == pytest.approx(expected)
+
+    def test_unhappy_fraction_zero_on_uniform(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        assert unhappy_fraction(spins, config) == 0.0
+
+    def test_local_homogeneity_extremes(self, config):
+        uniform = uniform_configuration(config, AgentType.PLUS).spins
+        assert local_homogeneity(uniform, config.horizon) == 1.0
+        checker = checkerboard_configuration(config).spins
+        assert local_homogeneity(checker, config.horizon) == pytest.approx(13 / 25)
+
+    def test_local_homogeneity_random_near_half(self, config):
+        spins = random_configuration(config, seed=1).spins
+        assert 0.45 < local_homogeneity(spins, config.horizon) < 0.60
+
+    def test_interface_density_extremes(self, config):
+        uniform = uniform_configuration(config, AgentType.MINUS).spins
+        assert interface_density(uniform) == 0.0
+        checker = checkerboard_configuration(config).spins
+        assert interface_density(checker) == 1.0
+
+    def test_interface_density_random_near_half(self, config):
+        spins = random_configuration(config, seed=2).spins
+        assert 0.4 < interface_density(spins) < 0.6
+
+
+class TestMetricsBundle:
+    def test_bundle_keys(self, config):
+        spins = random_configuration(config, seed=3).spins
+        metrics = segregation_metrics(spins, config, max_region_radius=6)
+        d = metrics.as_dict()
+        assert "mean_monochromatic_size" in d
+        assert "energy" in d
+        assert "largest_cluster_fraction" in d
+
+    def test_uniform_grid_bundle(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        metrics = segregation_metrics(spins, config, max_region_radius=6)
+        assert metrics.unhappy_fraction == 0.0
+        assert metrics.dominant_type_fraction == 1.0
+        assert metrics.largest_cluster_fraction == 1.0
+        assert metrics.mean_monochromatic_size == pytest.approx(13.0**2)
+
+    def test_custom_ratio_threshold_used(self, config):
+        spins = random_configuration(config, seed=4).spins
+        loose = segregation_metrics(spins, config, max_region_radius=4, ratio_threshold=0.9)
+        strict = segregation_metrics(spins, config, max_region_radius=4, ratio_threshold=0.05)
+        assert loose.mean_almost_monochromatic_size >= strict.mean_almost_monochromatic_size
+
+    def test_metrics_improve_after_dynamics(self, config):
+        result = simulate(config, seed=5)
+        gain = segregation_gain(result.initial_spins, result.final_spins, config)
+        assert gain["delta_local_homogeneity"] > 0
+        assert gain["delta_interface_density"] < 0
+        assert gain["delta_mean_monochromatic_size"] > 0
+
+    def test_gain_keys(self, config):
+        result = simulate(config, seed=6)
+        gain = segregation_gain(result.initial_spins, result.final_spins, config)
+        for name in ("local_homogeneity", "interface_density", "mean_monochromatic_size"):
+            assert f"initial_{name}" in gain
+            assert f"final_{name}" in gain
+            assert f"delta_{name}" in gain

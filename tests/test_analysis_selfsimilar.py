@@ -1,0 +1,73 @@
+"""Tests for the Proposition 1 self-similarity estimator."""
+
+import pytest
+
+from repro.analysis.selfsimilar import estimate_subneighborhood_concentration
+from repro.core.config import ModelConfig
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=40, horizon=3, tau=0.45)
+
+
+class TestEstimator:
+    def test_high_concentration_probability(self, config):
+        estimate = estimate_subneighborhood_concentration(
+            config, gamma=0.25, n_samples=300, seed=0
+        )
+        # Proposition 1: the deviation stays inside the N^{1/2+eps} window with
+        # overwhelming probability.
+        assert estimate.concentration_probability > 0.9
+
+    def test_sample_count_respected(self, config):
+        estimate = estimate_subneighborhood_concentration(
+            config, gamma=0.25, n_samples=50, seed=1
+        )
+        assert estimate.n_samples == 50
+        assert estimate.deviations.shape == (50,)
+
+    def test_mean_deviation_smaller_than_window(self, config):
+        estimate = estimate_subneighborhood_concentration(
+            config, gamma=0.3, n_samples=200, seed=2
+        )
+        assert estimate.mean_deviation < estimate.window
+
+    def test_deviation_scales_with_gamma(self, config):
+        small = estimate_subneighborhood_concentration(
+            config, gamma=0.1, n_samples=300, seed=3
+        )
+        large = estimate_subneighborhood_concentration(
+            config, gamma=0.9, n_samples=300, seed=3
+        )
+        # Both sub-neighbourhood sizes concentrate; deviations stay comparable
+        # and bounded by the window in both cases.
+        assert small.mean_deviation < small.window
+        assert large.mean_deviation < large.window
+
+    def test_rejection_counted(self, config):
+        estimate = estimate_subneighborhood_concentration(
+            config, gamma=0.25, n_samples=100, seed=4
+        )
+        # With tau = 0.45 the conditioning event has sizeable probability but
+        # rejections do occur.
+        assert estimate.n_rejected >= 0
+
+    def test_invalid_gamma_rejected(self, config):
+        with pytest.raises(AnalysisError):
+            estimate_subneighborhood_concentration(config, gamma=0.0, n_samples=10)
+        with pytest.raises(AnalysisError):
+            estimate_subneighborhood_concentration(config, gamma=1.0, n_samples=10)
+
+    def test_invalid_sample_count_rejected(self, config):
+        with pytest.raises(AnalysisError):
+            estimate_subneighborhood_concentration(config, gamma=0.25, n_samples=0)
+
+    def test_impossible_conditioning_raises(self):
+        # tau so small that W < tau N essentially never happens.
+        config = ModelConfig.square(side=40, horizon=3, tau=0.02)
+        with pytest.raises(AnalysisError):
+            estimate_subneighborhood_concentration(
+                config, gamma=0.25, n_samples=5, max_attempts_factor=2, seed=5
+            )

@@ -1,0 +1,87 @@
+"""Tests for trajectory summaries."""
+
+import pytest
+
+from repro.analysis.trajectory import (
+    flips_per_site,
+    summarize_trajectory,
+    time_to_fraction_unhappy,
+    unhappy_decay_profile,
+)
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics, Trajectory
+from repro.core.initializer import random_configuration
+from repro.core.state import ModelState
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def recorded_run():
+    config = ModelConfig.square(side=24, horizon=2, tau=0.45)
+    state = ModelState(config, random_configuration(config, seed=0))
+    result = GlauberDynamics(state, seed=1).run(record_trajectory=True, record_every=10)
+    return config, result
+
+
+class TestSummaries:
+    def test_summary_fields(self, recorded_run):
+        config, result = recorded_run
+        summary = summarize_trajectory(result.trajectory)
+        assert summary.total_flips == result.n_flips
+        assert summary.final_unhappy == 0
+        assert summary.initial_unhappy > 0
+        assert summary.energy_monotone
+        assert summary.energy_gain > 0
+
+    def test_summary_as_dict(self, recorded_run):
+        _, result = recorded_run
+        d = summarize_trajectory(result.trajectory).as_dict()
+        assert "energy_gain" in d
+        assert "final_time" in d
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize_trajectory(Trajectory())
+
+    def test_flips_per_site(self, recorded_run):
+        config, result = recorded_run
+        value = flips_per_site(result.trajectory, config.n_sites)
+        assert value == pytest.approx(result.n_flips / config.n_sites)
+
+    def test_flips_per_site_validation(self, recorded_run):
+        _, result = recorded_run
+        with pytest.raises(AnalysisError):
+            flips_per_site(result.trajectory, 0)
+
+
+class TestDecayProfile:
+    def test_profile_starts_at_one_and_ends_at_zero(self, recorded_run):
+        _, result = recorded_run
+        profile = unhappy_decay_profile(result.trajectory)
+        assert profile[0] == pytest.approx(1.0)
+        assert profile[-1] == pytest.approx(0.0)
+
+    def test_time_to_fraction(self, recorded_run):
+        _, result = recorded_run
+        t_half = time_to_fraction_unhappy(result.trajectory, 0.5)
+        t_zero = time_to_fraction_unhappy(result.trajectory, 0.0)
+        assert 0 <= t_half <= t_zero
+
+    def test_time_to_fraction_never_reached(self):
+        trajectory = Trajectory(
+            times=[0.0, 1.0], n_flips=[0, 1], n_unhappy=[10, 8],
+            n_flippable=[10, 8], energy=[0, 1], magnetization=[0.0, 0.0],
+        )
+        assert time_to_fraction_unhappy(trajectory, 0.1) == float("inf")
+
+    def test_fraction_validation(self, recorded_run):
+        _, result = recorded_run
+        with pytest.raises(AnalysisError):
+            time_to_fraction_unhappy(result.trajectory, 1.5)
+
+    def test_profile_of_terminated_start(self):
+        trajectory = Trajectory(
+            times=[0.0], n_flips=[0], n_unhappy=[0],
+            n_flippable=[0], energy=[100], magnetization=[1.0],
+        )
+        assert unhappy_decay_profile(trajectory).tolist() == [0.0]

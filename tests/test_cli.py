@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args: list[str]) -> tuple[int, str]:
+    """Run the CLI with captured stdout."""
+    buffer = io.StringIO()
+    code = main(args, out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_reports_thresholds_and_regime(self):
+        code, output = run_cli(["info", "--tau", "0.45", "--horizon", "2"])
+        assert code == 0
+        assert "tau1" in output
+        assert "exponential_monochromatic" in output
+        assert "a(tau)" in output
+        assert "unhappy probability" in output
+
+    def test_static_tau_omits_exponents(self):
+        code, output = run_cli(["info", "--tau", "0.1"])
+        assert code == 0
+        assert "static" in output
+        assert "a(tau)" not in output
+
+
+class TestSimulate:
+    def test_runs_and_reports_metrics(self, tmp_path):
+        csv_path = tmp_path / "run.csv"
+        code, output = run_cli(
+            [
+                "simulate",
+                "--side", "30",
+                "--horizon", "2",
+                "--tau", "0.45",
+                "--seed", "3",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert "terminated=True" in output
+        assert "final_local_homogeneity" in output
+        assert csv_path.exists()
+
+    def test_ascii_rendering(self):
+        code, output = run_cli(
+            ["simulate", "--side", "24", "--horizon", "1", "--tau", "0.4", "--ascii"]
+        )
+        assert code == 0
+        assert "#" in output or "." in output
+
+    def test_max_flips_budget(self):
+        code, output = run_cli(
+            [
+                "simulate",
+                "--side", "30",
+                "--horizon", "2",
+                "--tau", "0.45",
+                "--max-flips", "5",
+            ]
+        )
+        assert code == 0
+        assert "flips=5" in output
+        assert "terminated=False" in output
+
+
+class TestSweep:
+    def test_sweep_with_explicit_taus(self, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        code, output = run_cli(
+            [
+                "sweep",
+                "--horizon", "1",
+                "--taus", "0.35,0.45",
+                "--replicates", "2",
+                "--side", "24",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert "0.35" in output and "0.45" in output
+        assert csv_path.exists()
+        assert csv_path.read_text().count("\n") >= 3
+
+    def test_bad_taus_returns_error_code(self):
+        code, _ = run_cli(["sweep", "--taus", "0.4,banana", "--horizon", "1"])
+        assert code == 2

@@ -1,0 +1,127 @@
+"""Tests for the model configuration."""
+
+import math
+
+import pytest
+
+from repro.core.config import ModelConfig, default_figure1_config
+from repro.errors import ConfigurationError
+from repro.types import FlipRule, SchedulerKind
+
+
+class TestConstruction:
+    def test_square_helper(self):
+        config = ModelConfig.square(side=20, horizon=2, tau=0.4)
+        assert config.shape == (20, 20)
+        assert config.n_sites == 400
+
+    def test_rectangular(self):
+        config = ModelConfig(n_rows=10, n_cols=15, horizon=1, tau=0.3)
+        assert config.shape == (10, 15)
+        assert config.n_sites == 150
+
+    def test_derived_neighborhood_size(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.5)
+        assert config.neighborhood_agents == 25
+
+    def test_threshold_rounds_up(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.45)
+        assert config.happiness_threshold == math.ceil(0.45 * 25)
+        assert config.happiness_threshold == 12
+
+    def test_effective_tau_at_least_tau(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.45)
+        assert config.effective_tau >= config.tau
+        assert config.effective_tau == pytest.approx(12 / 25)
+
+    def test_tau_prime_formula(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.48)
+        n = config.neighborhood_agents
+        assert config.tau_prime == pytest.approx((0.48 * n - 2) / (n - 1))
+
+    def test_defaults_match_paper(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.45)
+        assert config.density == 0.5
+        assert config.scheduler is SchedulerKind.CONTINUOUS
+        assert config.flip_rule is FlipRule.ONLY_IF_HAPPY
+
+    def test_frozen(self):
+        config = ModelConfig.square(side=20, horizon=1, tau=0.4)
+        with pytest.raises(AttributeError):
+            config.tau = 0.5
+
+    def test_describe_mentions_parameters(self):
+        text = ModelConfig.square(side=20, horizon=2, tau=0.42).describe()
+        assert "w=2" in text
+        assert "0.42" in text
+
+
+class TestValidation:
+    def test_rejects_tau_above_one(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig.square(side=20, horizon=1, tau=1.2)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig.square(side=20, horizon=1, tau=-0.1)
+
+    def test_rejects_zero_horizon(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig.square(side=20, horizon=0, tau=0.4)
+
+    def test_rejects_horizon_too_large_for_grid(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig.square(side=5, horizon=3, tau=0.4)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig.square(side=20, horizon=1, tau=0.4, density=1.5)
+
+    def test_rejects_stringly_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(
+                n_rows=20, n_cols=20, horizon=1, tau=0.4, scheduler="continuous"
+            )
+
+    def test_rejects_stringly_flip_rule(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(n_rows=20, n_cols=20, horizon=1, tau=0.4, flip_rule="always")
+
+
+class TestWithers:
+    def test_with_tau(self):
+        config = ModelConfig.square(side=20, horizon=2, tau=0.4)
+        other = config.with_tau(0.45)
+        assert other.tau == 0.45
+        assert other.horizon == config.horizon
+        assert config.tau == 0.4  # original untouched
+
+    def test_with_horizon_updates_derived(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.4)
+        other = config.with_horizon(3)
+        assert other.neighborhood_agents == 49
+        assert other.happiness_threshold == math.ceil(0.4 * 49)
+
+    def test_with_density(self):
+        config = ModelConfig.square(side=20, horizon=2, tau=0.4)
+        assert config.with_density(0.7).density == 0.7
+
+
+class TestFigure1Config:
+    def test_full_scale_matches_paper(self):
+        config = default_figure1_config()
+        assert config.shape == (1000, 1000)
+        assert config.neighborhood_agents == 441
+        assert config.tau == pytest.approx(0.42)
+
+    def test_scaled_version_keeps_parameters(self):
+        config = default_figure1_config(scale=0.1)
+        assert config.n_rows == 100
+        assert config.horizon == 10
+        assert config.tau == pytest.approx(0.42)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_figure1_config(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            default_figure1_config(scale=2.0)

@@ -1,0 +1,228 @@
+"""Tests for the Glauber dynamics engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics, run_to_completion
+from repro.core.initializer import (
+    checkerboard_configuration,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.core.state import ModelState
+from repro.errors import StateError
+from repro.types import AgentType, FlipEvent, FlipRule, SchedulerKind
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=24, horizon=2, tau=0.45)
+
+
+def fresh_state(config, seed=0) -> ModelState:
+    return ModelState(config, random_configuration(config, seed=seed))
+
+
+class TestTermination:
+    def test_terminates_on_random_grid(self, config):
+        state = fresh_state(config)
+        result = GlauberDynamics(state, seed=1).run()
+        assert result.terminated
+        assert state.n_flippable == 0
+
+    def test_no_unhappy_agents_remain_below_half(self, config):
+        # For tau < 1/2 termination means every agent is happy.
+        state = fresh_state(config)
+        GlauberDynamics(state, seed=1).run()
+        assert state.n_unhappy == 0
+
+    def test_monochromatic_grid_terminates_immediately(self, config):
+        state = ModelState(config, uniform_configuration(config, AgentType.PLUS))
+        dynamics = GlauberDynamics(state, seed=0)
+        assert dynamics.is_terminated
+        result = dynamics.run()
+        assert result.n_flips == 0
+        assert result.terminated
+
+    def test_step_after_termination_returns_none(self, config):
+        state = ModelState(config, uniform_configuration(config, AgentType.PLUS))
+        dynamics = GlauberDynamics(state, seed=0)
+        assert dynamics.step() is None
+
+    def test_static_regime_barely_flips(self):
+        # tau < 1/4: the initial configuration is static w.h.p. (Figure 2).
+        config = ModelConfig.square(side=24, horizon=2, tau=0.2)
+        state = fresh_state(config, seed=2)
+        result = GlauberDynamics(state, seed=3).run()
+        assert result.terminated
+        assert result.n_flips <= config.n_sites * 0.01
+
+
+class TestFlipSemantics:
+    def test_every_flip_makes_agent_happy(self, config):
+        state = fresh_state(config, seed=4)
+        dynamics = GlauberDynamics(state, seed=5)
+        for _ in range(200):
+            event = dynamics.step()
+            if dynamics.is_terminated:
+                break
+            if event is None:
+                continue
+            assert state.is_happy(event.site.row, event.site.col)
+
+    def test_energy_strictly_increases_per_flip(self, config):
+        state = fresh_state(config, seed=6)
+        dynamics = GlauberDynamics(state, seed=7)
+        previous = state.energy()
+        for _ in range(100):
+            event = dynamics.step()
+            if event is None:
+                break
+            current = state.energy()
+            assert current > previous
+            previous = current
+
+    def test_events_report_new_type(self, config):
+        state = fresh_state(config, seed=8)
+        dynamics = GlauberDynamics(state, seed=9)
+        event = None
+        while event is None and not dynamics.is_terminated:
+            event = dynamics.step()
+        assert isinstance(event, FlipEvent)
+        assert state.grid.get(event.site.row, event.site.col) == int(event.new_type)
+
+    def test_continuous_time_increases(self, config):
+        state = fresh_state(config, seed=10)
+        dynamics = GlauberDynamics(state, seed=11)
+        times = []
+        for _ in range(20):
+            event = dynamics.step()
+            if event is None:
+                break
+            times.append(event.time)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_discrete_time_counts_steps(self, config):
+        state = fresh_state(config, seed=12)
+        dynamics = GlauberDynamics(state, seed=13, scheduler=SchedulerKind.DISCRETE)
+        result = dynamics.run(max_steps=50)
+        assert result.n_steps == 50 or result.terminated
+        assert dynamics.time == dynamics.n_steps
+
+
+class TestBudgets:
+    def test_max_flips_respected(self, config):
+        state = fresh_state(config, seed=14)
+        result = GlauberDynamics(state, seed=15).run(max_flips=10)
+        assert result.n_flips == 10
+        assert not result.terminated
+
+    def test_max_time_respected(self, config):
+        state = fresh_state(config, seed=16)
+        result = GlauberDynamics(state, seed=17).run(max_time=0.001)
+        assert result.final_time >= 0.001 or result.terminated
+
+    def test_run_can_be_resumed(self, config):
+        state = fresh_state(config, seed=18)
+        dynamics = GlauberDynamics(state, seed=19)
+        first = dynamics.run(max_flips=5)
+        second = dynamics.run()
+        assert second.terminated
+        assert first.n_flips + second.n_flips == dynamics.n_flips
+
+
+class TestRecording:
+    def test_trajectory_recorded(self, config):
+        state = fresh_state(config, seed=20)
+        result = GlauberDynamics(state, seed=21).run(
+            record_trajectory=True, record_every=10
+        )
+        trajectory = result.trajectory
+        assert trajectory is not None
+        assert len(trajectory) >= 2
+        assert trajectory.n_flips[0] == 0
+        assert trajectory.n_flips[-1] == result.n_flips
+        assert trajectory.n_unhappy[-1] == 0
+
+    def test_trajectory_energy_monotone(self, config):
+        state = fresh_state(config, seed=22)
+        result = GlauberDynamics(state, seed=23).run(record_trajectory=True)
+        energies = result.trajectory.energy
+        assert all(b >= a for a, b in zip(energies, energies[1:]))
+
+    def test_events_recorded(self, config):
+        state = fresh_state(config, seed=24)
+        result = GlauberDynamics(state, seed=25).run(record_events=True)
+        assert result.events is not None
+        assert len(result.events) == result.n_flips
+
+    def test_invalid_record_every(self, config):
+        state = fresh_state(config, seed=26)
+        with pytest.raises(StateError):
+            GlauberDynamics(state, seed=27).run(record_every=0)
+
+    def test_callback_invoked(self, config):
+        state = fresh_state(config, seed=28)
+        calls = []
+        GlauberDynamics(state, seed=29).run(
+            max_flips=5, callback=lambda dyn, event: calls.append(event)
+        )
+        assert len(calls) >= 5
+
+
+class TestSchedulersAgree:
+    def test_both_schedulers_reach_all_happy(self, config):
+        for scheduler in (SchedulerKind.CONTINUOUS, SchedulerKind.DISCRETE):
+            state = fresh_state(config, seed=30)
+            result = GlauberDynamics(state, seed=31, scheduler=scheduler).run()
+            assert result.terminated
+            assert state.n_unhappy == 0
+
+    def test_final_homogeneity_similar_across_schedulers(self, config):
+        from repro.analysis.segregation import local_homogeneity
+
+        values = {}
+        for scheduler in (SchedulerKind.CONTINUOUS, SchedulerKind.DISCRETE):
+            state = fresh_state(config, seed=32)
+            GlauberDynamics(state, seed=33, scheduler=scheduler).run()
+            values[scheduler] = local_homogeneity(state.grid.spins, config.horizon)
+        assert abs(values[SchedulerKind.CONTINUOUS] - values[SchedulerKind.DISCRETE]) < 0.15
+
+
+class TestAlwaysFlipVariant:
+    def test_always_flip_terminates_when_no_unhappy(self, config):
+        state = fresh_state(config, seed=34)
+        dynamics = GlauberDynamics(state, seed=35, flip_rule=FlipRule.ALWAYS)
+        result = dynamics.run(max_steps=20 * config.n_sites)
+        # Below tau=1/2 always-flip coincides with only-if-happy, so it terminates.
+        assert result.terminated
+        assert state.n_unhappy == 0
+
+
+class TestHelpers:
+    def test_run_to_completion_wrapper(self, config):
+        state = fresh_state(config, seed=36)
+        result = run_to_completion(state, seed=37)
+        assert result.terminated
+
+    def test_checkerboard_above_half_is_frozen_unhappy(self):
+        # On a checkerboard with horizon 1 every agent has 5 same-type
+        # neighbours out of 9.  With tau = 0.6 (threshold 6) everyone is
+        # unhappy, but flipping would also leave only 5 same-type agents, so
+        # nobody can flip: the process terminates immediately in an all-unhappy
+        # frozen state — exactly the "no unhappy agent that can become happy"
+        # termination clause of the paper.
+        config = ModelConfig.square(side=20, horizon=1, tau=0.6)
+        state = ModelState(config, checkerboard_configuration(config))
+        assert state.n_unhappy == config.n_sites
+        assert state.n_flippable == 0
+        result = GlauberDynamics(state, seed=38).run()
+        assert result.terminated
+        assert result.n_flips == 0
+
+    def test_checkerboard_at_half_is_all_happy(self):
+        # With tau = 0.5 (threshold 5) the same checkerboard is entirely happy.
+        config = ModelConfig.square(side=20, horizon=1, tau=0.5)
+        state = ModelState(config, checkerboard_configuration(config))
+        assert state.n_unhappy == 0

@@ -1,0 +1,154 @@
+"""Tests for the torus grid substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import TorusGrid
+from repro.errors import ConfigurationError
+from repro.types import AgentType
+from tests.conftest import brute_force_window_sum
+
+
+class TestConstruction:
+    def test_from_array_copies(self):
+        source = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        grid = TorusGrid(source)
+        source[0, 0] = -1
+        assert grid.get(0, 0) == 1
+
+    def test_filled(self):
+        grid = TorusGrid.filled(4, 5, AgentType.MINUS)
+        assert grid.shape == (4, 5)
+        assert grid.count(AgentType.MINUS) == 20
+        assert grid.count(AgentType.PLUS) == 0
+
+    def test_filled_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            TorusGrid.filled(0, 5, AgentType.PLUS)
+
+    def test_from_random_density_zero_and_one(self, rng):
+        all_minus = TorusGrid.from_random(10, 10, 0.0, rng)
+        all_plus = TorusGrid.from_random(10, 10, 1.0, rng)
+        assert all_minus.count(AgentType.PLUS) == 0
+        assert all_plus.count(AgentType.PLUS) == 100
+
+    def test_from_random_density_half_is_balanced(self, rng):
+        grid = TorusGrid.from_random(60, 60, 0.5, rng)
+        assert 0.4 < grid.plus_fraction() < 0.6
+
+    def test_from_random_invalid_density(self, rng):
+        with pytest.raises(ConfigurationError):
+            TorusGrid.from_random(10, 10, 1.5, rng)
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            TorusGrid(np.zeros((3, 3), dtype=int))
+
+
+class TestAccessors:
+    def test_get_set_wraps(self):
+        grid = TorusGrid.filled(5, 5, AgentType.PLUS)
+        grid.set(6, 7, -1)  # wraps to (1, 2)
+        assert grid.get(1, 2) == -1
+        assert grid.get(-4, -3) == -1
+
+    def test_set_rejects_invalid_value(self):
+        grid = TorusGrid.filled(5, 5, AgentType.PLUS)
+        with pytest.raises(ConfigurationError):
+            grid.set(0, 0, 2)
+
+    def test_flip_returns_new_value(self):
+        grid = TorusGrid.filled(5, 5, AgentType.PLUS)
+        assert grid.flip(2, 2) == -1
+        assert grid.get(2, 2) == -1
+        assert grid.flip(2, 2) == 1
+
+    def test_window_shape_and_wrap(self):
+        grid = TorusGrid.filled(6, 6, AgentType.PLUS)
+        grid.set(5, 5, -1)
+        window = grid.window(0, 0, 1)
+        assert window.shape == (3, 3)
+        assert window[0, 0] == -1  # the wrapped corner
+
+    def test_set_window_roundtrip(self):
+        grid = TorusGrid.filled(8, 8, AgentType.PLUS)
+        patch = np.full((3, 3), -1, dtype=np.int8)
+        grid.set_window(4, 4, patch)
+        assert np.array_equal(grid.window(4, 4, 1), patch)
+
+    def test_set_window_rejects_even_side(self):
+        grid = TorusGrid.filled(8, 8, AgentType.PLUS)
+        with pytest.raises(ConfigurationError):
+            grid.set_window(4, 4, np.ones((2, 2), dtype=np.int8))
+
+    def test_set_square(self):
+        grid = TorusGrid.filled(9, 9, AgentType.MINUS)
+        grid.set_square((4, 4), 1, AgentType.PLUS)
+        assert grid.count(AgentType.PLUS) == 9
+
+    def test_set_mask_shape_checked(self):
+        grid = TorusGrid.filled(5, 5, AgentType.PLUS)
+        with pytest.raises(ConfigurationError):
+            grid.set_mask(np.ones((4, 4), dtype=bool), AgentType.MINUS)
+
+
+class TestCounts:
+    def test_magnetization(self):
+        grid = TorusGrid.filled(4, 4, AgentType.PLUS)
+        assert grid.magnetization() == 1.0
+        grid.set_square((0, 0), 0, AgentType.MINUS)
+        assert grid.magnetization() == pytest.approx((15 - 1) / 16)
+
+    def test_plus_neighborhood_counts_uniform(self):
+        grid = TorusGrid.filled(7, 7, AgentType.PLUS)
+        counts = grid.plus_neighborhood_counts(1)
+        assert np.all(counts == 9)
+
+    def test_plus_counts_match_brute_force(self, rng):
+        grid = TorusGrid.from_random(12, 12, 0.5, rng)
+        counts = grid.plus_neighborhood_counts(2)
+        indicator = (grid.spins == 1).astype(int)
+        for row, col in [(0, 0), (3, 7), (11, 11)]:
+            assert counts[row, col] == brute_force_window_sum(indicator, row, col, 2)
+
+    def test_same_type_counts_complementary(self, rng):
+        grid = TorusGrid.from_random(10, 10, 0.5, rng)
+        same = grid.same_type_neighborhood_counts(1)
+        plus = grid.plus_neighborhood_counts(1)
+        # For a -1 agent, same + plus == 9; for a +1 agent same == plus.
+        minus_mask = grid.spins == -1
+        assert np.all(same[minus_mask] + plus[minus_mask] == 9)
+        assert np.all(same[~minus_mask] == plus[~minus_mask])
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        grid = TorusGrid.filled(5, 5, AgentType.PLUS)
+        clone = grid.copy()
+        clone.flip(0, 0)
+        assert grid.get(0, 0) == 1
+
+    def test_equality(self):
+        a = TorusGrid.filled(4, 4, AgentType.PLUS)
+        b = TorusGrid.filled(4, 4, AgentType.PLUS)
+        assert a == b
+        b.flip(1, 1)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(TorusGrid.filled(3, 3, AgentType.PLUS))
+
+    def test_flat_index_roundtrip(self):
+        grid = TorusGrid.filled(6, 7, AgentType.PLUS)
+        for site in [(0, 0), (3, 4), (5, 6)]:
+            assert grid.site_of(grid.flat_index(*site)) == site
+
+    def test_site_of_out_of_range(self):
+        grid = TorusGrid.filled(3, 3, AgentType.PLUS)
+        with pytest.raises(IndexError):
+            grid.site_of(9)
+
+    def test_sites_iterates_all(self):
+        grid = TorusGrid.filled(3, 4, AgentType.PLUS)
+        assert len(list(grid.sites())) == 12

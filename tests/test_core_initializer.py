@@ -1,0 +1,169 @@
+"""Tests for initial configuration generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.initializer import (
+    checkerboard_configuration,
+    density_sweep_configurations,
+    planted_annulus_configuration,
+    planted_block_configuration,
+    planted_radical_region_configuration,
+    radical_region_threshold,
+    random_configuration,
+    striped_configuration,
+    uniform_configuration,
+)
+from repro.core.neighborhood import square_mask
+from repro.errors import ConfigurationError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=40, horizon=2, tau=0.45)
+
+
+class TestRandomConfiguration:
+    def test_shape_matches_config(self, config):
+        grid = random_configuration(config, seed=0)
+        assert grid.shape == config.shape
+
+    def test_deterministic_given_seed(self, config):
+        a = random_configuration(config, seed=5)
+        b = random_configuration(config, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self, config):
+        a = random_configuration(config, seed=1)
+        b = random_configuration(config, seed=2)
+        assert a != b
+
+    def test_density_respected(self):
+        config = ModelConfig.square(side=60, horizon=1, tau=0.4, density=0.8)
+        grid = random_configuration(config, seed=0)
+        assert 0.75 < grid.plus_fraction() < 0.85
+
+
+class TestDeterministicPatterns:
+    def test_uniform(self, config):
+        grid = uniform_configuration(config, AgentType.MINUS)
+        assert grid.count(AgentType.PLUS) == 0
+
+    def test_checkerboard_is_balanced(self, config):
+        grid = checkerboard_configuration(config)
+        assert grid.count(AgentType.PLUS) == config.n_sites // 2
+
+    def test_checkerboard_alternates(self, config):
+        grid = checkerboard_configuration(config)
+        assert grid.get(0, 0) != grid.get(0, 1)
+        assert grid.get(0, 0) != grid.get(1, 0)
+        assert grid.get(0, 0) == grid.get(1, 1)
+
+    def test_stripes_width(self, config):
+        grid = striped_configuration(config, stripe_width=4)
+        assert grid.get(0, 0) == grid.get(3, 10)
+        assert grid.get(0, 0) != grid.get(4, 10)
+
+    def test_stripes_invalid_width(self, config):
+        with pytest.raises(ConfigurationError):
+            striped_configuration(config, stripe_width=0)
+
+
+class TestPlantedBlock:
+    def test_block_is_monochromatic(self, config):
+        center = (20, 20)
+        grid = planted_block_configuration(config, center, 3, AgentType.MINUS, seed=1)
+        mask = square_mask(config.n_rows, config.n_cols, center, 3)
+        assert np.all(grid.spins[mask] == -1)
+
+    def test_background_is_random(self, config):
+        grid = planted_block_configuration(config, (20, 20), 3, AgentType.MINUS, seed=1)
+        outside = grid.spins[~square_mask(config.n_rows, config.n_cols, (20, 20), 3)]
+        assert (outside == 1).any() and (outside == -1).any()
+
+
+class TestPlantedAnnulus:
+    def test_annulus_is_monochromatic(self, config):
+        center = (20, 20)
+        grid = planted_annulus_configuration(
+            config, center, outer_radius=10.0, annulus_type=AgentType.PLUS, seed=2
+        )
+        from repro.core.neighborhood import annulus_mask
+
+        width = np.sqrt(2.0) * config.horizon
+        mask = annulus_mask(config.n_rows, config.n_cols, center, 10.0 - width, 10.0)
+        assert np.all(grid.spins[mask] == 1)
+
+    def test_interior_fill(self, config):
+        grid = planted_annulus_configuration(
+            config,
+            (20, 20),
+            outer_radius=10.0,
+            annulus_type=AgentType.PLUS,
+            interior_type=AgentType.PLUS,
+            seed=2,
+        )
+        from repro.core.neighborhood import disc_mask
+
+        disc = disc_mask(config.n_rows, config.n_cols, (20, 20), 10.0)
+        assert np.all(grid.spins[disc] == 1)
+
+    def test_radius_smaller_than_width_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            planted_annulus_configuration(config, (20, 20), outer_radius=1.0)
+
+
+class TestPlantedRadicalRegion:
+    def test_minority_count_below_threshold(self, config):
+        center = (20, 20)
+        epsilon_prime = 0.5
+        grid = planted_radical_region_configuration(
+            config, center, epsilon_prime, seed=3
+        )
+        radius = int((1 + epsilon_prime) * config.horizon)
+        mask = square_mask(config.n_rows, config.n_cols, center, radius)
+        minority = int(np.count_nonzero(grid.spins[mask] == -1))
+        assert minority < radical_region_threshold(config, epsilon_prime)
+
+    def test_explicit_minority_count(self, config):
+        center = (20, 20)
+        grid = planted_radical_region_configuration(
+            config, center, 0.5, minority_count=2, seed=3
+        )
+        radius = int(1.5 * config.horizon)
+        mask = square_mask(config.n_rows, config.n_cols, center, radius)
+        assert int(np.count_nonzero(grid.spins[mask] == -1)) == 2
+
+    def test_threshold_positive_for_reasonable_tau(self, config):
+        assert radical_region_threshold(config, 0.5) > 0
+
+    def test_threshold_zero_for_zero_tau(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.0)
+        assert radical_region_threshold(config, 0.5) == 0
+
+    def test_invalid_epsilon_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            planted_radical_region_configuration(config, (20, 20), 0.0)
+
+    def test_too_many_minority_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            planted_radical_region_configuration(
+                config, (20, 20), 0.5, minority_count=10**6
+            )
+
+    def test_region_too_large_for_grid_rejected(self):
+        config = ModelConfig.square(side=9, horizon=4, tau=0.45)
+        with pytest.raises(ConfigurationError):
+            planted_radical_region_configuration(config, (4, 4), 0.9)
+
+
+class TestDensitySweep:
+    def test_one_grid_per_density(self, config):
+        grids = density_sweep_configurations(config, [0.2, 0.5, 0.8], seed=0)
+        assert len(grids) == 3
+
+    def test_densities_monotone_in_plus_fraction(self, config):
+        grids = density_sweep_configurations(config, [0.2, 0.8], seed=0)
+        assert grids[0].plus_fraction() < grids[1].plus_fraction()

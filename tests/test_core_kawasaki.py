@@ -1,0 +1,116 @@
+"""Tests for the Kawasaki (swap) dynamics baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.initializer import random_configuration, uniform_configuration
+from repro.core.kawasaki import KawasakiDynamics
+from repro.core.state import ModelState
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=24, horizon=2, tau=0.45)
+
+
+def fresh_state(config, seed=0) -> ModelState:
+    return ModelState(config, random_configuration(config, seed=seed))
+
+
+class TestSwapSemantics:
+    def test_magnetization_conserved(self, config):
+        state = fresh_state(config, seed=1)
+        initial_plus = state.grid.count(AgentType.PLUS)
+        KawasakiDynamics(state, seed=2).run(max_proposals=2000)
+        assert state.grid.count(AgentType.PLUS) == initial_plus
+
+    def test_swap_check_rejects_same_type_pair(self, config):
+        state = fresh_state(config, seed=3)
+        dynamics = KawasakiDynamics(state, seed=4)
+        spins = state.grid.spins
+        plus_sites = np.argwhere(spins == 1)
+        a, b = tuple(plus_sites[0]), tuple(plus_sites[1])
+        assert not dynamics.swap_makes_both_happy(
+            (int(a[0]), int(a[1])), (int(b[0]), int(b[1]))
+        )
+
+    def test_swap_check_leaves_state_unchanged(self, config):
+        state = fresh_state(config, seed=5)
+        dynamics = KawasakiDynamics(state, seed=6)
+        spins_before = state.snapshot()
+        counts_before = state.plus_counts()
+        plus_site = tuple(int(v) for v in np.argwhere(state.grid.spins == 1)[0])
+        minus_site = tuple(int(v) for v in np.argwhere(state.grid.spins == -1)[0])
+        dynamics.swap_makes_both_happy(plus_site, minus_site)
+        assert np.array_equal(state.snapshot(), spins_before)
+        assert np.array_equal(state.plus_counts(), counts_before)
+
+    def test_performed_swaps_make_both_happy(self, config):
+        state = fresh_state(config, seed=7)
+        dynamics = KawasakiDynamics(state, seed=8)
+        for _ in range(500):
+            event = dynamics.step()
+            if event is None:
+                continue
+            assert state.is_happy(event.site_a.row, event.site_a.col)
+            assert state.is_happy(event.site_b.row, event.site_b.col)
+
+    def test_energy_never_decreases_on_accepted_swaps(self, config):
+        state = fresh_state(config, seed=9)
+        dynamics = KawasakiDynamics(state, seed=10)
+        previous = state.energy()
+        swaps_seen = 0
+        for _ in range(500):
+            event = dynamics.step()
+            if event is None:
+                continue
+            swaps_seen += 1
+            current = state.energy()
+            # A swap that makes both agents happy increases both their own
+            # same-type counts, hence the global agreement count.
+            assert current >= previous
+            previous = current
+        assert swaps_seen > 0
+
+
+class TestRun:
+    def test_run_reports_counts(self, config):
+        state = fresh_state(config, seed=11)
+        result = KawasakiDynamics(state, seed=12).run(max_proposals=500)
+        assert result.n_proposals <= 500
+        assert result.n_swaps <= result.n_proposals
+
+    def test_converges_on_monochromatic_grid(self, config):
+        state = ModelState(config, uniform_configuration(config, AgentType.PLUS))
+        result = KawasakiDynamics(state, seed=13).run()
+        assert result.converged
+        assert result.n_swaps == 0
+
+    def test_consecutive_failures_trigger_convergence(self, config):
+        # With a tiny failure budget the run stops quickly and flags it.
+        state = fresh_state(config, seed=14)
+        result = KawasakiDynamics(state, seed=15).run(max_consecutive_failures=1)
+        assert result.converged or result.n_swaps > 0
+
+    def test_exists_productive_swap_on_mixed_grid(self, config):
+        state = fresh_state(config, seed=16)
+        dynamics = KawasakiDynamics(state, seed=17)
+        # On a random balanced grid with tau=0.45 some productive swap exists
+        # with overwhelming probability.
+        assert dynamics.exists_productive_swap(max_pairs=5000)
+
+    def test_exists_productive_swap_false_when_all_happy(self, config):
+        state = ModelState(config, uniform_configuration(config, AgentType.MINUS))
+        dynamics = KawasakiDynamics(state, seed=18)
+        assert not dynamics.exists_productive_swap()
+
+    def test_improves_homogeneity(self, config):
+        from repro.analysis.segregation import local_homogeneity
+
+        state = fresh_state(config, seed=19)
+        before = local_homogeneity(state.grid.spins, config.horizon)
+        KawasakiDynamics(state, seed=20).run(max_proposals=4000)
+        after = local_homogeneity(state.grid.spins, config.horizon)
+        assert after > before

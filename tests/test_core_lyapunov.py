@@ -1,0 +1,84 @@
+"""Tests for the Lyapunov / energy functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics
+from repro.core.initializer import (
+    checkerboard_configuration,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.core.lyapunov import (
+    agreement_pairs,
+    lyapunov_energy,
+    max_energy,
+    same_type_count_field,
+)
+from repro.core.neighborhood import neighborhood_size
+from repro.core.state import ModelState
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=18, horizon=2, tau=0.45)
+
+
+class TestEnergy:
+    def test_monochromatic_grid_has_max_energy(self, config):
+        spins = uniform_configuration(config, AgentType.PLUS).spins
+        assert lyapunov_energy(spins, config.horizon) == max_energy(
+            config.n_rows, config.n_cols, config.horizon
+        )
+
+    def test_max_energy_value(self):
+        assert max_energy(10, 10, 2) == 100 * 25
+
+    def test_checkerboard_energy_formula(self, config):
+        # On a checkerboard every agent agrees with the like-coloured cells of
+        # its window; for horizon 2 that is 13 of 25 cells.
+        spins = checkerboard_configuration(config).spins
+        field = same_type_count_field(spins, 2)
+        assert np.all(field == 13)
+
+    def test_energy_between_bounds(self, config):
+        spins = random_configuration(config, seed=0).spins
+        energy = lyapunov_energy(spins, config.horizon)
+        assert config.n_sites <= energy <= max_energy(
+            config.n_rows, config.n_cols, config.horizon
+        )
+
+    def test_energy_symmetric_under_global_flip(self, config):
+        spins = random_configuration(config, seed=1).spins
+        assert lyapunov_energy(spins, 2) == lyapunov_energy(-spins, 2)
+
+    def test_agreement_pairs_identity(self, config):
+        spins = random_configuration(config, seed=2).spins
+        energy = lyapunov_energy(spins, config.horizon)
+        pairs = agreement_pairs(spins, config.horizon)
+        assert energy == spins.size + 2 * pairs
+
+    def test_field_matches_state(self, config):
+        grid = random_configuration(config, seed=3)
+        state = ModelState(config, grid)
+        field = same_type_count_field(grid.spins, config.horizon)
+        assert np.array_equal(field, state.same_type_counts())
+
+
+class TestMonotonicityUnderDynamics:
+    def test_energy_non_decreasing_over_full_run(self, config):
+        state = ModelState(config, random_configuration(config, seed=4))
+        energies = [state.energy()]
+        dynamics = GlauberDynamics(state, seed=5)
+        while not dynamics.is_terminated:
+            if dynamics.step() is not None:
+                energies.append(state.energy())
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_final_energy_not_less_than_initial(self, config):
+        state = ModelState(config, random_configuration(config, seed=6))
+        initial = state.energy()
+        GlauberDynamics(state, seed=7).run()
+        assert state.energy() >= initial

@@ -1,0 +1,111 @@
+"""Tests for the high-level simulation facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.initializer import uniform_configuration
+from repro.core.simulation import Simulation, simulate
+from repro.errors import StateError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=24, horizon=2, tau=0.45)
+
+
+class TestSimulation:
+    def test_run_to_termination(self, config):
+        result = Simulation(config, seed=0).run()
+        assert result.terminated
+        assert result.final_spins.shape == config.shape
+
+    def test_deterministic_given_seed(self, config):
+        a = Simulation(config, seed=42).run()
+        b = Simulation(config, seed=42).run()
+        assert np.array_equal(a.final_spins, b.final_spins)
+        assert a.n_flips == b.n_flips
+
+    def test_different_seeds_differ(self, config):
+        a = Simulation(config, seed=1).run()
+        b = Simulation(config, seed=2).run()
+        assert not np.array_equal(a.initial_spins, b.initial_spins)
+
+    def test_initial_spins_preserved(self, config):
+        simulation = Simulation(config, seed=3)
+        initial = simulation.initial_spins
+        result = simulation.run()
+        assert np.array_equal(result.initial_spins, initial)
+        assert not np.array_equal(result.initial_spins, result.final_spins)
+
+    def test_run_twice_rejected(self, config):
+        simulation = Simulation(config, seed=4)
+        simulation.run()
+        with pytest.raises(StateError):
+            simulation.run()
+
+    def test_flipped_fraction(self, config):
+        result = Simulation(config, seed=5).run()
+        changed = np.count_nonzero(result.initial_spins != result.final_spins)
+        assert result.flipped_fraction == pytest.approx(changed / config.n_sites)
+
+    def test_planted_initial_grid_used(self, config):
+        grid = uniform_configuration(config, AgentType.MINUS)
+        result = Simulation(config, seed=6, initial_grid=grid).run()
+        assert result.n_flips == 0
+        assert np.all(result.final_spins == -1)
+
+    def test_initial_grid_not_mutated(self, config):
+        grid = uniform_configuration(config, AgentType.MINUS)
+        grid.set(0, 0, 1)
+        before = grid.spins.copy()
+        Simulation(config, seed=7, initial_grid=grid).run()
+        assert np.array_equal(grid.spins, before)
+
+    def test_max_flips_budget(self, config):
+        result = Simulation(config, seed=8).run(max_flips=5)
+        assert result.n_flips == 5
+        assert not result.terminated
+
+
+class TestSnapshots:
+    def test_final_snapshot_always_present(self, config):
+        result = Simulation(config, seed=9).run()
+        assert len(result.snapshots) >= 1
+        assert np.array_equal(result.snapshots[-1].spins, result.final_spins)
+
+    def test_requested_snapshots_collected(self, config):
+        result = Simulation(config, seed=10).run(snapshot_flip_counts=[0, 10, 50])
+        flips = [snapshot.n_flips for snapshot in result.snapshots]
+        assert flips[0] == 0
+        assert any(f >= 10 for f in flips[1:])
+        # Snapshots are ordered in time.
+        times = [snapshot.time for snapshot in result.snapshots]
+        assert times == sorted(times)
+
+    def test_snapshot_at_zero_equals_initial(self, config):
+        result = Simulation(config, seed=11).run(snapshot_flip_counts=[0])
+        assert np.array_equal(result.snapshots[0].spins, result.initial_spins)
+
+
+class TestTrajectoryAndHelper:
+    def test_trajectory_recorded_when_requested(self, config):
+        result = Simulation(config, seed=12).run(record_trajectory=True, record_every=20)
+        assert result.trajectory is not None
+        assert len(result.trajectory) >= 2
+
+    def test_trajectory_absent_by_default(self, config):
+        assert Simulation(config, seed=13).run().trajectory is None
+
+    def test_simulate_helper(self, config):
+        result = simulate(config, seed=14)
+        assert result.terminated
+
+    def test_simulate_increases_homogeneity(self, config):
+        from repro.analysis.segregation import local_homogeneity
+
+        result = simulate(config, seed=15)
+        before = local_homogeneity(result.initial_spins, config.horizon)
+        after = local_homogeneity(result.final_spins, config.horizon)
+        assert after > before

@@ -1,0 +1,181 @@
+"""Tests for the incremental model state (happiness bookkeeping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ModelConfig
+from repro.core.grid import TorusGrid
+from repro.core.initializer import random_configuration, uniform_configuration
+from repro.core.state import ModelState, make_state
+from repro.errors import ConfigurationError, StateError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=20, horizon=2, tau=0.45)
+
+
+@pytest.fixture
+def state(config) -> ModelState:
+    return ModelState(config, random_configuration(config, seed=7))
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self, config):
+        wrong = TorusGrid.filled(10, 10, AgentType.PLUS)
+        with pytest.raises(ConfigurationError):
+            ModelState(config, wrong)
+
+    def test_make_state_random_by_default(self, config):
+        state = make_state(config, seed=1)
+        assert state.grid.shape == config.shape
+
+    def test_monochromatic_grid_everyone_happy(self, config):
+        state = ModelState(config, uniform_configuration(config, AgentType.PLUS))
+        assert state.n_unhappy == 0
+        assert state.n_flippable == 0
+        assert state.is_terminated()
+
+
+class TestCountsAndHappiness:
+    def test_plus_counts_match_grid_method(self, state, config):
+        expected = state.grid.plus_neighborhood_counts(config.horizon)
+        assert np.array_equal(state.plus_counts(), expected)
+
+    def test_same_type_counts_match_grid_method(self, state, config):
+        expected = state.grid.same_type_neighborhood_counts(config.horizon)
+        assert np.array_equal(state.same_type_counts(), expected)
+
+    def test_happy_iff_threshold_met(self, state, config):
+        same = state.same_type_counts()
+        happy = state.happy_mask()
+        assert np.array_equal(happy, same >= config.happiness_threshold)
+
+    def test_unhappy_mask_complement(self, state):
+        assert np.array_equal(state.unhappy_mask(), ~state.happy_mask())
+
+    def test_samplers_match_masks(self, state):
+        unhappy_flat = np.flatnonzero(state.unhappy_mask().ravel())
+        flippable_flat = np.flatnonzero(state.flippable_mask().ravel())
+        assert state.unhappy_sampler.to_array().tolist() == unhappy_flat.tolist()
+        assert state.flippable_sampler.to_array().tolist() == flippable_flat.tolist()
+
+    def test_same_type_fraction_is_s_of_u(self, state, config):
+        row, col = 3, 5
+        assert state.same_type_fraction(row, col) == pytest.approx(
+            state.same_type_count(row, col) / config.neighborhood_agents
+        )
+
+    def test_flippable_subset_of_unhappy(self, state):
+        assert np.all(~state.flippable_mask() | state.unhappy_mask())
+
+    def test_flippable_equals_unhappy_below_half(self, state, config):
+        # For tau < 1/2 every unhappy agent becomes happy by flipping.
+        assert config.tau < 0.5
+        assert np.array_equal(state.flippable_mask(), state.unhappy_mask())
+
+    def test_flippable_strict_subset_above_half(self):
+        config = ModelConfig.square(side=20, horizon=2, tau=0.7)
+        state = ModelState(config, random_configuration(config, seed=3))
+        assert state.n_flippable <= state.n_unhappy
+
+    def test_would_be_happy_after_flip_matches_definition(self, state, config):
+        n = config.neighborhood_agents
+        threshold = config.happiness_threshold
+        for site in [(0, 0), (5, 5), (12, 19)]:
+            same = state.same_type_count(*site)
+            expected = (n - same + 1) >= threshold
+            assert state.would_be_happy_after_flip(*site) == expected
+
+
+class TestApplyFlip:
+    def test_flip_changes_spin(self, state):
+        before = state.grid.get(4, 4)
+        new_value = state.apply_flip(4, 4)
+        assert new_value == -before
+        assert state.grid.get(4, 4) == -before
+
+    def test_incremental_matches_full_recompute(self, state, config):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            row = int(rng.integers(0, config.n_rows))
+            col = int(rng.integers(0, config.n_cols))
+            state.apply_flip(row, col)
+        reference = ModelState(config, state.grid.copy())
+        assert np.array_equal(state.plus_counts(), reference.plus_counts())
+        assert np.array_equal(state.happy_mask(), reference.happy_mask())
+        assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+        assert state.n_unhappy == reference.n_unhappy
+        assert state.n_flippable == reference.n_flippable
+
+    def test_flip_near_boundary_wraps(self, state, config):
+        state.apply_flip(0, 0)
+        reference = ModelState(config, state.grid.copy())
+        assert np.array_equal(state.plus_counts(), reference.plus_counts())
+
+    def test_double_flip_restores_state(self, state):
+        before_counts = state.plus_counts()
+        before_happy = state.happy_mask()
+        state.apply_flip(7, 7)
+        state.apply_flip(7, 7)
+        assert np.array_equal(state.plus_counts(), before_counts)
+        assert np.array_equal(state.happy_mask(), before_happy)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=19),
+                st.integers(min_value=0, max_value=19),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_incremental_invariant_under_arbitrary_flips(self, seed, flips):
+        config = ModelConfig.square(side=20, horizon=2, tau=0.45)
+        state = ModelState(config, random_configuration(config, seed=seed))
+        for row, col in flips:
+            state.apply_flip(row, col)
+        reference = ModelState(config, state.grid.copy())
+        assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+        assert state.n_unhappy == reference.n_unhappy
+
+
+class TestOtherOperations:
+    def test_apply_spin_array(self, state, config):
+        new_spins = uniform_configuration(config, AgentType.MINUS).spins
+        state.apply_spin_array(new_spins)
+        assert state.n_unhappy == 0
+        assert state.grid.count(AgentType.PLUS) == 0
+
+    def test_apply_spin_array_shape_checked(self, state):
+        with pytest.raises(ConfigurationError):
+            state.apply_spin_array(np.ones((5, 5), dtype=np.int8))
+
+    def test_energy_matches_lyapunov(self, state, config):
+        from repro.core.lyapunov import lyapunov_energy
+
+        assert state.energy() == lyapunov_energy(state.grid.spins, config.horizon)
+
+    def test_sample_unhappy_from_empty_raises(self, config):
+        state = ModelState(config, uniform_configuration(config, AgentType.PLUS))
+        with pytest.raises(StateError):
+            state.sample_unhappy(np.random.default_rng(0))
+        with pytest.raises(StateError):
+            state.sample_flippable(np.random.default_rng(0))
+
+    def test_sample_unhappy_returns_unhappy_site(self, state):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            site = state.sample_unhappy(rng)
+            assert not state.is_happy(*site)
+
+    def test_snapshot_is_copy(self, state):
+        snap = state.snapshot()
+        state.apply_flip(0, 0)
+        assert snap[0, 0] == -state.grid.get(0, 0)

@@ -1,0 +1,183 @@
+"""Tests for the two-sided comfort and per-type intolerance variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics
+from repro.core.initializer import (
+    checkerboard_configuration,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.core.state import ModelState
+from repro.core.variants import AsymmetricModelState, TwoSidedModelState
+from repro.errors import ConfigurationError
+from repro.types import AgentType
+
+
+@pytest.fixture
+def config() -> ModelConfig:
+    return ModelConfig.square(side=24, horizon=2, tau=0.45)
+
+
+class TestTwoSidedState:
+    def test_reduces_to_base_model_when_upper_bound_is_one(self, config):
+        grid = random_configuration(config, seed=0)
+        base = ModelState(config, grid.copy())
+        two_sided = TwoSidedModelState(config, tau_high=1.0, grid=grid.copy())
+        assert np.array_equal(base.happy_mask(), two_sided.happy_mask())
+        assert np.array_equal(base.flippable_mask(), two_sided.flippable_mask())
+
+    def test_uniform_grid_is_unhappy_when_majority_uncomfortable(self, config):
+        # Everyone has 100% same-type neighbours, above the comfort band.
+        state = TwoSidedModelState(
+            config, tau_high=0.9, grid=uniform_configuration(config, AgentType.PLUS)
+        )
+        assert state.n_unhappy == config.n_sites
+        # Flipping makes the agent a tiny minority — still outside the band.
+        assert state.n_flippable == 0
+        assert state.is_terminated()
+
+    def test_checkerboard_inside_band_is_happy(self, config):
+        # Checkerboard same-type fraction is 13/25 = 0.52 for horizon 2.
+        state = TwoSidedModelState(
+            config, tau_high=0.8, grid=checkerboard_configuration(config)
+        )
+        assert state.n_unhappy == 0
+
+    def test_invalid_upper_bound_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            TwoSidedModelState(config, tau_high=0.3)
+        with pytest.raises(ConfigurationError):
+            TwoSidedModelState(config, tau_high=1.2)
+
+    def test_incremental_updates_match_recompute(self, config):
+        state = TwoSidedModelState(
+            config, tau_high=0.85, grid=random_configuration(config, seed=1)
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            row = int(rng.integers(0, config.n_rows))
+            col = int(rng.integers(0, config.n_cols))
+            state.apply_flip(row, col)
+        reference = TwoSidedModelState(config, tau_high=0.85, grid=state.grid.copy())
+        assert np.array_equal(state.happy_mask(), reference.happy_mask())
+        assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+
+    def test_flips_land_inside_comfort_band(self, config):
+        state = TwoSidedModelState(
+            config, tau_high=0.85, grid=random_configuration(config, seed=3)
+        )
+        dynamics = GlauberDynamics(state, seed=4)
+        checked = 0
+        for _ in range(200):
+            event = dynamics.step()
+            if event is None:
+                if dynamics.is_terminated:
+                    break
+                continue
+            fraction = state.same_type_fraction(event.site.row, event.site.col)
+            assert config.tau <= fraction + 1e-9
+            assert fraction <= state.tau_high + 1e-9
+            checked += 1
+        assert checked > 0
+
+    def test_run_with_budget_performs_flips(self, config):
+        # The two-sided variant has no Lyapunov function: the unhappy count
+        # may rise as segregated patches overshoot the comfort cap, so the run
+        # is only checked for activity and for never exceeding its budget.
+        grid = random_configuration(config, seed=5)
+        state = TwoSidedModelState(config, tau_high=0.85, grid=grid)
+        result = GlauberDynamics(state, seed=6).run(max_steps=5 * config.n_sites)
+        assert result.n_flips > 0
+        assert result.n_steps <= 5 * config.n_sites
+
+    def test_less_segregated_than_one_sided_model(self, config):
+        from repro.analysis.segregation import local_homogeneity
+
+        grid = random_configuration(config, seed=7)
+        one_sided = ModelState(config, grid.copy())
+        GlauberDynamics(one_sided, seed=8).run()
+        two_sided = TwoSidedModelState(config, tau_high=0.8, grid=grid.copy())
+        GlauberDynamics(two_sided, seed=8).run(max_steps=10 * config.n_sites)
+        assert local_homogeneity(two_sided.grid.spins, config.horizon) <= local_homogeneity(
+            one_sided.grid.spins, config.horizon
+        )
+
+
+class TestAsymmetricState:
+    def test_equal_intolerances_reduce_to_base_model(self, config):
+        grid = random_configuration(config, seed=10)
+        base = ModelState(config, grid.copy())
+        asymmetric = AsymmetricModelState(config, tau_minus=config.tau, grid=grid.copy())
+        assert np.array_equal(base.happy_mask(), asymmetric.happy_mask())
+        assert np.array_equal(base.flippable_mask(), asymmetric.flippable_mask())
+
+    def test_tolerant_minus_agents_never_unhappy(self, config):
+        # tau_minus = 0 makes every -1 agent happy regardless of neighbours.
+        state = AsymmetricModelState(
+            config, tau_minus=0.0, grid=random_configuration(config, seed=11)
+        )
+        unhappy = state.unhappy_mask()
+        minus = state.grid.spins == -1
+        assert not np.any(unhappy & minus)
+
+    def test_intolerant_minus_agents_more_unhappy(self, config):
+        grid = random_configuration(config, seed=12)
+        lenient = AsymmetricModelState(config, tau_minus=0.3, grid=grid.copy())
+        strict = AsymmetricModelState(config, tau_minus=0.6, grid=grid.copy())
+        assert strict.n_unhappy > lenient.n_unhappy
+
+    def test_incremental_updates_match_recompute(self, config):
+        state = AsymmetricModelState(
+            config, tau_minus=0.35, grid=random_configuration(config, seed=13)
+        )
+        rng = np.random.default_rng(14)
+        for _ in range(25):
+            state.apply_flip(int(rng.integers(0, 24)), int(rng.integers(0, 24)))
+        reference = AsymmetricModelState(config, tau_minus=0.35, grid=state.grid.copy())
+        assert np.array_equal(state.happy_mask(), reference.happy_mask())
+        assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+
+    def test_dynamics_terminates(self, config):
+        state = AsymmetricModelState(
+            config, tau_minus=0.40, grid=random_configuration(config, seed=15)
+        )
+        result = GlauberDynamics(state, seed=16).run(max_steps=50 * config.n_sites)
+        assert result.n_flips > 0
+        assert state.n_flippable == 0 or result.terminated
+
+    def test_flips_respect_new_type_threshold(self, config):
+        state = AsymmetricModelState(
+            config, tau_minus=0.30, grid=random_configuration(config, seed=17)
+        )
+        dynamics = GlauberDynamics(state, seed=18)
+        for _ in range(150):
+            event = dynamics.step()
+            if event is None:
+                if dynamics.is_terminated:
+                    break
+                continue
+            site = (event.site.row, event.site.col)
+            threshold = (
+                state.config.happiness_threshold
+                if int(event.new_type) == 1
+                else state.minus_threshold
+            )
+            assert state.same_type_count(*site) >= threshold
+
+    def test_static_expected_helper(self, config):
+        balanced = AsymmetricModelState(
+            config, tau_minus=config.tau, grid=uniform_configuration(config, AgentType.PLUS)
+        )
+        assert not balanced.static_expected()
+        low_config = ModelConfig.square(side=24, horizon=2, tau=0.2)
+        static = AsymmetricModelState(
+            low_config, tau_minus=0.2, grid=uniform_configuration(low_config, AgentType.PLUS)
+        )
+        assert static.static_expected()
+
+    def test_invalid_tau_minus_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            AsymmetricModelState(config, tau_minus=1.5)

@@ -1,0 +1,156 @@
+"""Cross-module consistency checks.
+
+These tests tie together quantities that are computed in different subpackages
+but must agree with each other: theory-side formulas versus analysis-side
+counting, experiment tables versus the metrics they are built from, and the
+visualisation layer versus the model's happiness definitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.radical import radical_region_mask, radical_region_radius
+from repro.analysis.regions import (
+    monochromatic_radius_map,
+    region_sizes_from_radii,
+)
+from repro.analysis.segregation import segregation_metrics, unhappy_fraction
+from repro.core.config import ModelConfig
+from repro.core.initializer import radical_region_threshold, random_configuration
+from repro.core.lyapunov import same_type_count_field
+from repro.core.neighborhood import neighborhood_size, square_mask
+from repro.core.simulation import simulate
+from repro.core.state import ModelState
+from repro.theory.bounds import (
+    exact_radical_region_probability,
+    exact_unhappy_probability,
+    firewall_radius_scale,
+    unhappy_probability_exponent,
+)
+from repro.theory.entropy import binary_entropy_complement
+from repro.theory.exponents import lower_exponent, upper_exponent
+from repro.theory.intervals import figure2_intervals, segregation_expected
+from repro.theory.thresholds import tau1, tau2, tau_prime, trigger_epsilon
+from repro.viz.ppm import FIGURE1_COLORS, spins_to_rgb
+
+
+class TestTheoryVersusCounting:
+    def test_unhappy_exponent_matches_exact_probability_decay(self):
+        # log2 of the exact p_u should shrink by roughly the exponent per
+        # added neighbourhood agent, once N is moderately large.
+        tau = 0.42
+        small = ModelConfig.square(side=80, horizon=5, tau=tau)
+        large = ModelConfig.square(side=100, horizon=7, tau=tau)
+        log_small = np.log2(exact_unhappy_probability(small))
+        log_large = np.log2(exact_unhappy_probability(large))
+        measured_rate = (log_small - log_large) / (
+            large.neighborhood_agents - small.neighborhood_agents
+        )
+        predicted = unhappy_probability_exponent(tau)
+        assert measured_rate == pytest.approx(predicted, rel=0.35)
+
+    def test_radical_mask_count_matches_exact_probability_scaling(self):
+        config = ModelConfig.square(side=60, horizon=2, tau=0.45)
+        eps = 0.5
+        probability = exact_radical_region_probability(config, epsilon_prime=eps)
+        counts = []
+        for seed in range(5):
+            spins = random_configuration(config, seed=seed).spins
+            counts.append(radical_region_mask(spins, config, eps).mean())
+        assert np.mean(counts) == pytest.approx(probability, abs=0.05)
+
+    def test_radical_threshold_consistent_between_modules(self):
+        config = ModelConfig.square(side=60, horizon=3, tau=0.45)
+        eps = 0.4
+        threshold = radical_region_threshold(config, eps)
+        radius = radical_region_radius(config, eps)
+        # The threshold can never exceed the region size.
+        assert 0 < threshold < neighborhood_size(radius)
+
+    def test_exponents_only_defined_inside_figure2_segregating_band(self):
+        for interval in figure2_intervals():
+            midpoint = (interval.low + interval.high) / 2.0
+            if segregation_expected(midpoint):
+                assert lower_exponent(midpoint) > 0
+                assert upper_exponent(midpoint) > lower_exponent(midpoint)
+
+    def test_trigger_epsilon_defined_on_theorem2_band(self):
+        for tau in np.linspace(tau2() + 1e-3, tau1(), 8):
+            assert 0.0 < trigger_epsilon(float(tau)) < 0.5
+
+    def test_firewall_scale_uses_lemma19_exponent(self):
+        tau, n = 0.45, 49
+        expected = 2.0 ** (
+            binary_entropy_complement(tau_prime(tau, n)) * n / 2.0
+        )
+        assert firewall_radius_scale(tau, n) == pytest.approx(expected)
+
+
+class TestMetricsVersusState:
+    def test_unhappy_fraction_consistent_with_state_and_field(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.45)
+        grid = random_configuration(config, seed=1)
+        state = ModelState(config, grid)
+        field = same_type_count_field(grid.spins, config.horizon)
+        from_field = float(np.mean(field < config.happiness_threshold))
+        assert unhappy_fraction(grid.spins, config) == pytest.approx(from_field)
+        assert state.n_unhappy == int(round(from_field * config.n_sites))
+
+    def test_mean_monochromatic_size_matches_radius_map(self):
+        config = ModelConfig.square(side=30, horizon=2, tau=0.45)
+        result = simulate(config, seed=2)
+        metrics = segregation_metrics(result.final_spins, config, max_region_radius=6)
+        radii = monochromatic_radius_map(result.final_spins, max_radius=6)
+        assert metrics.mean_monochromatic_size == pytest.approx(
+            float(region_sizes_from_radii(radii).mean())
+        )
+        assert metrics.max_monochromatic_radius == int(radii.max())
+
+    def test_energy_metric_matches_state_energy(self):
+        config = ModelConfig.square(side=24, horizon=2, tau=0.45)
+        grid = random_configuration(config, seed=3)
+        state = ModelState(config, grid)
+        metrics = segregation_metrics(grid.spins, config, max_region_radius=4)
+        assert metrics.energy == state.energy()
+
+    def test_radical_centers_lie_inside_their_threshold(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.45)
+        spins = random_configuration(config, seed=4).spins
+        eps = 0.5
+        mask = radical_region_mask(spins, config, eps)
+        threshold = radical_region_threshold(config, eps)
+        radius = radical_region_radius(config, eps)
+        centers = np.argwhere(mask)
+        for row, col in centers[:5]:
+            window = square_mask(config.n_rows, config.n_cols, (int(row), int(col)), radius)
+            minority = int(np.count_nonzero(spins[window] == -1))
+            assert minority < threshold
+
+
+class TestVisualisationVersusModel:
+    def test_figure1_colors_track_happiness(self):
+        config = ModelConfig.square(side=24, horizon=2, tau=0.45)
+        grid = random_configuration(config, seed=5)
+        state = ModelState(config, grid)
+        rgb = spins_to_rgb(grid.spins, state.happy_mask())
+        unhappy_plus = (grid.spins == 1) & ~state.happy_mask()
+        if unhappy_plus.any():
+            row, col = np.argwhere(unhappy_plus)[0]
+            assert tuple(rgb[row, col]) == FIGURE1_COLORS[("plus", "unhappy")]
+        happy_minus = (grid.spins == -1) & state.happy_mask()
+        if happy_minus.any():
+            row, col = np.argwhere(happy_minus)[0]
+            assert tuple(rgb[row, col]) == FIGURE1_COLORS[("minus", "happy")]
+
+    def test_terminated_run_renders_only_happy_colors(self):
+        config = ModelConfig.square(side=24, horizon=2, tau=0.45)
+        result = simulate(config, seed=6)
+        state = ModelState(config, grid=None)
+        state.apply_spin_array(result.final_spins)
+        rgb = spins_to_rgb(result.final_spins, state.happy_mask())
+        flat = rgb.reshape(-1, 3)
+        allowed = {
+            FIGURE1_COLORS[("plus", "happy")],
+            FIGURE1_COLORS[("minus", "happy")],
+        }
+        assert {tuple(pixel) for pixel in flat} <= allowed

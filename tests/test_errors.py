@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ExperimentError,
+    PercolationError,
+    ReproError,
+    StateError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_class",
+    [ConfigurationError, StateError, AnalysisError, PercolationError, ExperimentError],
+)
+def test_all_derive_from_repro_error(exception_class):
+    assert issubclass(exception_class, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_analysis_error_is_value_error():
+    assert issubclass(AnalysisError, ValueError)
+
+
+def test_percolation_error_is_value_error():
+    assert issubclass(PercolationError, ValueError)
+
+
+def test_state_error_is_runtime_error():
+    assert issubclass(StateError, RuntimeError)
+
+
+def test_experiment_error_is_runtime_error():
+    assert issubclass(ExperimentError, RuntimeError)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(ReproError):
+        raise ConfigurationError("bad config")

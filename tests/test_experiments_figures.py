@@ -1,0 +1,134 @@
+"""Tests for the figure-reproduction experiments (small parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.experiments.figures import (
+    figure1_snapshots,
+    figure2_interval_sweep,
+    figure3_exponent_table,
+    figure6_trigger_table,
+    monotonicity_experiment,
+    symmetry_experiment,
+    theorem1_scaling,
+    theorem2_scaling,
+)
+from repro.theory.thresholds import tau2, trigger_epsilon
+
+
+class TestFigure1:
+    def test_snapshots_and_metrics(self):
+        config = ModelConfig.square(side=60, horizon=2, tau=0.42)
+        result = figure1_snapshots(config=config, seed=0, n_intermediate=1)
+        assert result.terminated
+        assert len(result.snapshots) >= 2
+        assert len(result.metrics) == len(result.snapshots)
+        # Homogeneity rises from the first to the last panel (self-segregation).
+        homogeneity = result.metrics.numeric_column("local_homogeneity")
+        assert homogeneity[-1] > homogeneity[0]
+        # Final panel has no unhappy agents (tau < 1/2 terminates all-happy).
+        assert result.metrics.numeric_column("unhappy_fraction")[-1] == 0.0
+
+    def test_snapshot_flip_counts_increase(self):
+        config = ModelConfig.square(side=50, horizon=2, tau=0.45)
+        result = figure1_snapshots(config=config, seed=1, n_intermediate=2)
+        flips = [snapshot.n_flips for snapshot in result.snapshots]
+        assert flips == sorted(flips)
+
+
+class TestFigure2:
+    def test_sweep_rows_and_regimes(self):
+        table = figure2_interval_sweep(
+            horizon=1, taus=[0.2, 0.45], n_replicates=2, side=30, seed=0
+        )
+        assert len(table) == 2
+        regimes = {row["tau"]: row["predicted_regime"] for row in table}
+        assert regimes[0.2] == "static"
+        assert regimes[0.45] == "exponential_monochromatic"
+
+    def test_static_tau_flips_less_than_segregating_tau(self):
+        table = figure2_interval_sweep(
+            horizon=1, taus=[0.2, 0.45], n_replicates=2, side=30, seed=1
+        )
+        by_tau = {row["tau"]: row for row in table}
+        assert by_tau[0.2]["n_flips_mean"] < by_tau[0.45]["n_flips_mean"]
+        assert (
+            by_tau[0.45]["final_mean_monochromatic_size_mean"]
+            > by_tau[0.2]["final_mean_monochromatic_size_mean"]
+        )
+
+
+class TestFigure3AndFigure6:
+    def test_exponent_table_columns(self):
+        table = figure3_exponent_table(taus=[0.40, 0.45, 0.55])
+        assert len(table) == 3
+        for row in table:
+            assert row["a"] < row["b"]
+            assert row["f_tau"] >= 0
+
+    def test_exponent_table_default_range(self):
+        table = figure3_exponent_table()
+        taus = table.numeric_column("tau")
+        assert taus.min() > tau2()
+        assert taus.max() < 1 - tau2()
+
+    def test_trigger_table_matches_function(self):
+        table = figure6_trigger_table(taus=[0.40, 0.45])
+        for row in table:
+            assert row["f_tau"] == pytest.approx(trigger_epsilon(row["tau"]))
+
+    def test_trigger_table_decreasing_towards_half(self):
+        table = figure6_trigger_table()
+        values = table.numeric_column("f_tau")
+        assert values[0] > values[-1]
+
+
+class TestScalingExperiments:
+    def test_theorem1_scaling_structure(self):
+        result = theorem1_scaling(
+            taus=[0.46], horizons=[1, 2], n_replicates=1, multiples=6, seed=0
+        )
+        assert len(result.measurements) == 2
+        assert len(result.fits) == 1
+        fit_row = result.fits[0]
+        assert fit_row["theory_lower_rate"] < fit_row["theory_upper_rate"]
+        assert fit_row["n_points"] == 2
+
+    def test_theorem1_region_size_grows_with_horizon(self):
+        result = theorem1_scaling(
+            taus=[0.45], horizons=[1, 2], n_replicates=2, multiples=6, seed=1
+        )
+        sizes = result.measurements.numeric_column("mean_region_size")
+        assert sizes[1] > sizes[0]
+        assert result.fits[0]["measured_rate"] > 0
+
+    def test_theorem2_scaling_structure(self):
+        result = theorem2_scaling(
+            taus=[0.40], horizons=[1, 2], n_replicates=1, multiples=6, seed=2
+        )
+        assert len(result.measurements) == 2
+        assert result.fits[0]["measured_rate"] == result.fits[0]["measured_rate"]
+
+
+class TestMonotonicityAndSymmetry:
+    def test_monotonicity_table(self):
+        table = monotonicity_experiment(
+            horizon=1, taus=[0.40, 0.45, 0.48], n_replicates=2, seed=0
+        )
+        assert len(table) == 3
+        # The theoretical exponent increases with distance from 1/2.
+        rows = sorted(table.rows, key=lambda row: row["distance_from_half"])
+        exponents = [row["theory_lower_exponent"] for row in rows]
+        assert exponents == sorted(exponents)
+
+    def test_symmetry_table(self):
+        table = symmetry_experiment(
+            horizon=1, taus_below_half=[0.45], n_replicates=2, seed=0
+        )
+        assert len(table) == 1
+        row = table[0]
+        assert row["mirrored_tau"] == pytest.approx(0.55)
+        assert row["mean_size_below"] > 0
+        assert row["mean_size_above"] > 0
+        assert 0.1 < row["ratio_above_over_below"] < 10

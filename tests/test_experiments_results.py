@@ -1,0 +1,83 @@
+"""Tests for the result table."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.results import ResultTable
+
+
+@pytest.fixture
+def table() -> ResultTable:
+    table = ResultTable()
+    table.add_row(tau=0.4, replicate=0, size=10.0)
+    table.add_row(tau=0.4, replicate=1, size=14.0)
+    table.add_row(tau=0.45, replicate=0, size=30.0)
+    return table
+
+
+class TestBasics:
+    def test_length_and_iteration(self, table):
+        assert len(table) == 3
+        assert len(list(table)) == 3
+        assert table[0]["tau"] == 0.4
+
+    def test_rows_are_copies(self, table):
+        rows = table.rows
+        rows[0]["tau"] = 99
+        assert table[0]["tau"] == 0.4
+
+    def test_extend_and_construct_from_rows(self, table):
+        other = ResultTable(table.rows)
+        other.extend([{"tau": 0.5, "replicate": 0, "size": 1.0}])
+        assert len(other) == 4
+        assert len(table) == 3
+
+    def test_columns_order(self, table):
+        assert table.columns() == ["tau", "replicate", "size"]
+
+    def test_column_and_numeric_column(self, table):
+        assert table.column("size") == [10.0, 14.0, 30.0]
+        assert table.numeric_column("size").sum() == pytest.approx(54.0)
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(ExperimentError):
+            table.numeric_column("missing")
+
+    def test_filter(self, table):
+        subset = table.filter(lambda row: row["tau"] == 0.4)
+        assert len(subset) == 2
+
+
+class TestAggregation:
+    def test_group_summary_means(self, table):
+        summary = table.group_summary(["tau"], ["size"])
+        assert len(summary) == 2
+        first = summary[0]
+        assert first["tau"] == 0.4
+        assert first["size_mean"] == pytest.approx(12.0)
+        assert first["n"] == 2
+        assert "size_ci_low" in first
+
+    def test_group_summary_preserves_group_order(self, table):
+        summary = table.group_summary(["tau"], ["size"])
+        assert [row["tau"] for row in summary] == [0.4, 0.45]
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ExperimentError):
+            ResultTable().group_summary(["tau"], ["size"])
+
+    def test_missing_value_key_skipped(self, table):
+        summary = table.group_summary(["tau"], ["absent"])
+        assert "absent_mean" not in summary[0]
+
+
+class TestExport:
+    def test_to_csv(self, table, tmp_path):
+        path = table.to_csv(tmp_path / "table.csv")
+        content = path.read_text()
+        assert "tau,replicate,size" in content
+        assert content.count("\n") >= 4
+
+    def test_to_markdown(self, table):
+        markdown = table.to_markdown()
+        assert markdown.startswith("| tau | replicate | size |")

@@ -1,0 +1,73 @@
+"""Tests for the replicate/sweep runner."""
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.experiments.runner import (
+    aggregate_sweep,
+    run_experiment,
+    run_replicate,
+    run_sweep,
+)
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+
+
+@pytest.fixture
+def small_spec() -> ExperimentSpec:
+    config = ModelConfig.square(side=20, horizon=1, tau=0.4)
+    return ExperimentSpec(name="unit", config=config, n_replicates=2, seed=7)
+
+
+class TestRunReplicate:
+    def test_row_contents(self, small_spec):
+        row = run_replicate(small_spec, 0, 123)
+        assert row["experiment"] == "unit"
+        assert row["terminated"] is True or row["terminated"] is False
+        assert row["tau"] == 0.4
+        assert "final_mean_monochromatic_size" in row
+        assert "initial_local_homogeneity" in row
+        assert row["wall_clock_seconds"] >= 0
+
+    def test_deterministic_given_seed(self, small_spec):
+        a = run_replicate(small_spec, 0, 99)
+        b = run_replicate(small_spec, 0, 99)
+        assert a["n_flips"] == b["n_flips"]
+        assert a["final_energy"] == b["final_energy"]
+
+    def test_segregation_metrics_improve(self, small_spec):
+        row = run_replicate(small_spec, 0, 5)
+        assert row["final_local_homogeneity"] >= row["initial_local_homogeneity"]
+
+
+class TestRunExperiment:
+    def test_replicate_count(self, small_spec):
+        table = run_experiment(small_spec)
+        assert len(table) == small_spec.n_replicates
+
+    def test_replicates_use_distinct_seeds(self, small_spec):
+        table = run_experiment(small_spec)
+        seeds = table.column("seed")
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestRunSweep:
+    def test_sweep_rows_and_progress(self):
+        base = ModelConfig.square(side=20, horizon=1, tau=0.4)
+        sweep = SweepSpec(
+            name="sweep", base_config=base, taus=[0.35, 0.45], n_replicates=2, seed=0
+        )
+        visited = []
+        table = run_sweep(sweep, progress=lambda cell: visited.append(cell.name))
+        assert len(table) == 4
+        assert len(visited) == 2
+
+    def test_aggregate_sweep(self):
+        base = ModelConfig.square(side=20, horizon=1, tau=0.4)
+        sweep = SweepSpec(
+            name="sweep", base_config=base, taus=[0.35, 0.45], n_replicates=2, seed=1
+        )
+        table = run_sweep(sweep)
+        summary = aggregate_sweep(table, group_keys=("tau",))
+        assert len(summary) == 2
+        assert "final_mean_monochromatic_size_mean" in summary[0]
+        assert summary[0]["n"] == 2

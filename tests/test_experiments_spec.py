@@ -1,0 +1,78 @@
+"""Tests for experiment and sweep specifications."""
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.errors import ExperimentError
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+
+
+@pytest.fixture
+def base_config() -> ModelConfig:
+    return ModelConfig.square(side=30, horizon=2, tau=0.45)
+
+
+class TestExperimentSpec:
+    def test_valid_spec(self, base_config):
+        spec = ExperimentSpec(name="demo", config=base_config, n_replicates=2, seed=1)
+        assert spec.name == "demo"
+        assert spec.n_replicates == 2
+
+    def test_empty_name_rejected(self, base_config):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="", config=base_config)
+
+    def test_zero_replicates_rejected(self, base_config):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="demo", config=base_config, n_replicates=0)
+
+
+class TestSweepSpec:
+    def test_cells_cover_cartesian_product(self, base_config):
+        sweep = SweepSpec(
+            name="grid",
+            base_config=base_config,
+            taus=[0.40, 0.45],
+            horizons=[1, 2],
+            n_replicates=1,
+        )
+        cells = list(sweep.cells())
+        assert len(cells) == 4
+        assert sweep.n_cells() == 4
+        taus = {cell.config.tau for cell in cells}
+        horizons = {cell.config.horizon for cell in cells}
+        assert taus == {0.40, 0.45}
+        assert horizons == {1, 2}
+
+    def test_empty_axes_keep_base_values(self, base_config):
+        sweep = SweepSpec(name="taus", base_config=base_config, taus=[0.4])
+        cell = next(iter(sweep.cells()))
+        assert cell.config.horizon == base_config.horizon
+        assert cell.config.density == base_config.density
+
+    def test_cell_seeds_distinct(self, base_config):
+        sweep = SweepSpec(
+            name="grid", base_config=base_config, taus=[0.40, 0.45, 0.48]
+        )
+        seeds = [cell.seed for cell in sweep.cells()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_cell_names_mention_parameters(self, base_config):
+        sweep = SweepSpec(name="grid", base_config=base_config, taus=[0.42])
+        cell = next(iter(sweep.cells()))
+        assert "tau=0.4200" in cell.name
+        assert cell.name.startswith("grid[")
+
+    def test_no_axes_rejected(self, base_config):
+        with pytest.raises(ExperimentError):
+            SweepSpec(name="empty", base_config=base_config)
+
+    def test_empty_name_rejected(self, base_config):
+        with pytest.raises(ExperimentError):
+            SweepSpec(name="", base_config=base_config, taus=[0.4])
+
+    def test_max_flips_propagated(self, base_config):
+        sweep = SweepSpec(
+            name="budget", base_config=base_config, taus=[0.4], max_flips=17
+        )
+        assert next(iter(sweep.cells())).max_flips == 17

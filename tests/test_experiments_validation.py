@@ -1,0 +1,113 @@
+"""Tests for the lemma/substrate/baseline validation experiments (small params)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.validation import (
+    density_sweep_experiment,
+    dynamics_ablation_experiment,
+    firewall_experiment,
+    kawasaki_comparison_experiment,
+    lemma19_unhappy_experiment,
+    percolation_substrate_experiment,
+    proposition1_experiment,
+    radical_expansion_experiment,
+)
+
+
+class TestLemma19:
+    def test_empirical_matches_exact(self):
+        table = lemma19_unhappy_experiment(horizons=(1, 2), tau=0.45, n_trials=10, seed=0)
+        assert len(table) == 2
+        for row in table:
+            assert row["empirical_unhappy_fraction"] == pytest.approx(
+                row["exact_probability"], abs=0.06
+            )
+            assert row["lemma_lower_bound"] <= row["exact_probability"]
+            assert row["exact_probability"] <= row["lemma_upper_bound"]
+
+
+class TestProposition1:
+    def test_concentration_high(self):
+        table = proposition1_experiment(horizons=(3,), n_samples=200, seed=0)
+        assert len(table) == 1
+        assert table[0]["concentration_probability"] > 0.9
+        assert table[0]["mean_deviation"] < table[0]["window"]
+
+
+class TestFirewallAndRadical:
+    def test_firewall_static_and_dynamic_checks_hold(self):
+        table = firewall_experiment(horizon=2, n_replicates=2, seed=1)
+        assert len(table) == 2
+        for row in table:
+            assert row["firewall_monochromatic"]
+            assert row["static_check_holds"]
+            assert row["survives_adversarial_run"]
+
+    def test_radical_regions_expand_and_seed_monochromatic_patch(self):
+        table = radical_expansion_experiment(horizon=3, n_replicates=2, seed=2)
+        assert len(table) == 2
+        assert all(row["expandable"] for row in table)
+        assert all(row["terminated"] for row in table)
+        # The cascade leaves the planted centre inside a monochromatic region
+        # at least as large as the core window in most replicates.
+        assert np.mean([row["final_center_mono_radius"] for row in table]) >= 1.0
+
+
+class TestPercolationSubstrate:
+    def test_tables_produced(self):
+        results = percolation_substrate_experiment(
+            fpp_ks=(6, 12),
+            fpp_trials=20,
+            chemical_separations=(6,),
+            chemical_trials=20,
+            radius_tail_radii=(1, 2, 3),
+            radius_tail_trials=120,
+            seed=3,
+        )
+        assert set(results) == {"first_passage", "chemical", "radius_tail"}
+        fpp = results["first_passage"]
+        assert len(fpp) == 2
+        assert fpp[1]["mean_passage_time"] > fpp[0]["mean_passage_time"]
+        chem = results["chemical"]
+        assert chem[0]["connection_rate"] > 0.5
+        tail = results["radius_tail"]
+        probabilities = [
+            row["tail_probability"] for row in tail if row["radius"] >= 0
+        ]
+        assert all(b <= a for a, b in zip(probabilities, probabilities[1:]))
+
+
+class TestDensityAndBaselines:
+    def test_density_sweep_monotone_dominance(self):
+        table = density_sweep_experiment(
+            horizon=1, densities=[0.5, 0.9], n_replicates=2, seed=4
+        )
+        by_density = {}
+        for row in table:
+            by_density.setdefault(row["density"], []).append(
+                row["final_dominant_fraction"]
+            )
+        assert np.mean(by_density[0.9]) > np.mean(by_density[0.5])
+        # At p = 1/2 complete segregation does not occur.
+        assert np.mean(by_density[0.5]) < 0.95
+
+    def test_kawasaki_comparison(self):
+        table = kawasaki_comparison_experiment(
+            horizon=1, n_replicates=1, seed=5, side=24, kawasaki_max_proposals=2000
+        )
+        row = table[0]
+        assert row["glauber_terminated"]
+        # Kawasaki conserves the magnetisation exactly.
+        assert row["kawasaki_magnetization"] == pytest.approx(
+            row["initial_magnetization"]
+        )
+        assert row["glauber_homogeneity"] > 0.5
+
+    def test_dynamics_ablation_variants_terminate(self):
+        table = dynamics_ablation_experiment(horizon=1, n_replicates=1, seed=6, side=24)
+        variants = {row["variant"] for row in table}
+        assert len(variants) == 3
+        for row in table:
+            assert row["terminated"]
+            assert row["final_unhappy_fraction"] == 0.0

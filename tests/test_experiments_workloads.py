@@ -1,0 +1,97 @@
+"""Tests for workload construction helpers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.workloads import (
+    default_tau_grid,
+    density_ladder,
+    figure1_config,
+    full_scale_requested,
+    grid_side_for_horizon,
+    scaling_horizons,
+    sweep_config,
+    theorem1_taus,
+    theorem2_taus,
+)
+from repro.theory.intervals import classify_regime
+from repro.types import Regime
+
+
+class TestGridSizing:
+    def test_side_proportional_to_horizon(self):
+        assert grid_side_for_horizon(2, multiples=10) == 50
+        assert grid_side_for_horizon(3, multiples=10) == 70
+
+    def test_minimum_enforced(self):
+        assert grid_side_for_horizon(1, multiples=2, minimum=24) == 24
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ExperimentError):
+            grid_side_for_horizon(0)
+
+    def test_sweep_config_fits_horizon(self):
+        config = sweep_config(horizon=3, tau=0.45)
+        assert config.horizon == 3
+        assert config.n_rows >= 7 * 3
+
+
+class TestFigure1:
+    def test_scaled_config_keeps_tau(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        config = figure1_config()
+        assert config.tau == pytest.approx(0.42)
+        assert config.n_rows < 1000
+        assert config.n_rows / config.horizon == pytest.approx(1000 / 10 * 0.4, rel=0.6)
+
+    def test_full_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert full_scale_requested()
+        config = figure1_config()
+        assert config.shape == (1000, 1000)
+        assert config.neighborhood_agents == 441
+
+    def test_full_scale_disabled_values(self, monkeypatch):
+        for value in ("", "0", "false"):
+            monkeypatch.setenv("REPRO_FULL_SCALE", value)
+            assert not full_scale_requested()
+
+
+class TestParameterGrids:
+    def test_default_tau_grid_spans_regimes(self):
+        taus = default_tau_grid()
+        regimes = {classify_regime(tau) for tau in taus}
+        assert Regime.EXPONENTIAL_MONOCHROMATIC in regimes
+        assert Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC in regimes
+
+    def test_default_tau_grid_symmetricish(self):
+        taus = default_tau_grid()
+        assert any(tau < 0.5 for tau in taus)
+        assert any(tau > 0.5 for tau in taus)
+
+    def test_default_tau_grid_size_control(self):
+        assert len(default_tau_grid(n_points=6)) <= 12
+        with pytest.raises(ExperimentError):
+            default_tau_grid(n_points=2)
+
+    def test_theorem_taus_in_right_intervals(self):
+        assert all(
+            classify_regime(tau) is Regime.EXPONENTIAL_MONOCHROMATIC
+            for tau in theorem1_taus()
+        )
+        assert all(
+            classify_regime(tau) is Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC
+            for tau in theorem2_taus()
+        )
+
+    def test_scaling_horizons(self):
+        assert scaling_horizons(4) == [1, 2, 3, 4]
+        with pytest.raises(ExperimentError):
+            scaling_horizons(1)
+
+    def test_density_ladder_default_and_validation(self):
+        ladder = density_ladder()
+        assert ladder[0] == 0.5
+        assert ladder == sorted(ladder)
+        with pytest.raises(ExperimentError):
+            density_ladder([0.0, 0.5])

@@ -1,0 +1,137 @@
+"""Integration tests: whole-pipeline behaviour matching the paper's claims."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import monochromatic_radius_map
+from repro.analysis.segregation import local_homogeneity, segregation_metrics
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics
+from repro.core.initializer import random_configuration
+from repro.core.simulation import Simulation, simulate
+from repro.core.state import ModelState
+from repro.theory.bounds import exact_unhappy_probability
+from repro.theory.intervals import segregation_expected, static_expected
+
+
+class TestSegregationEmergence:
+    """The headline phenomenon: random start, segregated finish."""
+
+    def test_segregation_at_tau_042(self):
+        # The Figure 1 parameters (scaled down): tau = 0.42.
+        config = ModelConfig.square(side=60, horizon=2, tau=0.42)
+        result = simulate(config, seed=0)
+        assert result.terminated
+        before = local_homogeneity(result.initial_spins, config.horizon)
+        after = local_homogeneity(result.final_spins, config.horizon)
+        assert before < 0.6
+        assert after > 0.75
+
+    def test_mean_region_size_grows_by_an_order_of_magnitude(self):
+        config = ModelConfig.square(side=60, horizon=2, tau=0.45)
+        result = simulate(config, seed=1)
+        before = segregation_metrics(result.initial_spins, config, max_region_radius=8)
+        after = segregation_metrics(result.final_spins, config, max_region_radius=8)
+        assert after.mean_monochromatic_size > 10 * before.mean_monochromatic_size
+
+    def test_both_types_survive_at_balanced_density(self):
+        # Complete segregation does not occur w.h.p. at p = 1/2 (upper bound
+        # side of the theorems / Section V).
+        config = ModelConfig.square(side=60, horizon=2, tau=0.45)
+        result = simulate(config, seed=2)
+        plus_fraction = np.mean(result.final_spins == 1)
+        assert 0.05 < plus_fraction < 0.95
+
+    def test_static_regime_keeps_initial_configuration(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.2)
+        assert static_expected(config.tau)
+        result = simulate(config, seed=3)
+        unchanged = np.mean(result.initial_spins == result.final_spins)
+        assert unchanged > 0.99
+
+    def test_segregating_regime_changes_many_sites(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.45)
+        assert segregation_expected(config.tau)
+        result = simulate(config, seed=4)
+        assert result.flipped_fraction > 0.05
+
+
+class TestMonotonicityAcrossTau:
+    def test_theory_exponent_larger_farther_from_half(self):
+        # The paper's counter-intuitive monotonicity is an asymptotic claim:
+        # the exponent a(tau) of E[M] grows as tau moves away from 1/2 within
+        # the Theorem 1 range.  At simulable horizons (N <= 49) the measured
+        # ordering is dominated by how often a cascade ignites at all, so the
+        # empirical comparison lives in the E7 benchmark (and EXPERIMENTS.md
+        # records it as a finite-size deviation); here we check the theory
+        # ordering and that both intolerances do segregate.
+        from repro.theory.exponents import lower_exponent
+
+        assert lower_exponent(0.44) > lower_exponent(0.48)
+
+    def test_both_theorem1_taus_segregate(self):
+        for tau in (0.44, 0.48):
+            config = ModelConfig.square(side=50, horizon=2, tau=tau)
+            result = simulate(config, seed=13)
+            before = local_homogeneity(result.initial_spins, config.horizon)
+            after = local_homogeneity(result.final_spins, config.horizon)
+            assert after > before + 0.1
+
+
+class TestSymmetryAroundHalf:
+    def test_tau_and_one_minus_tau_behave_alike(self):
+        results = {}
+        for tau in (0.45, 0.55):
+            config = ModelConfig.square(side=50, horizon=2, tau=tau)
+            result = simulate(config, seed=5)
+            results[tau] = local_homogeneity(result.final_spins, config.horizon)
+        assert results[0.45] == pytest.approx(results[0.55], abs=0.12)
+
+    def test_super_unhappy_flips_for_tau_above_half(self):
+        # For tau > 1/2 only super-unhappy agents flip, but flips still occur
+        # on a random configuration and every flip makes its agent happy.
+        config = ModelConfig.square(side=40, horizon=2, tau=0.55)
+        state = ModelState(config, random_configuration(config, seed=6))
+        dynamics = GlauberDynamics(state, seed=7)
+        flips = 0
+        for _ in range(300):
+            event = dynamics.step()
+            if event is None:
+                if dynamics.is_terminated:
+                    break
+                continue
+            flips += 1
+            assert state.is_happy(event.site.row, event.site.col)
+        assert flips > 0
+
+
+class TestInitialConfigurationStatistics:
+    def test_unhappy_fraction_matches_lemma19_prediction(self):
+        config = ModelConfig.square(side=80, horizon=2, tau=0.45)
+        grid = random_configuration(config, seed=8)
+        state = ModelState(config, grid)
+        empirical = state.n_unhappy / config.n_sites
+        assert empirical == pytest.approx(exact_unhappy_probability(config), abs=0.03)
+
+    def test_initial_monochromatic_regions_are_tiny(self):
+        config = ModelConfig.square(side=60, horizon=3, tau=0.45)
+        grid = random_configuration(config, seed=9)
+        radii = monochromatic_radius_map(grid.spins, max_radius=5)
+        assert radii.mean() < 0.2
+
+
+class TestReproducibility:
+    def test_full_pipeline_reproducible(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.44)
+        a = Simulation(config, seed=10).run()
+        b = Simulation(config, seed=10).run()
+        assert np.array_equal(a.final_spins, b.final_spins)
+        assert a.final_time == pytest.approx(b.final_time)
+
+    def test_snapshot_pipeline_matches_plain_run(self):
+        config = ModelConfig.square(side=40, horizon=2, tau=0.44)
+        plain = Simulation(config, seed=11).run()
+        with_snapshots = Simulation(config, seed=11).run(
+            snapshot_flip_counts=[0, 20, 100]
+        )
+        assert np.array_equal(plain.final_spins, with_snapshots.final_spins)

@@ -1,0 +1,98 @@
+"""Tests for chemical distances (Garet-Marchand substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PercolationError
+from repro.percolation.chemical import (
+    chemical_distance,
+    estimate_chemical_stretch,
+    l1_distance,
+)
+
+
+class TestChemicalDistance:
+    def test_straight_open_line(self):
+        mask = np.zeros((5, 9), dtype=bool)
+        mask[2, :] = True
+        assert chemical_distance(mask, (2, 0), (2, 8)) == 8
+
+    def test_distance_to_self_is_zero(self):
+        mask = np.ones((4, 4), dtype=bool)
+        assert chemical_distance(mask, (1, 1), (1, 1)) == 0
+
+    def test_detour_counts_extra_steps(self):
+        # An L-shaped corridor forces a detour longer than the l1 distance.
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[0, :] = True
+        mask[:, 4] = True
+        assert chemical_distance(mask, (0, 0), (4, 4)) == 8
+        assert l1_distance((0, 0), (4, 4), (5, 5)) == 8
+
+    def test_blocked_wall_forces_longer_path(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[1:5, 2] = False  # wall with a gap only at the top row
+        direct = l1_distance((2, 0), (2, 4), (5, 5))
+        assert chemical_distance(mask, (2, 0), (2, 4)) > direct
+
+    def test_disconnected_returns_inf(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[0, 0] = True
+        mask[4, 4] = True
+        assert chemical_distance(mask, (0, 0), (4, 4)) == float("inf")
+
+    def test_closed_endpoint_returns_inf(self):
+        mask = np.ones((4, 4), dtype=bool)
+        mask[3, 3] = False
+        assert chemical_distance(mask, (0, 0), (3, 3)) == float("inf")
+
+    def test_periodic_shortcut(self):
+        mask = np.ones((6, 6), dtype=bool)
+        assert chemical_distance(mask, (0, 0), (0, 5), periodic=True) == 1
+        assert chemical_distance(mask, (0, 0), (0, 5), periodic=False) == 5
+
+    def test_equals_l1_on_fully_open_lattice(self, rng):
+        mask = np.ones((9, 9), dtype=bool)
+        for _ in range(5):
+            a = tuple(int(v) for v in rng.integers(0, 9, size=2))
+            b = tuple(int(v) for v in rng.integers(0, 9, size=2))
+            assert chemical_distance(mask, a, b) == l1_distance(a, b, (9, 9))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PercolationError):
+            chemical_distance(np.ones(5, dtype=bool), (0, 0), (0, 1))
+
+
+class TestL1Distance:
+    def test_basic(self):
+        assert l1_distance((0, 0), (2, 3), (10, 10)) == 5
+
+    def test_periodic(self):
+        assert l1_distance((0, 0), (9, 9), (10, 10), periodic=True) == 2
+
+
+class TestStretchEstimate:
+    def test_high_density_stretch_close_to_one(self):
+        estimate = estimate_chemical_stretch(0.95, separation=10, n_trials=40, seed=0)
+        assert estimate.connection_rate > 0.9
+        assert np.mean(estimate.stretches) < 1.3
+
+    def test_stretch_at_least_one(self):
+        estimate = estimate_chemical_stretch(0.8, separation=8, n_trials=30, seed=1)
+        assert np.all(estimate.stretches >= 1.0)
+
+    def test_exceed_probability_small_at_high_density(self):
+        estimate = estimate_chemical_stretch(0.95, separation=12, n_trials=40, seed=2)
+        assert estimate.exceed_probability(0.5) < 0.2
+
+    def test_lower_density_gives_larger_stretch(self):
+        dense = estimate_chemical_stretch(0.95, separation=10, n_trials=40, seed=3)
+        sparse = estimate_chemical_stretch(0.72, separation=10, n_trials=40, seed=3)
+        if sparse.stretches.size and dense.stretches.size:
+            assert np.mean(sparse.stretches) >= np.mean(dense.stretches)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PercolationError):
+            estimate_chemical_stretch(0.9, separation=0, n_trials=10)
+        with pytest.raises(PercolationError):
+            estimate_chemical_stretch(0.9, separation=5, n_trials=0)

@@ -1,0 +1,131 @@
+"""Tests for cluster labelling and radius statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PercolationError
+from repro.percolation.cluster import (
+    cluster_containing,
+    cluster_radius,
+    cluster_sizes,
+    estimate_radius_tail,
+    label_clusters,
+    largest_cluster_size,
+)
+
+
+class TestLabelClusters:
+    def test_empty_mask(self):
+        labels = label_clusters(np.zeros((4, 4), dtype=bool))
+        assert np.all(labels == -1)
+        assert largest_cluster_size(labels) == 0
+
+    def test_full_mask_single_cluster(self):
+        labels = label_clusters(np.ones((4, 4), dtype=bool))
+        assert labels.max() == 0
+        assert largest_cluster_size(labels) == 16
+
+    def test_two_separate_clusters(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[0, 0] = True
+        mask[4, 4] = True
+        labels = label_clusters(mask)
+        assert labels[0, 0] != labels[4, 4]
+        assert len(cluster_sizes(labels)) == 2
+
+    def test_diagonal_not_connected(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 0] = True
+        mask[1, 1] = True
+        labels = label_clusters(mask)
+        assert labels[0, 0] != labels[1, 1]
+
+    def test_l_shape_is_one_cluster(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, :3] = True
+        mask[1, 0] = True
+        labels = label_clusters(mask)
+        assert largest_cluster_size(labels) == 4
+        assert len(cluster_sizes(labels)) == 1
+
+    def test_periodic_wraps_edges(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[0, 2] = True
+        mask[4, 2] = True
+        open_labels = label_clusters(mask, periodic=False)
+        torus_labels = label_clusters(mask, periodic=True)
+        assert open_labels[0, 2] != open_labels[4, 2]
+        assert torus_labels[0, 2] == torus_labels[4, 2]
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PercolationError):
+            label_clusters(np.zeros(5, dtype=bool))
+
+    def test_cluster_sizes_match_mask_total(self, rng):
+        mask = rng.random((12, 12)) < 0.5
+        labels = label_clusters(mask)
+        assert cluster_sizes(labels).sum() == mask.sum()
+
+
+class TestClusterQueries:
+    def test_cluster_containing(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 1:4] = True
+        labels = label_clusters(mask)
+        member = cluster_containing(labels, (2, 2))
+        assert member.sum() == 3
+        assert member[2, 1] and member[2, 3]
+
+    def test_cluster_containing_closed_site(self):
+        labels = label_clusters(np.zeros((4, 4), dtype=bool))
+        assert cluster_containing(labels, (1, 1)).sum() == 0
+
+    def test_cluster_radius_line(self):
+        mask = np.zeros((7, 7), dtype=bool)
+        mask[3, 1:6] = True
+        labels = label_clusters(mask)
+        assert cluster_radius(labels, (3, 3)) == 2
+        assert cluster_radius(labels, (3, 1)) == 4
+
+    def test_cluster_radius_of_closed_site(self):
+        labels = label_clusters(np.zeros((4, 4), dtype=bool))
+        assert cluster_radius(labels, (0, 0)) == -1
+
+    def test_cluster_radius_periodic(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0, 0] = True
+        mask[5, 0] = True
+        labels = label_clusters(mask, periodic=True)
+        assert cluster_radius(labels, (0, 0), periodic=True) == 1
+
+
+class TestRadiusTail:
+    def test_probabilities_monotone_in_radius(self, rng):
+        estimate = estimate_radius_tail(0.4, [1, 2, 3], box_radius=5, n_trials=200, rng=rng)
+        probs = estimate.probabilities
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_subcritical_decay_rate_positive(self, rng):
+        estimate = estimate_radius_tail(
+            0.3, [1, 2, 3, 4], box_radius=6, n_trials=500, rng=rng
+        )
+        assert estimate.decay_rate() > 0
+
+    def test_supercritical_tail_heavier_than_subcritical(self, rng):
+        sub = estimate_radius_tail(0.3, [3], box_radius=5, n_trials=300, rng=rng)
+        sup = estimate_radius_tail(0.8, [3], box_radius=5, n_trials=300, rng=rng)
+        assert sup.probabilities[0] > sub.probabilities[0]
+
+    def test_radius_exceeding_box_rejected(self, rng):
+        with pytest.raises(PercolationError):
+            estimate_radius_tail(0.4, [10], box_radius=5, n_trials=10, rng=rng)
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(PercolationError):
+            estimate_radius_tail(1.4, [1], box_radius=5, n_trials=10, rng=rng)
+
+    def test_decay_rate_requires_nonzero_tail(self, rng):
+        estimate = estimate_radius_tail(0.01, [4, 5], box_radius=6, n_trials=50, rng=rng)
+        if np.count_nonzero(estimate.probabilities > 0) < 2:
+            with pytest.raises(PercolationError):
+                estimate.decay_rate()

@@ -1,0 +1,114 @@
+"""Tests for the first-passage percolation substrate (Kesten's theorem)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PercolationError
+from repro.percolation.first_passage import (
+    FirstPassagePercolation,
+    exponential_passage_times,
+    study_passage_times,
+    time_constant_curve,
+    uniform_passage_times,
+)
+
+
+class TestConstruction:
+    def test_sample_shape(self):
+        fpp = FirstPassagePercolation.sample(5, 8, seed=0)
+        assert fpp.shape == (5, 8)
+        assert np.all(fpp.passage_times >= 0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(PercolationError):
+            FirstPassagePercolation(np.array([[1.0, -0.5], [0.2, 0.3]]))
+
+    def test_nan_times_rejected(self):
+        with pytest.raises(PercolationError):
+            FirstPassagePercolation(np.array([[1.0, np.nan], [0.2, 0.3]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PercolationError):
+            FirstPassagePercolation(np.ones(4))
+
+    def test_samplers_validate_parameters(self):
+        with pytest.raises(PercolationError):
+            exponential_passage_times(0.0)
+        with pytest.raises(PercolationError):
+            uniform_passage_times(2.0, 1.0)
+
+
+class TestPassageTimes:
+    def test_zero_times_give_zero_distances(self):
+        fpp = FirstPassagePercolation(np.zeros((5, 5)))
+        assert fpp.passage_time((0, 0), (4, 4)) == 0.0
+
+    def test_source_has_zero_time(self):
+        fpp = FirstPassagePercolation.sample(6, 6, seed=1)
+        field = fpp.passage_time_field((2, 2))
+        assert field[2, 2] == 0.0
+
+    def test_uniform_unit_times_give_l1_distance(self):
+        fpp = FirstPassagePercolation(np.ones((7, 7)))
+        assert fpp.passage_time((0, 0), (3, 2)) == pytest.approx(5.0)
+        assert fpp.passage_time((6, 6), (0, 0)) == pytest.approx(12.0)
+
+    def test_triangle_inequality(self):
+        fpp = FirstPassagePercolation.sample(8, 8, seed=2)
+        a, b, c = (0, 0), (4, 4), (7, 7)
+        t_ab = fpp.passage_time(a, b)
+        field_b = fpp.passage_time_field(b)
+        t_bc = float(field_b[c])
+        t_ac = fpp.passage_time(a, c)
+        assert t_ac <= t_ab + t_bc + 1e-9
+
+    def test_field_monotone_under_smaller_times(self):
+        rng = np.random.default_rng(3)
+        times = rng.exponential(1.0, size=(8, 8))
+        larger = FirstPassagePercolation(times)
+        smaller = FirstPassagePercolation(times * 0.5)
+        field_large = larger.passage_time_field((0, 0))
+        field_small = smaller.passage_time_field((0, 0))
+        assert np.all(field_small <= field_large + 1e-9)
+
+    def test_path_cheaper_than_direct_route_cost(self):
+        # The optimal passage time never exceeds the cost of the straight path.
+        fpp = FirstPassagePercolation.sample(3, 20, seed=4)
+        direct_cost = fpp.passage_times[1, 1:].sum()
+        assert fpp.passage_time((1, 0), (1, 19)) <= direct_cost + 1e-9
+
+
+class TestStudies:
+    def test_study_sample_count(self):
+        study = study_passage_times(k=6, n_trials=25, seed=0)
+        assert study.samples.shape == (25,)
+        assert study.k == 6
+
+    def test_time_constant_estimate_positive(self):
+        study = study_passage_times(k=10, n_trials=30, seed=1)
+        assert 0.1 < study.time_constant_estimate < 1.5
+
+    def test_mean_passage_time_grows_with_k(self):
+        short = study_passage_times(k=5, n_trials=30, seed=2)
+        long = study_passage_times(k=20, n_trials=30, seed=2)
+        assert long.samples.mean() > short.samples.mean()
+
+    def test_kesten_concentration_fluctuation_bounded(self):
+        # std(T_k)/sqrt(k) should not blow up with k.
+        small = study_passage_times(k=8, n_trials=60, seed=3)
+        large = study_passage_times(k=32, n_trials=60, seed=3)
+        assert large.normalized_fluctuation < 3 * max(small.normalized_fluctuation, 0.1)
+
+    def test_concentration_probability_decreases_in_x(self):
+        study = study_passage_times(k=16, n_trials=80, seed=4)
+        assert study.concentration_probability(0.5) >= study.concentration_probability(2.0)
+
+    def test_time_constant_curve_sorted(self):
+        studies = time_constant_curve([12, 4, 8], n_trials=10, seed=5)
+        assert [s.k for s in studies] == [4, 8, 12]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PercolationError):
+            study_passage_times(k=0, n_trials=5)
+        with pytest.raises(PercolationError):
+            study_passage_times(k=5, n_trials=0)

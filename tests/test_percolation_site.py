@@ -1,0 +1,100 @@
+"""Tests for Bernoulli site percolation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PercolationError
+from repro.percolation.site import (
+    SQUARE_SITE_CRITICAL_PROBABILITY,
+    SitePercolation,
+    estimate_theta,
+    is_supercritical,
+)
+
+
+class TestSitePercolation:
+    def test_sample_shape_and_density(self):
+        config = SitePercolation.sample(40, 40, 0.6, seed=0)
+        assert config.shape == (40, 40)
+        assert 0.5 < config.open_fraction() < 0.7
+
+    def test_sample_deterministic(self):
+        a = SitePercolation.sample(20, 20, 0.5, seed=3)
+        b = SitePercolation.sample(20, 20, 0.5, seed=3)
+        assert np.array_equal(a.open_mask, b.open_mask)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(PercolationError):
+            SitePercolation.sample(10, 10, -0.1, seed=0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(PercolationError):
+            SitePercolation.sample(0, 10, 0.5, seed=0)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(PercolationError):
+            SitePercolation(np.zeros((0, 4), dtype=bool))
+
+    def test_all_open_percolates(self):
+        config = SitePercolation(np.ones((10, 10), dtype=bool))
+        assert config.percolates()
+        assert config.spans_horizontally()
+        assert config.spans_vertically()
+        assert config.n_clusters() == 1
+        assert config.largest_cluster() == 100
+
+    def test_all_closed_does_not_percolate(self):
+        config = SitePercolation(np.zeros((10, 10), dtype=bool))
+        assert not config.percolates()
+        assert config.n_clusters() == 0
+
+    def test_horizontal_strip_spans_horizontally_only(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[5, :] = True
+        config = SitePercolation(mask)
+        assert config.spans_horizontally()
+        assert not config.spans_vertically()
+
+    def test_cluster_of(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2, 2:5] = True
+        config = SitePercolation(mask)
+        assert config.cluster_of((2, 3)).sum() == 3
+        assert config.cluster_of((0, 0)).sum() == 0
+
+    def test_labels_cached(self):
+        config = SitePercolation.sample(15, 15, 0.5, seed=1)
+        assert config.labels() is config.labels()
+
+
+class TestTheta:
+    def test_theta_increases_with_p(self):
+        low = estimate_theta(0.45, box_side=21, n_trials=40, seed=0)
+        high = estimate_theta(0.85, box_side=21, n_trials=40, seed=0)
+        assert high.theta > low.theta
+
+    def test_theta_near_one_for_p_near_one(self):
+        estimate = estimate_theta(0.98, box_side=21, n_trials=30, seed=1)
+        assert estimate.theta > 0.9
+        assert estimate.spanning_fraction == 1.0
+
+    def test_theta_near_zero_well_below_criticality(self):
+        estimate = estimate_theta(0.3, box_side=21, n_trials=30, seed=2)
+        assert estimate.theta < 0.1
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(PercolationError):
+            estimate_theta(0.5, box_side=11, n_trials=0)
+
+
+class TestCriticality:
+    def test_critical_probability_value(self):
+        assert SQUARE_SITE_CRITICAL_PROBABILITY == pytest.approx(0.5927, abs=1e-3)
+
+    def test_is_supercritical(self):
+        assert is_supercritical(0.7)
+        assert not is_supercritical(0.5)
+
+    def test_is_supercritical_rejects_out_of_range(self):
+        with pytest.raises(PercolationError):
+            is_supercritical(1.2)

@@ -1,0 +1,94 @@
+"""Tests for the union-find structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.percolation.union_find import UnionFind
+
+
+class TestBasics:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UnionFind(0)
+
+    def test_union_connects(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.n_components == 4
+
+    def test_union_same_component_returns_false(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 4
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_component_size(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(5) == 1
+
+    def test_component_sizes_sum_to_total(self):
+        uf = UnionFind(10)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(3, 4)
+        sizes = uf.component_sizes()
+        assert sum(sizes.values()) == 10
+        assert sorted(sizes.values(), reverse=True)[:2] == [3, 2]
+
+    def test_labels_consistent_with_connectivity(self):
+        uf = UnionFind(6)
+        uf.union(1, 4)
+        uf.union(2, 5)
+        labels = uf.labels()
+        assert labels[1] == labels[4]
+        assert labels[2] == labels[5]
+        assert labels[1] != labels[2]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    edges=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=29), st.integers(min_value=0, max_value=29)),
+        max_size=60,
+    ),
+)
+def test_matches_reference_connectivity(n, edges):
+    """Union-find connectivity matches a brute-force reachability computation."""
+    edges = [(a % n, b % n) for a, b in edges]
+    uf = UnionFind(n)
+    adjacency = {i: {i} for i in range(n)}
+    for a, b in edges:
+        uf.union(a, b)
+    # Brute-force transitive closure.
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            x = parent[x]
+        return x
+
+    for a, b in edges:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    for i in range(n):
+        for j in range(n):
+            assert uf.connected(i, j) == (find(i) == find(j))

@@ -1,0 +1,163 @@
+"""Hypothesis property tests of the model's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.regions import (
+    almost_monochromatic_radius_map,
+    monochromatic_radius_map,
+)
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics
+from repro.core.initializer import random_configuration
+from repro.core.lyapunov import lyapunov_energy, max_energy
+from repro.core.neighborhood import neighborhood_size, window_sums
+from repro.core.state import ModelState
+from repro.theory.entropy import binary_entropy
+
+COMMON_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+config_strategy = st.builds(
+    ModelConfig.square,
+    side=st.sampled_from([15, 20, 24]),
+    horizon=st.sampled_from([1, 2]),
+    tau=st.floats(min_value=0.2, max_value=0.8),
+)
+
+
+@COMMON_SETTINGS
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=10**6))
+def test_dynamics_always_terminates_with_no_flippable_agents(config, seed):
+    """The Lyapunov argument: the process terminates from any Bernoulli start."""
+    state = ModelState(config, random_configuration(config, seed=seed))
+    result = GlauberDynamics(state, seed=seed + 1).run()
+    assert result.terminated
+    assert state.n_flippable == 0
+
+
+@COMMON_SETTINGS
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=10**6))
+def test_energy_never_decreases_and_stays_bounded(config, seed):
+    state = ModelState(config, random_configuration(config, seed=seed))
+    initial = state.energy()
+    dynamics = GlauberDynamics(state, seed=seed)
+    dynamics.run(max_flips=200)
+    final = state.energy()
+    assert initial <= final <= max_energy(config.n_rows, config.n_cols, config.horizon)
+
+
+@COMMON_SETTINGS
+@given(
+    config=config_strategy,
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_flips=st.integers(min_value=0, max_value=60),
+)
+def test_incremental_state_equals_recomputed_state_after_dynamics(config, seed, n_flips):
+    """Incremental bookkeeping matches a from-scratch recomputation mid-run."""
+    state = ModelState(config, random_configuration(config, seed=seed))
+    GlauberDynamics(state, seed=seed).run(max_flips=n_flips)
+    reference = ModelState(config, state.grid.copy())
+    assert np.array_equal(state.plus_counts(), reference.plus_counts())
+    assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+
+
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    radius=st.integers(min_value=1, max_value=3),
+    density=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_window_sums_bounded_by_window_size(seed, radius, density):
+    rng = np.random.default_rng(seed)
+    arr = (rng.random((12, 12)) < density).astype(np.int64)
+    sums = window_sums(arr, radius)
+    assert sums.min() >= 0
+    assert sums.max() <= neighborhood_size(radius)
+    assert sums.sum() == arr.sum() * neighborhood_size(radius)
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_energy_invariant_under_global_type_exchange(seed):
+    """The model is symmetric under swapping the two agent types."""
+    rng = np.random.default_rng(seed)
+    spins = np.where(rng.random((16, 16)) < 0.5, 1, -1).astype(np.int8)
+    assert lyapunov_energy(spins, 2) == lyapunov_energy(-spins, 2)
+    assert np.array_equal(
+        monochromatic_radius_map(spins, max_radius=3),
+        monochromatic_radius_map(-spins, max_radius=3),
+    )
+
+
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    threshold=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_almost_monochromatic_radius_dominates_monochromatic_radius(seed, threshold):
+    rng = np.random.default_rng(seed)
+    spins = np.where(rng.random((14, 14)) < 0.5, 1, -1).astype(np.int8)
+    mono = monochromatic_radius_map(spins, max_radius=3)
+    almost = almost_monochromatic_radius_map(spins, threshold, max_radius=3)
+    assert np.all(almost >= mono)
+
+
+@COMMON_SETTINGS
+@given(
+    threshold_a=st.floats(min_value=0.0, max_value=1.0),
+    threshold_b=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_almost_monochromatic_radius_monotone_in_threshold(threshold_a, threshold_b, seed):
+    low, high = sorted((threshold_a, threshold_b))
+    rng = np.random.default_rng(seed)
+    spins = np.where(rng.random((14, 14)) < 0.5, 1, -1).astype(np.int8)
+    strict = almost_monochromatic_radius_map(spins, low, max_radius=3)
+    loose = almost_monochromatic_radius_map(spins, high, max_radius=3)
+    assert np.all(loose >= strict)
+
+
+@COMMON_SETTINGS
+@given(x=st.floats(min_value=0.0, max_value=0.5))
+def test_binary_entropy_symmetry_property(x):
+    assert binary_entropy(x) == pytest.approx(binary_entropy(1.0 - x), abs=1e-12)
+
+
+@COMMON_SETTINGS
+@given(
+    config=config_strategy,
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_happiness_is_monotone_in_same_type_neighbors(config, seed):
+    """Adding a same-type agent to a neighbourhood never makes its centre unhappy.
+
+    This is the monotonicity that underlies the paper's FKG-based arguments:
+    we flip a random minority neighbour of a happy agent to the agent's own
+    type and check the agent stays happy.
+    """
+    state = ModelState(config, random_configuration(config, seed=seed))
+    rng = np.random.default_rng(seed)
+    happy_sites = np.argwhere(state.happy_mask())
+    if happy_sites.size == 0:
+        return
+    row, col = happy_sites[rng.integers(0, len(happy_sites))]
+    row, col = int(row), int(col)
+    agent_type = state.grid.get(row, col)
+    # Find an opposite-type agent inside the neighbourhood.
+    w = config.horizon
+    for dr in range(-w, w + 1):
+        for dc in range(-w, w + 1):
+            if (dr, dc) == (0, 0):
+                continue
+            r, c = (row + dr) % config.n_rows, (col + dc) % config.n_cols
+            if state.grid.get(r, c) != agent_type:
+                state.apply_flip(r, c)
+                assert state.is_happy(row, col)
+                return

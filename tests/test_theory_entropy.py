@@ -1,0 +1,88 @@
+"""Tests for the binary entropy helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.theory.entropy import (
+    binary_entropy,
+    binary_entropy_complement,
+    binomial_tail_exponent,
+)
+
+
+class TestBinaryEntropy:
+    def test_endpoints_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # H(1/4) = 2 - (3/4) log2 3
+        assert binary_entropy(0.25) == pytest.approx(2.0 - 0.75 * np.log2(3.0))
+
+    def test_symmetric(self):
+        for x in (0.1, 0.3, 0.42):
+            assert binary_entropy(x) == pytest.approx(binary_entropy(1.0 - x))
+
+    def test_array_input(self):
+        values = binary_entropy(np.array([0.0, 0.5, 1.0]))
+        assert values.shape == (3,)
+        assert values[1] == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            binary_entropy(1.5)
+        with pytest.raises(ConfigurationError):
+            binary_entropy(-0.1)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(binary_entropy(0.3), float)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_between_zero_and_one(self, x):
+        value = binary_entropy(x)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.floats(min_value=0.001, max_value=0.499))
+    def test_strictly_increasing_below_half(self, x):
+        assert binary_entropy(x) < binary_entropy(x + 0.0005)
+
+
+class TestComplement:
+    def test_complement_definition(self):
+        for x in (0.0, 0.2, 0.5, 0.9):
+            assert binary_entropy_complement(x) == pytest.approx(1.0 - binary_entropy(x))
+
+    def test_zero_at_half(self):
+        assert binary_entropy_complement(0.5) == pytest.approx(0.0)
+
+    def test_one_at_endpoints(self):
+        assert binary_entropy_complement(0.0) == pytest.approx(1.0)
+        assert binary_entropy_complement(1.0) == pytest.approx(1.0)
+
+
+class TestBinomialTailExponent:
+    def test_equals_complement(self):
+        assert binomial_tail_exponent(0.3) == pytest.approx(binary_entropy_complement(0.3))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            binomial_tail_exponent(1.2)
+
+    def test_matches_actual_binomial_decay(self):
+        # The exact tail P(Bin(N, 1/2) <= fN) should decay at roughly
+        # 2^{-[1-H(f)]N}; compare log-probabilities at two sizes.
+        from scipy import stats
+
+        fraction = 0.35
+        exponent = binomial_tail_exponent(fraction)
+        for n in (200, 400):
+            log_prob = stats.binom.logcdf(int(fraction * n), n, 0.5) / np.log(2.0)
+            assert log_prob / n == pytest.approx(-exponent, abs=0.05)

@@ -1,0 +1,109 @@
+"""Tests for the a(tau)/b(tau) exponent multipliers (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.exponents import (
+    expected_region_size_bounds,
+    figure3_curves,
+    is_monotone_on_half_interval,
+    lower_exponent,
+    upper_exponent,
+)
+from repro.theory.thresholds import tau1, tau2, trigger_epsilon
+
+
+class TestExponentValues:
+    def test_lower_below_upper(self):
+        for tau in (0.36, 0.40, 0.44, 0.48):
+            assert lower_exponent(tau) < upper_exponent(tau)
+
+    def test_both_positive_in_theorem_range(self):
+        for tau in np.linspace(tau2() + 0.01, 0.49, 10):
+            assert lower_exponent(float(tau)) > 0
+            assert upper_exponent(float(tau)) > 0
+
+    def test_symmetric_about_half(self):
+        assert lower_exponent(0.45) == pytest.approx(lower_exponent(0.55))
+        assert upper_exponent(0.44) == pytest.approx(upper_exponent(0.56))
+
+    def test_formula_lower(self):
+        tau = 0.46
+        eps = trigger_epsilon(tau)
+        from repro.theory.entropy import binary_entropy_complement
+
+        expected = (1.0 - (2 * eps + eps**2)) * binary_entropy_complement(tau)
+        assert lower_exponent(tau) == pytest.approx(expected)
+
+    def test_formula_upper(self):
+        tau = 0.46
+        eps = trigger_epsilon(tau)
+        from repro.theory.entropy import binary_entropy_complement
+
+        expected = 1.5 * (1 + eps) ** 2 * binary_entropy_complement(tau)
+        assert upper_exponent(tau) == pytest.approx(expected)
+
+    def test_explicit_epsilon_prime_accepted(self):
+        value = lower_exponent(0.46, epsilon_prime=0.3)
+        assert value > 0
+
+    def test_epsilon_prime_below_infimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lower_exponent(0.40, epsilon_prime=0.01)
+
+    def test_finite_n_uses_tau_prime(self):
+        asymptotic = lower_exponent(0.46)
+        finite = lower_exponent(0.46, neighborhood_agents=25)
+        # tau' < tau at finite N, so 1 - H(tau') is larger.
+        assert finite > asymptotic
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lower_exponent(0.0)
+        with pytest.raises(ConfigurationError):
+            upper_exponent(1.0)
+
+
+class TestMonotonicity:
+    def test_exponents_decrease_towards_half_from_below(self):
+        taus = np.linspace(tau1() + 0.005, 0.495, 12)
+        lower = [lower_exponent(float(t)) for t in taus]
+        upper = [upper_exponent(float(t)) for t in taus]
+        assert all(b <= a + 1e-12 for a, b in zip(lower, lower[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(upper, upper[1:]))
+
+    def test_is_monotone_helper_detects_figure3_shape(self):
+        curve = figure3_curves()
+        assert is_monotone_on_half_interval(curve.lower, curve.taus)
+        assert is_monotone_on_half_interval(curve.upper, curve.taus)
+
+    def test_is_monotone_helper_rejects_wrong_shape(self):
+        taus = np.array([0.40, 0.45, 0.48])
+        values = np.array([0.1, 0.5, 0.2])
+        assert not is_monotone_on_half_interval(values, taus)
+
+
+class TestCurvesAndBounds:
+    def test_curve_spans_both_sides(self):
+        curve = figure3_curves()
+        assert (curve.taus < 0.5).any()
+        assert (curve.taus > 0.5).any()
+        assert curve.lower.shape == curve.taus.shape
+        assert curve.upper.shape == curve.taus.shape
+
+    def test_curve_rows_export(self):
+        curve = figure3_curves(taus=np.array([0.45, 0.55]))
+        rows = curve.as_rows()
+        assert len(rows) == 2
+        assert set(rows[0]) == {"tau", "a", "b"}
+
+    def test_region_size_bounds_ordered(self):
+        lower, upper = expected_region_size_bounds(0.46, 49)
+        assert 1.0 < lower < upper
+
+    def test_region_size_bounds_grow_with_n(self):
+        small = expected_region_size_bounds(0.46, 25)
+        large = expected_region_size_bounds(0.46, 81)
+        assert large[0] > small[0]
+        assert large[1] > small[1]

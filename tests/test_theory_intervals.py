@@ -1,0 +1,82 @@
+"""Tests for the Figure 2 regime classification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.intervals import (
+    classify_regime,
+    figure2_intervals,
+    segregation_expected,
+    static_expected,
+)
+from repro.theory.thresholds import tau1, tau2
+from repro.types import Regime
+
+
+class TestClassifyRegime:
+    @pytest.mark.parametrize("tau", [0.0, 0.1, 0.24, 0.76, 0.9, 1.0])
+    def test_static_regions(self, tau):
+        assert classify_regime(tau) is Regime.STATIC
+
+    @pytest.mark.parametrize("tau", [0.25, 0.30, 0.34, 0.70, 0.75])
+    def test_unknown_regions(self, tau):
+        assert classify_regime(tau) is Regime.UNKNOWN
+
+    @pytest.mark.parametrize("tau", [0.35, 0.40, 0.43, 0.60, 0.62])
+    def test_almost_monochromatic_regions(self, tau):
+        assert classify_regime(tau) is Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC
+
+    @pytest.mark.parametrize("tau", [0.44, 0.46, 0.49, 0.51, 0.56])
+    def test_monochromatic_regions(self, tau):
+        assert classify_regime(tau) is Regime.EXPONENTIAL_MONOCHROMATIC
+
+    def test_half_is_balanced(self):
+        assert classify_regime(0.5) is Regime.BALANCED
+
+    def test_boundaries_follow_paper_inclusivity(self):
+        # Theorem 2 covers (tau2, tau1]; Theorem 1 covers (tau1, 1/2).
+        assert classify_regime(tau1()) is Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC
+        assert classify_regime(tau1() + 1e-6) is Regime.EXPONENTIAL_MONOCHROMATIC
+        assert classify_regime(tau2()) is Regime.UNKNOWN
+        assert classify_regime(tau2() + 1e-6) is Regime.EXPONENTIAL_ALMOST_MONOCHROMATIC
+
+    def test_symmetry(self):
+        for tau in (0.30, 0.36, 0.45, 0.49):
+            assert classify_regime(tau) is classify_regime(1.0 - tau)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_regime(1.1)
+
+
+class TestIntervals:
+    def test_every_tau_is_covered_exactly_once(self):
+        intervals = figure2_intervals()
+        for tau in [i / 200 for i in range(201)]:
+            hits = [interval for interval in intervals if interval.contains(tau)]
+            assert len(hits) >= 1, f"tau={tau} uncovered"
+            regimes = {interval.regime for interval in hits}
+            assert len(regimes) == 1, f"tau={tau} has ambiguous regime {regimes}"
+
+    def test_interval_descriptions(self):
+        descriptions = [interval.describe() for interval in figure2_intervals()]
+        assert any("Theorem 1" not in d and "static" in d for d in descriptions)
+        assert all("->" in d for d in descriptions)
+
+    def test_interval_sources_recorded(self):
+        sources = {interval.source for interval in figure2_intervals()}
+        assert "Theorem 1" in sources
+        assert "Theorem 2" in sources
+
+
+class TestPredicates:
+    def test_segregation_expected(self):
+        assert segregation_expected(0.45)
+        assert segregation_expected(0.40)
+        assert not segregation_expected(0.2)
+        assert not segregation_expected(0.5)
+
+    def test_static_expected(self):
+        assert static_expected(0.1)
+        assert static_expected(0.9)
+        assert not static_expected(0.45)

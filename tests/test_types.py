@@ -1,0 +1,61 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.types import AgentType, DynamicsKind, FlipRule, Regime, SchedulerKind, Site
+
+
+class TestAgentType:
+    def test_values(self):
+        assert int(AgentType.PLUS) == 1
+        assert int(AgentType.MINUS) == -1
+
+    def test_opposite(self):
+        assert AgentType.PLUS.opposite is AgentType.MINUS
+        assert AgentType.MINUS.opposite is AgentType.PLUS
+
+    def test_opposite_is_involution(self):
+        for agent_type in AgentType:
+            assert agent_type.opposite.opposite is agent_type
+
+    def test_constructible_from_int(self):
+        assert AgentType(1) is AgentType.PLUS
+        assert AgentType(-1) is AgentType.MINUS
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            AgentType(0)
+
+
+class TestEnums:
+    def test_dynamics_kinds(self):
+        assert DynamicsKind.GLAUBER.value == "glauber"
+        assert DynamicsKind.KAWASAKI.value == "kawasaki"
+
+    def test_scheduler_kinds(self):
+        assert {kind.value for kind in SchedulerKind} == {"continuous", "discrete"}
+
+    def test_flip_rules(self):
+        assert {rule.value for rule in FlipRule} == {"only_if_happy", "always"}
+
+    def test_regimes_cover_figure2(self):
+        values = {regime.value for regime in Regime}
+        assert "static" in values
+        assert "exponential_monochromatic" in values
+        assert "exponential_almost_monochromatic" in values
+        assert "unknown" in values
+        assert "balanced" in values
+
+
+class TestSite:
+    def test_as_tuple(self):
+        assert Site(3, 4).as_tuple() == (3, 4)
+
+    def test_frozen(self):
+        site = Site(1, 2)
+        with pytest.raises(AttributeError):
+            site.row = 5
+
+    def test_equality(self):
+        assert Site(1, 2) == Site(1, 2)
+        assert Site(1, 2) != Site(2, 1)

@@ -1,0 +1,121 @@
+"""Tests for the dynamic index sampler, including a hypothesis model check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.indexset import IndexSampler
+
+
+class TestBasics:
+    def test_empty_on_creation(self):
+        sampler = IndexSampler(10)
+        assert len(sampler) == 0
+        assert 3 not in sampler
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            IndexSampler(0)
+
+    def test_add_and_contains(self):
+        sampler = IndexSampler(10)
+        sampler.add(4)
+        assert 4 in sampler
+        assert len(sampler) == 1
+
+    def test_add_idempotent(self):
+        sampler = IndexSampler(10)
+        sampler.add(4)
+        sampler.add(4)
+        assert len(sampler) == 1
+
+    def test_remove(self):
+        sampler = IndexSampler(10)
+        sampler.add(4)
+        sampler.remove(4)
+        assert 4 not in sampler
+        assert len(sampler) == 0
+
+    def test_remove_missing_is_noop(self):
+        sampler = IndexSampler(10)
+        sampler.remove(4)
+        assert len(sampler) == 0
+
+    def test_out_of_range_rejected(self):
+        sampler = IndexSampler(10)
+        with pytest.raises(IndexError):
+            sampler.add(10)
+        with pytest.raises(IndexError):
+            sampler.remove(-1)
+
+    def test_update_membership(self):
+        sampler = IndexSampler(5)
+        sampler.update_membership(2, True)
+        assert 2 in sampler
+        sampler.update_membership(2, False)
+        assert 2 not in sampler
+
+    def test_clear(self):
+        sampler = IndexSampler(8)
+        for i in range(8):
+            sampler.add(i)
+        sampler.clear()
+        assert len(sampler) == 0
+        assert 3 not in sampler
+
+    def test_to_array_sorted(self):
+        sampler = IndexSampler(10)
+        for i in (7, 1, 5):
+            sampler.add(i)
+        assert sampler.to_array().tolist() == [1, 5, 7]
+
+
+class TestSampling:
+    def test_sample_from_empty_raises(self, rng):
+        with pytest.raises(IndexError):
+            IndexSampler(5).sample(rng)
+
+    def test_sample_returns_member(self, rng):
+        sampler = IndexSampler(100)
+        members = {3, 17, 42, 99}
+        for member in members:
+            sampler.add(member)
+        for _ in range(50):
+            assert sampler.sample(rng) in members
+
+    def test_sample_is_roughly_uniform(self, rng):
+        sampler = IndexSampler(4)
+        for i in range(4):
+            sampler.add(i)
+        counts = np.zeros(4)
+        n_draws = 4000
+        for _ in range(n_draws):
+            counts[sampler.sample(rng)] += 1
+        # Each index should get roughly a quarter of the draws.
+        assert np.all(counts > n_draws / 4 * 0.7)
+        assert np.all(counts < n_draws / 4 * 1.3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=19)),
+        max_size=200,
+    )
+)
+def test_matches_reference_set(operations):
+    """The sampler behaves exactly like a Python set under add/remove."""
+    sampler = IndexSampler(20)
+    reference: set[int] = set()
+    for add, index in operations:
+        if add:
+            sampler.add(index)
+            reference.add(index)
+        else:
+            sampler.remove(index)
+            reference.discard(index)
+        assert len(sampler) == len(reference)
+    assert sampler.to_array().tolist() == sorted(reference)
+    for index in range(20):
+        assert (index in sampler) == (index in reference)

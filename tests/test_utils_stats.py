@@ -1,0 +1,104 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    bootstrap_confidence_interval,
+    growth_rate_fit,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.ci_low < stats.mean < stats.ci_high
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "max", "ci_low", "ci_high"}
+
+
+class TestMeanConfidenceInterval:
+    def test_interval_brackets_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert low <= mean <= high
+
+    def test_wider_z_gives_wider_interval(self):
+        _, low1, high1 = mean_confidence_interval([1.0, 2.0, 3.0], z=1.0)
+        _, low2, high2 = mean_confidence_interval([1.0, 2.0, 3.0], z=3.0)
+        assert (high2 - low2) > (high1 - low1)
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_of_constant_data(self):
+        mean, low, high = bootstrap_confidence_interval([2.0] * 10, seed=0)
+        assert mean == low == high == 2.0
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_confidence_interval([1.0, 5.0, 2.0, 8.0], seed=3)
+        b = bootstrap_confidence_interval([1.0, 5.0, 2.0, 8.0], seed=3)
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestGrowthRateFit:
+    def test_exact_exponential_recovered(self):
+        xs = [10, 20, 30, 40]
+        ys = [2.0 ** (0.3 * x) for x in xs]
+        fit = growth_rate_fit(xs, ys)
+        assert fit.rate == pytest.approx(0.3, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_log2(self):
+        fit = growth_rate_fit([1, 2, 3], [2.0, 4.0, 8.0])
+        assert fit.predict_log2(4) == pytest.approx(4.0, abs=1e-9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            growth_rate_fit([1, 2], [1.0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            growth_rate_fit([1], [2.0])
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError):
+            growth_rate_fit([1, 2], [1.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rate=st.floats(min_value=-0.5, max_value=0.5),
+        intercept=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    def test_recovers_arbitrary_exact_fits(self, rate, intercept):
+        xs = np.array([5.0, 10.0, 15.0, 20.0])
+        ys = 2.0 ** (rate * xs + intercept)
+        fit = growth_rate_fit(xs, ys)
+        assert fit.rate == pytest.approx(rate, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-6)

@@ -1,0 +1,45 @@
+"""Tests for the wall-clock timer."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+def test_elapsed_measures_time():
+    with Timer() as timer:
+        time.sleep(0.01)
+    assert timer.elapsed >= 0.009
+
+
+def test_elapsed_before_start_raises():
+    timer = Timer()
+    with pytest.raises(RuntimeError):
+        _ = timer.elapsed
+
+
+def test_elapsed_inside_block_is_running():
+    with Timer() as timer:
+        first = timer.elapsed
+        time.sleep(0.005)
+        second = timer.elapsed
+    assert second > first
+
+
+def test_elapsed_frozen_after_exit():
+    with Timer() as timer:
+        time.sleep(0.002)
+    frozen = timer.elapsed
+    time.sleep(0.005)
+    assert timer.elapsed == frozen
+
+
+def test_reusable():
+    timer = Timer()
+    with timer:
+        time.sleep(0.002)
+    first = timer.elapsed
+    with timer:
+        pass
+    assert timer.elapsed <= first

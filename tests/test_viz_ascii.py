@@ -1,0 +1,92 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.viz.ascii_art import (
+    downsample_majority,
+    render_ascii,
+    render_with_happiness,
+    side_by_side,
+)
+
+
+class TestDownsample:
+    def test_factor_one_is_copy(self):
+        spins = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        out = downsample_majority(spins, 1)
+        assert np.array_equal(out, spins)
+        out[0, 0] = -1
+        assert spins[0, 0] == 1
+
+    def test_majority_vote(self):
+        spins = np.ones((4, 4), dtype=np.int8)
+        spins[:2, :2] = -1
+        spins[0, 2] = -1
+        out = downsample_majority(spins, 2)
+        assert out[0, 0] == -1
+        assert out[0, 1] == 1  # 3 plus vs 1 minus
+        assert out.shape == (2, 2)
+
+    def test_tie_resolves_to_plus(self):
+        spins = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        assert downsample_majority(spins, 2)[0, 0] == 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(AnalysisError):
+            downsample_majority(np.ones((4, 4), dtype=np.int8), 0)
+
+    def test_factor_larger_than_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            downsample_majority(np.ones((4, 4), dtype=np.int8), 5)
+
+
+class TestRenderAscii:
+    def test_glyphs_and_shape(self):
+        spins = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        text = render_ascii(spins)
+        assert text.splitlines() == ["#.", ".#"]
+
+    def test_custom_glyphs(self):
+        spins = np.array([[1, -1]], dtype=np.int8)
+        assert render_ascii(spins, glyphs={1: "X", -1: "O"}) == "XO"
+
+    def test_large_grid_downsampled(self):
+        spins = np.ones((200, 200), dtype=np.int8)
+        text = render_ascii(spins, max_side=50)
+        lines = text.splitlines()
+        assert len(lines) <= 50
+        assert len(lines[0]) <= 50
+
+
+class TestRenderWithHappiness:
+    def test_four_glyphs(self):
+        spins = np.array([[1, 1], [-1, -1]], dtype=np.int8)
+        happy = np.array([[True, False], [True, False]])
+        text = render_with_happiness(spins, happy)
+        assert text.splitlines() == ["#+", ".-"]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_with_happiness(
+                np.ones((2, 2), dtype=np.int8), np.ones((3, 3), dtype=bool)
+            )
+
+    def test_cropped_to_max_side(self):
+        spins = np.ones((100, 100), dtype=np.int8)
+        happy = np.ones((100, 100), dtype=bool)
+        text = render_with_happiness(spins, happy, max_side=10)
+        assert len(text.splitlines()) == 10
+
+
+class TestSideBySide:
+    def test_joins_lines(self):
+        combined = side_by_side("ab\ncd", "XY\nZW", gap=2)
+        assert combined.splitlines() == ["ab  XY", "cd  ZW"]
+
+    def test_uneven_heights_padded(self):
+        combined = side_by_side("ab", "XY\nZW")
+        lines = combined.splitlines()
+        assert len(lines) == 2
+        assert lines[1].endswith("ZW")

@@ -1,0 +1,76 @@
+"""Tests for PPM/PGM image export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.viz.ppm import (
+    FIGURE1_COLORS,
+    spins_to_rgb,
+    write_configuration_image,
+    write_pgm,
+    write_ppm,
+)
+
+
+class TestSpinsToRgb:
+    def test_happy_colors(self):
+        spins = np.array([[1, -1]], dtype=np.int8)
+        rgb = spins_to_rgb(spins)
+        assert tuple(rgb[0, 0]) == FIGURE1_COLORS[("plus", "happy")]
+        assert tuple(rgb[0, 1]) == FIGURE1_COLORS[("minus", "happy")]
+
+    def test_unhappy_colors(self):
+        spins = np.array([[1, -1]], dtype=np.int8)
+        happy = np.array([[False, False]])
+        rgb = spins_to_rgb(spins, happy)
+        assert tuple(rgb[0, 0]) == FIGURE1_COLORS[("plus", "unhappy")]
+        assert tuple(rgb[0, 1]) == FIGURE1_COLORS[("minus", "unhappy")]
+
+    def test_shape(self):
+        rgb = spins_to_rgb(np.ones((5, 7), dtype=np.int8))
+        assert rgb.shape == (5, 7, 3)
+        assert rgb.dtype == np.uint8
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            spins_to_rgb(np.ones((2, 2), dtype=np.int8), np.ones((3, 3), dtype=bool))
+
+
+class TestWritePpm:
+    def test_header_and_size(self, tmp_path):
+        rgb = np.zeros((4, 6, 3), dtype=np.uint8)
+        path = write_ppm(rgb, tmp_path / "image.ppm")
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n6 4\n255\n")
+        assert len(data) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+    def test_invalid_shape_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_ppm(np.zeros((4, 6), dtype=np.uint8), tmp_path / "bad.ppm")
+
+    def test_configuration_helper(self, tmp_path):
+        spins = np.ones((8, 8), dtype=np.int8)
+        path = write_configuration_image(spins, tmp_path / "config.ppm")
+        assert path.exists()
+        assert path.read_bytes().startswith(b"P6\n8 8\n255\n")
+
+
+class TestWritePgm:
+    def test_header_and_rescaling(self, tmp_path):
+        values = np.array([[0.0, 1.0], [2.0, 4.0]])
+        path = write_pgm(values, tmp_path / "field.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n2 2\n255\n")
+        pixels = data[len(b"P5\n2 2\n255\n"):]
+        assert pixels[0] == 0
+        assert pixels[-1] == 255
+
+    def test_constant_field_all_zero(self, tmp_path):
+        path = write_pgm(np.ones((3, 3)), tmp_path / "flat.pgm")
+        pixels = path.read_bytes()[len(b"P5\n3 3\n255\n"):]
+        assert set(pixels) == {0}
+
+    def test_invalid_shape_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_pgm(np.ones(5), tmp_path / "bad.pgm")

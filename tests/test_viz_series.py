@@ -1,0 +1,61 @@
+"""Tests for CSV and markdown table rendering."""
+
+import csv
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.viz.series import render_markdown_table, write_csv
+
+
+ROWS = [
+    {"tau": 0.45, "size": 12.5, "regime": "mono"},
+    {"tau": 0.40, "size": 30.25, "regime": "almost"},
+]
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "rows.csv")
+        with open(path, newline="") as handle:
+            read_back = list(csv.DictReader(handle))
+        assert len(read_back) == 2
+        assert read_back[0]["regime"] == "mono"
+        assert float(read_back[1]["tau"]) == pytest.approx(0.40)
+
+    def test_ragged_rows_filled_with_blank(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = write_csv(rows, tmp_path / "ragged.csv")
+        with open(path, newline="") as handle:
+            read_back = list(csv.DictReader(handle))
+        assert read_back[0]["b"] == ""
+        assert read_back[1]["b"] == "3"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_csv([], tmp_path / "empty.csv")
+
+
+class TestMarkdown:
+    def test_structure(self):
+        table = render_markdown_table(ROWS)
+        lines = table.splitlines()
+        assert lines[0].startswith("| tau | size | regime |")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        table = render_markdown_table([{"x": 0.123456789}], float_format=".2f")
+        assert "0.12" in table
+
+    def test_bools_rendered_as_text(self):
+        table = render_markdown_table([{"ok": True}])
+        assert "True" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_markdown_table([])
+
+    def test_missing_cells_blank(self):
+        table = render_markdown_table([{"a": 1}, {"b": 2}])
+        assert "| 1 |  |" in table
