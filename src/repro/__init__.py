@@ -34,6 +34,8 @@ from repro.analysis import (
     unhappy_fraction,
 )
 from repro.core import (
+    EnsembleDynamics,
+    EnsembleRunResult,
     GlauberDynamics,
     KawasakiDynamics,
     ModelConfig,
@@ -45,6 +47,7 @@ from repro.core import (
     neighborhood_size,
     planted_radical_region_configuration,
     random_configuration,
+    run_ensemble,
     run_to_completion,
     simulate,
 )
@@ -65,6 +68,7 @@ from repro.experiments import (
     figure3_exponent_table,
     figure6_trigger_table,
     run_sweep,
+    run_sweep_parallel,
     theorem1_scaling,
     theorem2_scaling,
 )
@@ -90,6 +94,8 @@ __all__ = [
     "AnalysisError",
     "ConfigurationError",
     "DynamicsKind",
+    "EnsembleDynamics",
+    "EnsembleRunResult",
     "ExperimentError",
     "ExperimentSpec",
     "FirstPassagePercolation",
@@ -134,7 +140,9 @@ __all__ = [
     "neighborhood_size",
     "planted_radical_region_configuration",
     "random_configuration",
+    "run_ensemble",
     "run_sweep",
+    "run_sweep_parallel",
     "run_to_completion",
     "segregation_metrics",
     "simulate",

@@ -69,6 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--side", type=int, default=None)
     sweep.add_argument("--csv", type=str, default=None, help="write aggregated rows to CSV")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for sweep cells (1 = serial)",
+    )
+    sweep.add_argument(
+        "--ensemble",
+        type=int,
+        default=1,
+        help="replicas per vectorized lockstep batch (1 = scalar engine)",
+    )
     return parser
 
 
@@ -159,12 +171,16 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         n_replicates=args.replicates,
         seed=args.seed,
     )
+    if args.workers <= 0 or args.ensemble <= 0:
+        print("error: --workers and --ensemble must be positive", file=sys.stderr)
+        return 2
     print(
         f"Sweeping {len(taus)} intolerances x {args.replicates} replicates on a "
-        f"{side}x{side} torus with w={args.horizon}",
+        f"{side}x{side} torus with w={args.horizon} "
+        f"(workers={args.workers}, ensemble={args.ensemble})",
         file=out,
     )
-    rows = run_sweep(sweep)
+    rows = run_sweep(sweep, workers=args.workers, ensemble_size=args.ensemble)
     aggregated = aggregate_sweep(rows, group_keys=("tau",))
     print(aggregated.to_markdown(float_format=".4g"), file=out)
     if args.csv:

@@ -2,6 +2,7 @@
 
 from repro.core.config import ModelConfig, default_figure1_config
 from repro.core.dynamics import GlauberDynamics, RunResult, Trajectory, run_to_completion
+from repro.core.ensemble import EnsembleDynamics, EnsembleRunResult, run_ensemble
 from repro.core.grid import TorusGrid
 from repro.core.initializer import (
     checkerboard_configuration,
@@ -40,6 +41,8 @@ from repro.core.variants import AsymmetricModelState, TwoSidedModelState
 
 __all__ = [
     "AsymmetricModelState",
+    "EnsembleDynamics",
+    "EnsembleRunResult",
     "GlauberDynamics",
     "TwoSidedModelState",
     "KawasakiDynamics",
@@ -69,6 +72,7 @@ __all__ = [
     "radical_region_threshold",
     "radius_for_size",
     "random_configuration",
+    "run_ensemble",
     "run_to_completion",
     "same_type_count_field",
     "simulate",

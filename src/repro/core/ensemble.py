@@ -1,0 +1,533 @@
+"""Vectorized multi-replica Glauber dynamics.
+
+:class:`EnsembleDynamics` advances ``R`` independent replicas of the same
+:class:`~repro.core.config.ModelConfig` in lockstep.  Spins are stored as one
+``(R, n_rows, n_cols)`` int8 array and the per-flip work — happiness
+classification, incremental neighbourhood-count updates and mask refreshes —
+is batched across the replica axis, so the per-call NumPy overhead that
+dominates the scalar engine on small windows is paid once per *round* instead
+of once per *replica*.
+
+Equivalence with the scalar engine is exact, not approximate: replica ``r``
+draws from its own :class:`numpy.random.Generator` in the same order as a
+scalar :class:`~repro.core.dynamics.GlauberDynamics` would, and membership
+updates of the unhappy/flippable samplers are applied in the same window
+order as :meth:`repro.core.state.ModelState._refresh_window`.  As a result a
+replica seeded with ``replica_seeds[r]`` reproduces the corresponding
+:class:`~repro.core.simulation.Simulation` run bit for bit — same final grid,
+same flip count, same termination flag, same final time — which is what
+``tests/test_core_ensemble.py`` locks down.
+
+Per-replica seeds are spawned from one master seed (via
+:func:`repro.rng.replicate_seeds`), so any single replica can be re-run in
+isolation: ``EnsembleDynamics(config, replica_seeds=[s])`` or
+``Simulation(config, seed=s)`` reproduce it exactly.
+
+The engine implements the base model's happiness rule only; the variant
+states in :mod:`repro.core.variants` override classification hooks the
+batched code does not call.  Use the scalar engine for variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.initializer import random_configuration
+from repro.core.neighborhood import window_sums
+from repro.errors import ConfigurationError, StateError
+from repro.rng import SeedLike, replicate_seeds, spawn_rngs
+from repro.types import FlipRule, SchedulerKind
+
+
+class _ReplicaIndexSet:
+    """List-backed randomised set, layout-identical to ``IndexSampler``.
+
+    The scalar engine's :class:`~repro.utils.indexset.IndexSampler` stores its
+    members in numpy arrays; per-element scalar indexing of those arrays is
+    the single hottest Python-level cost of the ensemble's membership updates,
+    so this twin keeps the exact same swap-remove algorithm (and therefore the
+    exact same member ordering, which the RNG-draw equivalence relies on) in
+    plain Python lists.  ``sample`` consumes the generator identically too:
+    one ``rng.integers(0, size)`` call per draw.
+    """
+
+    __slots__ = ("_members", "_positions", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        self._members = [0] * capacity
+        self._positions = [-1] * capacity
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, index: int) -> None:
+        if self._positions[index] >= 0:
+            return
+        self._members[self._size] = index
+        self._positions[index] = self._size
+        self._size += 1
+
+    def remove(self, index: int) -> None:
+        pos = self._positions[index]
+        if pos < 0:
+            return
+        self._size -= 1
+        last = self._members[self._size]
+        self._members[pos] = last
+        self._positions[last] = pos
+        self._positions[index] = -1
+
+    def update_membership(self, index: int, member: bool) -> None:
+        if member:
+            self.add(index)
+        else:
+            self.remove(index)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self._size == 0:
+            raise IndexError("cannot sample from an empty _ReplicaIndexSet")
+        pos = int(rng.integers(0, self._size))
+        return self._members[pos]
+
+    def clear(self) -> None:
+        for index in self._members[: self._size]:
+            self._positions[index] = -1
+        self._size = 0
+
+    def to_array(self) -> np.ndarray:
+        return np.sort(np.asarray(self._members[: self._size], dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class EnsembleRunResult:
+    """Per-replica outcome arrays of :meth:`EnsembleDynamics.run`.
+
+    Every field mirrors the scalar :class:`~repro.core.dynamics.RunResult`
+    with one entry per replica; counters are deltas relative to the start of
+    the ``run`` call, exactly like the scalar engine reports them.
+    """
+
+    #: ``(R,)`` bool — reached the paper's termination condition.
+    terminated: np.ndarray
+    #: ``(R,)`` int — type flips performed during this run call.
+    n_flips: np.ndarray
+    #: ``(R,)`` int — scheduler steps taken during this run call.
+    n_steps: np.ndarray
+    #: ``(R,)`` float — per-replica simulation clock at the end of the run.
+    final_time: np.ndarray
+    #: ``(R, n_rows, n_cols)`` int8 — final configurations (copy).
+    final_spins: np.ndarray
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of replicas in the ensemble."""
+        return int(self.terminated.shape[0])
+
+    @property
+    def all_terminated(self) -> bool:
+        """True when every replica reached termination."""
+        return bool(self.terminated.all())
+
+    @property
+    def total_flips(self) -> int:
+        """Total flips across the ensemble (throughput bookkeeping)."""
+        return int(self.n_flips.sum())
+
+
+class EnsembleDynamics:
+    """R lockstep replicas of the Glauber segregation process.
+
+    Parameters
+    ----------
+    config:
+        The shared model configuration.
+    n_replicas:
+        Number of replicas ``R``; ignored when ``replica_seeds`` is given.
+    seed:
+        Master seed; per-replica integer seeds are derived with
+        :func:`repro.rng.replicate_seeds`, matching what
+        :func:`repro.experiments.runner.run_experiment` hands to scalar
+        replicate runs.
+    replica_seeds:
+        Explicit per-replica integer seeds (overrides ``seed``/``n_replicas``).
+        Each replica spawns its init and dynamics streams from its seed the
+        same way :class:`~repro.core.simulation.Simulation` does.
+    initial_spins:
+        Optional planted ``(R, n_rows, n_cols)`` ±1 array.  When omitted every
+        replica draws its own Bernoulli initial configuration from its init
+        stream.
+    scheduler / flip_rule:
+        Overrides for the configuration's defaults, as in the scalar engine.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        n_replicas: Optional[int] = None,
+        seed: SeedLike = None,
+        replica_seeds: Optional[Sequence[int]] = None,
+        initial_spins: Optional[np.ndarray] = None,
+        scheduler: Optional[SchedulerKind] = None,
+        flip_rule: Optional[FlipRule] = None,
+    ) -> None:
+        self.config = config
+        if replica_seeds is not None:
+            seeds = [int(s) for s in replica_seeds]
+            if not seeds:
+                raise ConfigurationError("replica_seeds must be non-empty")
+        else:
+            if n_replicas is None or n_replicas <= 0:
+                raise ConfigurationError(
+                    f"n_replicas must be a positive int, got {n_replicas!r}"
+                )
+            seeds = replicate_seeds(seed, n_replicas)
+        self.replica_seeds: tuple[int, ...] = tuple(seeds)
+        self.scheduler = scheduler if scheduler is not None else config.scheduler
+        self.flip_rule = flip_rule if flip_rule is not None else config.flip_rule
+
+        n_rows, n_cols = config.shape
+        r = len(seeds)
+        self._rngs: list[np.random.Generator] = []
+        self._spins = np.empty((r, n_rows, n_cols), dtype=np.int8)
+        for index, replica_seed in enumerate(seeds):
+            # Mirror Simulation: one stream for the initial grid, one for the
+            # dynamics, both spawned from the replica seed.
+            init_rng, dynamics_rng = spawn_rngs(replica_seed, 2)
+            self._rngs.append(dynamics_rng)
+            if initial_spins is None:
+                self._spins[index] = random_configuration(config, init_rng).spins
+        if initial_spins is not None:
+            planted = np.asarray(initial_spins)
+            if planted.shape != (r, n_rows, n_cols):
+                raise ConfigurationError(
+                    f"initial_spins shape {planted.shape} does not match "
+                    f"({r}, {n_rows}, {n_cols})"
+                )
+            if not np.all(np.isin(planted, (-1, 1))):
+                raise ConfigurationError("initial_spins entries must be +1 or -1")
+            self._spins[...] = planted.astype(np.int8)
+        self._initial_spins = self._spins.copy()
+
+        self._plus_counts = np.empty((r, n_rows, n_cols), dtype=np.int64)
+        self._happy_mask = np.empty((r, n_rows, n_cols), dtype=bool)
+        self._flippable_mask = np.empty((r, n_rows, n_cols), dtype=bool)
+        self._unhappy = [_ReplicaIndexSet(config.n_sites) for _ in range(r)]
+        self._flippable = [_ReplicaIndexSet(config.n_sites) for _ in range(r)]
+
+        # Per-replica clocks/counters live in plain lists: they are touched
+        # once per replica per round and Python-list access is measurably
+        # cheaper than numpy scalar indexing on that path.
+        self._times: list[float] = [0.0] * r
+        self._n_steps: list[int] = [0] * r
+        self._n_flips = np.zeros(r, dtype=np.int64)
+        self._offsets = np.arange(-config.horizon, config.horizon + 1)
+        self.recompute_all()
+
+    # ------------------------------------------------------------- rebuilding
+
+    def _classify(
+        self, spins: np.ndarray, same: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched happy/flippable classification (base model rule)."""
+        threshold = self.config.happiness_threshold
+        total = self.config.neighborhood_agents
+        happy = same >= threshold
+        flippable = (~happy) & (total - same + 1 >= threshold)
+        return happy, flippable
+
+    def recompute_all(self) -> None:
+        """Rebuild counts, masks and samplers from the spins (O(R * grid))."""
+        w = self.config.horizon
+        total = self.config.neighborhood_agents
+        for r in range(self.n_replicas):
+            self._plus_counts[r] = window_sums(
+                (self._spins[r] == 1).astype(np.int64), w
+            )
+        same = np.where(self._spins == 1, self._plus_counts, total - self._plus_counts)
+        self._happy_mask, self._flippable_mask = self._classify(self._spins, same)
+        for r in range(self.n_replicas):
+            self._unhappy[r].clear()
+            self._flippable[r].clear()
+            # Same insertion order as ModelState.recompute_all so that the
+            # samplers' internal layouts (and hence RNG-draw outcomes) match.
+            for index in np.flatnonzero(~self._happy_mask[r].ravel()):
+                self._unhappy[r].add(int(index))
+            for index in np.flatnonzero(self._flippable_mask[r].ravel()):
+                self._flippable[r].add(int(index))
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of replicas."""
+        return len(self._rngs)
+
+    @property
+    def times(self) -> np.ndarray:
+        """``(R,)`` per-replica simulation clocks (copy)."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def n_flips(self) -> np.ndarray:
+        """``(R,)`` per-replica flip counts (copy)."""
+        return self._n_flips.copy()
+
+    @property
+    def n_steps(self) -> np.ndarray:
+        """``(R,)`` per-replica scheduler step counts (copy)."""
+        return np.asarray(self._n_steps, dtype=np.int64)
+
+    @property
+    def spins(self) -> np.ndarray:
+        """The ``(R, n_rows, n_cols)`` spin array (owned by the engine)."""
+        return self._spins
+
+    def replica_spins(self, replica: int) -> np.ndarray:
+        """Copy of one replica's configuration."""
+        return self._spins[replica].copy()
+
+    def initial_spins(self) -> np.ndarray:
+        """Copy of the initial configurations."""
+        return self._initial_spins.copy()
+
+    def unhappy_counts(self) -> np.ndarray:
+        """``(R,)`` current number of unhappy agents per replica."""
+        return np.array([len(s) for s in self._unhappy], dtype=np.int64)
+
+    def flippable_counts(self) -> np.ndarray:
+        """``(R,)`` current number of flippable agents per replica."""
+        return np.array([len(s) for s in self._flippable], dtype=np.int64)
+
+    def happy_mask(self, replica: int) -> np.ndarray:
+        """Boolean happy mask of one replica (copy)."""
+        return self._happy_mask[replica].copy()
+
+    def flippable_mask(self, replica: int) -> np.ndarray:
+        """Boolean flippable mask of one replica (copy)."""
+        return self._flippable_mask[replica].copy()
+
+    def unhappy_indices(self, replica: int) -> np.ndarray:
+        """Sorted flat indices of one replica's unhappy agents."""
+        return self._unhappy[replica].to_array()
+
+    def flippable_indices(self, replica: int) -> np.ndarray:
+        """Sorted flat indices of one replica's flippable agents."""
+        return self._flippable[replica].to_array()
+
+    def energies(self) -> np.ndarray:
+        """``(R,)`` Lyapunov energies (total same-type neighbourhood count)."""
+        total = self.config.neighborhood_agents
+        same = np.where(self._spins == 1, self._plus_counts, total - self._plus_counts)
+        return same.sum(axis=(1, 2))
+
+    def is_replica_terminated(self, replica: int) -> bool:
+        """Scalar-engine termination condition for one replica."""
+        if self.flip_rule is FlipRule.ONLY_IF_HAPPY:
+            return len(self._flippable[replica]) == 0
+        return len(self._unhappy[replica]) == 0
+
+    def terminated_mask(self) -> np.ndarray:
+        """``(R,)`` bool array of terminated replicas."""
+        return np.array(
+            [self.is_replica_terminated(r) for r in range(self.n_replicas)],
+            dtype=bool,
+        )
+
+    @property
+    def all_terminated(self) -> bool:
+        """True when no replica can make further progress."""
+        return all(self.is_replica_terminated(r) for r in range(self.n_replicas))
+
+    def _candidate_sampler(self, replica: int) -> _ReplicaIndexSet:
+        """The sampler the scheduler draws targets from (scalar-engine rule)."""
+        if self.flip_rule is FlipRule.ONLY_IF_HAPPY:
+            if self.scheduler is SchedulerKind.CONTINUOUS:
+                return self._flippable[replica]
+            return self._unhappy[replica]
+        return self._unhappy[replica]
+
+    # ------------------------------------------------------------------ steps
+
+    def step_all(self, active: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Advance every active replica by one scheduler step.
+
+        ``active`` restricts the round to the given replica indices (the
+        ``run`` loop uses it to exclude replicas that hit their budgets);
+        terminated replicas are always skipped.  Returns the array of replica
+        indices that actually flipped this round.
+        """
+        if active is None:
+            candidates = range(self.n_replicas)
+        else:
+            candidates = active
+        only_if_happy = self.flip_rule is FlipRule.ONLY_IF_HAPPY
+        continuous = self.scheduler is SchedulerKind.CONTINUOUS
+        termination_sets = self._flippable if only_if_happy else self._unhappy
+        samplers = (
+            self._flippable if only_if_happy and continuous else self._unhappy
+        )
+        times = self._times
+        steps = self._n_steps
+        rngs = self._rngs
+        reps: list[int] = []
+        flats: list[int] = []
+        for r in candidates:
+            if len(termination_sets[r]) == 0:
+                continue
+            sampler = samplers[r]
+            if len(sampler) == 0:
+                continue
+            rng = rngs[r]
+            # Same draw order as GlauberDynamics.step: waiting time first
+            # (continuous scheduler only), then the candidate index.
+            if continuous:
+                times[r] += float(rng.exponential(1.0 / len(sampler)))
+            else:
+                times[r] += 1.0
+            steps[r] += 1
+            reps.append(r)
+            flats.append(sampler.sample(rng))
+        if not reps:
+            return np.empty(0, dtype=np.int64)
+
+        n_rows, n_cols = self.config.shape
+        rep_arr = np.asarray(reps, dtype=np.int64)
+        flat_arr = np.asarray(flats, dtype=np.int64)
+        rows = flat_arr // n_cols
+        cols = flat_arr % n_cols
+        if only_if_happy and not continuous:
+            # Discrete scheduler samples unhappy agents, which may refuse to
+            # flip.  (The continuous sampler only contains flippable agents,
+            # so the gather would be all-True there.)
+            do_flip = self._flippable_mask[rep_arr, rows, cols]
+            rep_arr = rep_arr[do_flip]
+            rows = rows[do_flip]
+            cols = cols[do_flip]
+            if rep_arr.size == 0:
+                return rep_arr
+        self._apply_flips(rep_arr, rows, cols)
+        self._n_flips[rep_arr] += 1
+        return rep_arr
+
+    def _apply_flips(
+        self, reps: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> None:
+        """Flip one site per listed replica and refresh the touched windows.
+
+        All the window arithmetic is batched over the flipping replicas: one
+        fancy-indexed add updates every neighbourhood count, one classify call
+        recomputes happiness for every touched window.  The (replica, row,
+        col) triples are distinct — one flip per replica — so the in-place
+        fancy-index updates never collide.
+        """
+        config = self.config
+        n_rows, n_cols = config.shape
+        total = config.neighborhood_agents
+
+        new_values = -self._spins[reps, rows, cols]
+        self._spins[reps, rows, cols] = new_values
+        delta = new_values.astype(np.int64)
+
+        offsets = self._offsets
+        window_rows = (rows[:, None] + offsets[None, :]) % n_rows  # (F, W)
+        window_cols = (cols[:, None] + offsets[None, :]) % n_cols  # (F, W)
+        rep_index = reps[:, None, None]
+        row_index = window_rows[:, :, None]
+        col_index = window_cols[:, None, :]
+
+        sub_plus = self._plus_counts[rep_index, row_index, col_index]
+        sub_plus += delta[:, None, None]
+        self._plus_counts[rep_index, row_index, col_index] = sub_plus
+        sub_spins = self._spins[rep_index, row_index, col_index]
+        sub_same = np.where(sub_spins == 1, sub_plus, total - sub_plus)
+        sub_happy, sub_flippable = self._classify(sub_spins, sub_same)
+
+        old_happy = self._happy_mask[rep_index, row_index, col_index]
+        old_flippable = self._flippable_mask[rep_index, row_index, col_index]
+        changed = (sub_happy != old_happy) | (sub_flippable != old_flippable)
+        self._happy_mask[rep_index, row_index, col_index] = sub_happy
+        self._flippable_mask[rep_index, row_index, col_index] = sub_flippable
+        if not changed.any():
+            return
+
+        # Boolean-mask gathers preserve row-major (replica, window row,
+        # window col) order — per replica this is exactly
+        # ModelState._refresh_window's update order, which keeps the sampler
+        # layouts scalar-identical.
+        flat = window_rows[:, :, None] * n_cols + window_cols[:, None, :]
+        changed_reps = np.broadcast_to(rep_index, changed.shape)[changed].tolist()
+        changed_flats = flat[changed].tolist()
+        changed_happy = sub_happy[changed].tolist()
+        changed_flippable = sub_flippable[changed].tolist()
+        unhappy_sets = self._unhappy
+        flippable_sets = self._flippable
+        for replica, index, happy, flippable in zip(
+            changed_reps, changed_flats, changed_happy, changed_flippable
+        ):
+            unhappy_sets[replica].update_membership(index, not happy)
+            flippable_sets[replica].update_membership(index, flippable)
+
+    def run(
+        self,
+        max_flips: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        max_time: Optional[float] = None,
+    ) -> EnsembleRunResult:
+        """Run every replica until termination or its per-replica budget.
+
+        Budgets apply per replica, with the scalar engine's semantics: a
+        replica stops stepping once its flip/step count within this call
+        reaches the budget or its clock passes ``max_time``; the others keep
+        going.
+        """
+        if max_flips is not None and max_flips < 0:
+            raise StateError(f"max_flips must be non-negative, got {max_flips}")
+        start_flips = self._n_flips.copy()
+        start_steps = list(self._n_steps)
+        flips = self._n_flips
+        steps = self._n_steps
+        times = self._times
+        remaining = list(range(self.n_replicas))
+        while remaining:
+            remaining = [
+                r
+                for r in remaining
+                if not self.is_replica_terminated(r)
+                and (max_flips is None or flips[r] - start_flips[r] < max_flips)
+                and (max_steps is None or steps[r] - start_steps[r] < max_steps)
+                and (max_time is None or times[r] < max_time)
+            ]
+            if not remaining:
+                break
+            self.step_all(remaining)
+        return EnsembleRunResult(
+            terminated=self.terminated_mask(),
+            n_flips=self._n_flips - start_flips,
+            n_steps=self.n_steps - np.asarray(start_steps, dtype=np.int64),
+            final_time=self.times,
+            final_spins=self._spins.copy(),
+        )
+
+
+def run_ensemble(
+    config: ModelConfig,
+    n_replicas: int,
+    seed: SeedLike = None,
+    max_flips: Optional[int] = None,
+    scheduler: Optional[SchedulerKind] = None,
+    flip_rule: Optional[FlipRule] = None,
+) -> EnsembleRunResult:
+    """Convenience wrapper: build an :class:`EnsembleDynamics` and run it."""
+    ensemble = EnsembleDynamics(
+        config,
+        n_replicas=n_replicas,
+        seed=seed,
+        scheduler=scheduler,
+        flip_rule=flip_rule,
+    )
+    return ensemble.run(max_flips=max_flips)

@@ -1,4 +1,40 @@
-"""Experiment harness: specs, runners, result tables and paper experiments."""
+"""Experiment harness: specs, runners, result tables and paper experiments.
+
+Execution model
+---------------
+An :class:`ExperimentSpec` names one *cell* — a model configuration plus a
+replicate count and a master seed — and a :class:`SweepSpec` expands a base
+configuration into a grid of cells along the tau / horizon / density axes.
+Every replicate seed is derived deterministically (sweep seed → cell seed →
+replicate seed), so any row of any table can be reproduced in isolation from
+the seed stored in it.
+
+Three execution strategies compose freely on top of that seeding scheme:
+
+* **Serial** (the default): ``run_sweep(sweep)`` runs cells and replicates
+  one at a time through the scalar :class:`~repro.core.dynamics.GlauberDynamics`
+  engine.  This is the reference everything else must match.
+* **Vectorized replicates**: ``run_sweep(sweep, ensemble_size=R)`` batches
+  each cell's replicates through
+  :class:`~repro.core.ensemble.EnsembleDynamics`, which advances ``R``
+  lockstep replicas per NumPy call and produces the same rows as the serial
+  path (timings aside).  Pick ``R`` as the cell's replicate count when it is
+  modest (≤ 16); for larger replicate counts batches of 8–16 keep the
+  working set (a few ``(R, n, n)`` arrays) cache-friendly with most of the
+  vectorization benefit.
+* **Parallel cells**: ``run_sweep(sweep, workers=N)`` (or
+  :func:`run_sweep_parallel` directly) shards cells across a process pool
+  with chunked distribution and in-order incremental collection, yielding a
+  row-for-row identical table.  Pick ``N`` as the number of physical cores
+  for compute-bound sweeps; cells are independent, so efficiency is near
+  linear once each worker gets a handful of cells.
+
+The two levers multiply: ``workers=N, ensemble_size=R`` runs N cells
+concurrently, each advancing R replicas per vectorized step.
+``tests/test_core_ensemble.py`` and ``tests/test_experiments_parallel.py``
+pin the equivalences; ``benchmarks/bench_ensemble_throughput.py`` tracks the
+speedups.
+"""
 
 from repro.experiments.figures import (
     Figure1Result,
@@ -20,6 +56,7 @@ from repro.experiments.io import (
     save_manifest,
     save_table,
 )
+from repro.experiments.parallel import run_sweep_parallel
 from repro.experiments.results import ResultTable
 from repro.experiments.runner import (
     aggregate_sweep,
@@ -39,6 +76,7 @@ from repro.experiments.validation import (
     radical_expansion_experiment,
 )
 from repro.experiments.workloads import (
+    bench_quick_mode,
     default_tau_grid,
     density_ladder,
     figure1_config,
@@ -57,6 +95,7 @@ __all__ = [
     "ScalingResult",
     "SweepSpec",
     "aggregate_sweep",
+    "bench_quick_mode",
     "config_from_dict",
     "config_to_dict",
     "default_tau_grid",
@@ -82,6 +121,7 @@ __all__ = [
     "run_experiment",
     "run_replicate",
     "run_sweep",
+    "run_sweep_parallel",
     "save_manifest",
     "save_table",
     "scaling_horizons",

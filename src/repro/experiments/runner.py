@@ -5,13 +5,28 @@ The runner turns :class:`~repro.experiments.spec.ExperimentSpec` /
 :class:`~repro.experiments.results.ResultTable` rows: one row per replicate
 with the full set of segregation metrics for the initial and final
 configurations, plus run metadata (flips, termination, wall-clock time).
+
+Two execution strategies are available on top of the serial defaults:
+
+* ``ensemble_size=R`` batches a cell's replicates through the vectorized
+  :class:`~repro.core.ensemble.EnsembleDynamics` engine, ``R`` lockstep
+  replicas at a time.  Replica seeds are derived exactly like the scalar
+  path's (:func:`repro.rng.replicate_seeds`), so the rows are identical to
+  the serial ones apart from wall-clock timings.
+* ``workers=N`` fans sweep cells out to a process pool
+  (:func:`repro.experiments.parallel.run_sweep_parallel`); cell seeds come
+  from the sweep spec, so the table is row-for-row identical to a serial run.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.analysis.segregation import segregation_metrics
+from repro.core.config import ModelConfig
+from repro.core.ensemble import EnsembleDynamics
 from repro.core.simulation import Simulation
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, SweepSpec
@@ -19,23 +34,34 @@ from repro.rng import replicate_seeds
 from repro.utils.timer import Timer
 
 
-def run_replicate(
-    spec: ExperimentSpec, replicate_index: int, replicate_seed: int
+def _region_radius(spec: ExperimentSpec, config: ModelConfig) -> int:
+    """The region-scan radius used by the metrics of one cell."""
+    if spec.max_region_radius is not None:
+        return spec.max_region_radius
+    return min(4 * config.horizon, (min(config.shape) - 1) // 2)
+
+
+def _result_row(
+    spec: ExperimentSpec,
+    replicate_index: int,
+    replicate_seed: int,
+    initial_spins: np.ndarray,
+    final_spins: np.ndarray,
+    terminated: bool,
+    n_flips: int,
+    final_time: float,
+    wall_clock_seconds: float,
 ) -> dict[str, object]:
-    """Run one replicate of ``spec`` and return its result row."""
+    """Assemble one replicate row from run outputs (shared by both engines)."""
     config = spec.config
-    max_region_radius = spec.max_region_radius
-    if max_region_radius is None:
-        max_region_radius = min(4 * config.horizon, (min(config.shape) - 1) // 2)
-    simulation = Simulation(config, seed=replicate_seed)
-    with Timer() as timer:
-        result = simulation.run(max_flips=spec.max_flips)
+    max_region_radius = _region_radius(spec, config)
     initial_metrics = segregation_metrics(
-        result.initial_spins, config, max_region_radius=max_region_radius
+        initial_spins, config, max_region_radius=max_region_radius
     )
     final_metrics = segregation_metrics(
-        result.final_spins, config, max_region_radius=max_region_radius
+        final_spins, config, max_region_radius=max_region_radius
     )
+    flipped = int(np.count_nonzero(initial_spins != final_spins))
     row: dict[str, object] = {
         "experiment": spec.name,
         "replicate": replicate_index,
@@ -47,11 +73,11 @@ def run_replicate(
         "tau": config.tau,
         "effective_tau": config.effective_tau,
         "density": config.density,
-        "terminated": result.terminated,
-        "n_flips": result.n_flips,
-        "final_time": result.final_time,
-        "wall_clock_seconds": timer.elapsed,
-        "flipped_fraction": result.flipped_fraction,
+        "terminated": terminated,
+        "n_flips": n_flips,
+        "final_time": final_time,
+        "wall_clock_seconds": wall_clock_seconds,
+        "flipped_fraction": flipped / initial_spins.size,
     }
     for key, value in initial_metrics.as_dict().items():
         row[f"initial_{key}"] = value
@@ -60,8 +86,72 @@ def run_replicate(
     return row
 
 
-def run_experiment(spec: ExperimentSpec) -> ResultTable:
-    """Run all replicates of one experiment cell."""
+def run_replicate(
+    spec: ExperimentSpec, replicate_index: int, replicate_seed: int
+) -> dict[str, object]:
+    """Run one replicate of ``spec`` and return its result row."""
+    simulation = Simulation(spec.config, seed=replicate_seed)
+    with Timer() as timer:
+        result = simulation.run(max_flips=spec.max_flips)
+    return _result_row(
+        spec,
+        replicate_index,
+        replicate_seed,
+        result.initial_spins,
+        result.final_spins,
+        result.terminated,
+        result.n_flips,
+        result.final_time,
+        timer.elapsed,
+    )
+
+
+def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> ResultTable:
+    """Run a cell's replicates in vectorized batches of ``ensemble_size``.
+
+    Replica seeds and RNG streams match the scalar path exactly, so the rows
+    differ from :func:`run_experiment`'s serial output only in
+    ``wall_clock_seconds`` (reported as the batch time split evenly across its
+    replicas, since lockstep replicas share the work).
+    """
+    table = ResultTable()
+    seeds = replicate_seeds(spec.seed, spec.n_replicates)
+    for batch_start in range(0, len(seeds), ensemble_size):
+        batch_seeds = seeds[batch_start : batch_start + ensemble_size]
+        ensemble = EnsembleDynamics(spec.config, replica_seeds=batch_seeds)
+        initial = ensemble.initial_spins()
+        with Timer() as timer:
+            result = ensemble.run(max_flips=spec.max_flips)
+        per_replica_seconds = timer.elapsed / len(batch_seeds)
+        for offset, seed in enumerate(batch_seeds):
+            table.add_row(
+                **_result_row(
+                    spec,
+                    batch_start + offset,
+                    seed,
+                    initial[offset],
+                    result.final_spins[offset],
+                    bool(result.terminated[offset]),
+                    int(result.n_flips[offset]),
+                    float(result.final_time[offset]),
+                    per_replica_seconds,
+                )
+            )
+    return table
+
+
+def run_experiment(
+    spec: ExperimentSpec, ensemble_size: Optional[int] = None
+) -> ResultTable:
+    """Run all replicates of one experiment cell.
+
+    ``ensemble_size`` > 1 routes the replicates through the vectorized
+    ensemble engine in lockstep batches of that size; the default runs them
+    serially through the scalar engine.  Both paths derive replicate seeds
+    identically and produce identical rows (up to wall-clock timings).
+    """
+    if ensemble_size is not None and ensemble_size > 1:
+        return _run_experiment_ensemble(spec, ensemble_size)
     table = ResultTable()
     seeds = replicate_seeds(spec.seed, spec.n_replicates)
     for index, seed in enumerate(seeds):
@@ -69,15 +159,31 @@ def run_experiment(spec: ExperimentSpec) -> ResultTable:
     return table
 
 
-def run_sweep(sweep: SweepSpec, progress: Optional[callable] = None) -> ResultTable:
+def run_sweep(
+    sweep: SweepSpec,
+    progress: Optional[Callable[[ExperimentSpec], None]] = None,
+    workers: Optional[int] = None,
+    ensemble_size: Optional[int] = None,
+) -> ResultTable:
     """Run every cell of a sweep and concatenate the replicate rows.
 
-    ``progress`` (if given) is called with the cell spec after each cell
-    completes — benchmarks use it to emit a line per cell.
+    ``progress`` (if given) is called exactly once per cell, in cell order,
+    after the cell completes — benchmarks use it to emit a line per cell.
+    ``workers`` > 1 delegates to
+    :func:`repro.experiments.parallel.run_sweep_parallel`, which shards cells
+    across a process pool while preserving row order; ``ensemble_size``
+    selects the vectorized replicate engine in either mode.
     """
+    if workers is not None and workers > 1:
+        # Imported here: parallel builds on this module's cell runner.
+        from repro.experiments.parallel import run_sweep_parallel
+
+        return run_sweep_parallel(
+            sweep, workers=workers, progress=progress, ensemble_size=ensemble_size
+        )
     table = ResultTable()
     for cell in sweep.cells():
-        cell_table = run_experiment(cell)
+        cell_table = run_experiment(cell, ensemble_size=ensemble_size)
         table.extend(cell_table.rows)
         if progress is not None:
             progress(cell)

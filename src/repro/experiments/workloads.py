@@ -23,6 +23,16 @@ def full_scale_requested() -> bool:
     return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "False")
 
 
+def bench_quick_mode() -> bool:
+    """Whether ``REPRO_BENCH_QUICK=1`` asks benchmarks to shrink their runs.
+
+    Quick mode keeps benchmark grids and assertions intact but caps run
+    lengths (flip budgets, sweep sizes) so time-hungry benchmarks such as
+    ``bench_ensemble_throughput.py`` finish in well under 30 seconds.
+    """
+    return os.environ.get("REPRO_BENCH_QUICK", "0") not in ("", "0", "false", "False")
+
+
 def grid_side_for_horizon(horizon: int, multiples: int = 12, minimum: int = 24) -> int:
     """A grid side proportional to the horizon.
 

@@ -106,3 +106,44 @@ class TestSweep:
     def test_bad_taus_returns_error_code(self):
         code, _ = run_cli(["sweep", "--taus", "0.4,banana", "--horizon", "1"])
         assert code == 2
+
+    def test_workers_and_ensemble_flags(self):
+        code, output = run_cli(
+            [
+                "sweep",
+                "--horizon", "1",
+                "--taus", "0.4,0.45",
+                "--replicates", "2",
+                "--side", "20",
+                "--workers", "2",
+                "--ensemble", "2",
+            ]
+        )
+        assert code == 0
+        assert "workers=2, ensemble=2" in output
+        assert "0.45" in output
+
+    def test_execution_flags_match_serial_aggregates(self, tmp_path):
+        """The vectorized/parallel path writes the same aggregates as serial."""
+        args = [
+            "sweep",
+            "--horizon", "1",
+            "--taus", "0.4",
+            "--replicates", "2",
+            "--side", "20",
+        ]
+        serial_csv = tmp_path / "serial.csv"
+        fast_csv = tmp_path / "fast.csv"
+        code, _ = run_cli(args + ["--csv", str(serial_csv)])
+        assert code == 0
+        code, _ = run_cli(
+            args + ["--csv", str(fast_csv), "--workers", "2", "--ensemble", "2"]
+        )
+        assert code == 0
+        assert serial_csv.read_text() == fast_csv.read_text()
+
+    def test_nonpositive_workers_rejected(self):
+        code, _ = run_cli(
+            ["sweep", "--taus", "0.4", "--horizon", "1", "--side", "20", "--workers", "0"]
+        )
+        assert code == 2

@@ -1,0 +1,214 @@
+"""Cross-consistency tests: EnsembleDynamics must match the scalar engine.
+
+The vectorized engine claims *bitwise* equivalence with scalar runs: replica
+``r`` of an ensemble seeded with master seed ``S`` reproduces the scalar
+:class:`~repro.core.simulation.Simulation` seeded with
+``ensemble.replica_seeds[r]`` exactly — same final grid, flip count,
+termination flag and final clock — across schedulers, tau regimes and grid
+shapes.  These tests are the contract that lets every experiment switch
+between engines freely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.dynamics import GlauberDynamics
+from repro.core.ensemble import EnsembleDynamics, run_ensemble
+from repro.core.initializer import random_configuration
+from repro.core.simulation import Simulation
+from repro.core.state import ModelState
+from repro.errors import ConfigurationError
+from repro.rng import spawn_rngs
+from repro.types import FlipRule, SchedulerKind
+
+SCHEDULERS = [SchedulerKind.CONTINUOUS, SchedulerKind.DISCRETE]
+#: One intolerance at or below 1/2 (every unhappy agent flippable) and one
+#: above (only super-unhappy agents flippable) — the two bookkeeping regimes.
+TAUS = [0.35, 0.55]
+SHAPES = [(18, 18), (14, 22)]
+
+
+def scalar_reference(config: ModelConfig, seed: int, max_flips=None):
+    """The scalar run an ensemble replica with this seed must reproduce."""
+    simulation = Simulation(config, seed=seed)
+    return simulation.run(max_flips=max_flips)
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("tau", TAUS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_replicas_match_scalar_runs_exactly(self, scheduler, tau, shape):
+        config = ModelConfig(
+            n_rows=shape[0],
+            n_cols=shape[1],
+            horizon=2,
+            tau=tau,
+            scheduler=scheduler,
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=42)
+        result = ensemble.run()
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed)
+            assert np.array_equal(
+                reference.final_spins, result.final_spins[replica]
+            ), f"final grids diverge for replica {replica}"
+            assert reference.n_flips == result.n_flips[replica]
+            assert reference.n_steps == result.n_steps[replica]
+            assert reference.terminated == bool(result.terminated[replica])
+            assert reference.final_time == result.final_time[replica]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_flip_budget_matches_scalar_runs(self, scheduler):
+        config = ModelConfig.square(
+            side=20, horizon=2, tau=0.45, scheduler=scheduler
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=5)
+        result = ensemble.run(max_flips=40)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed, max_flips=40)
+            assert np.array_equal(reference.final_spins, result.final_spins[replica])
+            assert reference.n_flips == result.n_flips[replica] <= 40
+
+    def test_always_flip_rule_matches_scalar_runs(self):
+        config = ModelConfig.square(
+            side=16, horizon=1, tau=0.4, flip_rule=FlipRule.ALWAYS
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=2, seed=9)
+        result = ensemble.run(max_flips=150)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed, max_flips=150)
+            assert np.array_equal(reference.final_spins, result.final_spins[replica])
+            assert reference.n_flips == result.n_flips[replica]
+
+    def test_planted_initial_spins_match_scalar_dynamics(self):
+        config = ModelConfig.square(side=18, horizon=2, tau=0.45)
+        seeds = [101, 202, 303]
+        grids = [
+            random_configuration(config, seed=1000 + index).spins
+            for index in range(len(seeds))
+        ]
+        ensemble = EnsembleDynamics(
+            config,
+            replica_seeds=seeds,
+            initial_spins=np.stack(grids),
+        )
+        result = ensemble.run()
+        for replica, seed in enumerate(seeds):
+            # Mirror the engine's stream split: the init stream is spawned
+            # (and discarded, since the grid is planted), the dynamics stream
+            # drives the scalar engine.
+            _, dynamics_rng = spawn_rngs(seed, 2)
+            state = ModelState(config, grid=None)
+            state.apply_spin_array(grids[replica])
+            reference = GlauberDynamics(state, seed=dynamics_rng).run()
+            assert np.array_equal(state.grid.spins, result.final_spins[replica])
+            assert reference.n_flips == result.n_flips[replica]
+
+
+class TestReplicaIsolation:
+    def test_single_replica_ensemble_reproduces_ensemble_member(self):
+        """Any replica can be re-run in isolation from its own seed."""
+        config = ModelConfig.square(side=18, horizon=2, tau=0.45)
+        ensemble = EnsembleDynamics(config, n_replicas=4, seed=77)
+        result = ensemble.run()
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            solo = EnsembleDynamics(config, replica_seeds=[seed])
+            solo_result = solo.run()
+            assert np.array_equal(
+                solo_result.final_spins[0], result.final_spins[replica]
+            )
+            assert solo_result.n_flips[0] == result.n_flips[replica]
+
+    def test_replica_seeds_are_distinct_and_reproducible(self):
+        config = ModelConfig.square(side=14, horizon=1, tau=0.4)
+        a = EnsembleDynamics(config, n_replicas=6, seed=3)
+        b = EnsembleDynamics(config, n_replicas=6, seed=3)
+        assert a.replica_seeds == b.replica_seeds
+        assert len(set(a.replica_seeds)) == 6
+
+
+class TestEngineInvariants:
+    def test_termination_empties_flippable_sets(self):
+        config = ModelConfig.square(side=16, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=1)
+        result = ensemble.run()
+        assert result.all_terminated
+        assert np.all(ensemble.flippable_counts() == 0)
+        for replica in range(3):
+            assert ensemble.flippable_indices(replica).size == 0
+
+    def test_step_all_returns_flipping_replicas(self):
+        config = ModelConfig.square(side=16, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=2)
+        before = ensemble.n_flips
+        flipped = ensemble.step_all()
+        after = ensemble.n_flips
+        assert sorted(flipped.tolist()) == sorted(np.flatnonzero(after - before).tolist())
+
+    def test_run_result_reports_totals(self):
+        config = ModelConfig.square(side=14, horizon=1, tau=0.4)
+        result = run_ensemble(config, n_replicas=3, seed=8, max_flips=30)
+        assert result.n_replicas == 3
+        assert result.total_flips == int(result.n_flips.sum())
+        assert result.final_spins.shape == (3, 14, 14)
+
+    def test_masks_and_counts_match_fresh_model_state(self):
+        config = ModelConfig.square(side=18, horizon=2, tau=0.55)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=21)
+        ensemble.run(max_flips=50)
+        for replica in range(3):
+            reference = ModelState(config, grid=None)
+            reference.apply_spin_array(ensemble.replica_spins(replica))
+            assert np.array_equal(
+                ensemble.happy_mask(replica), reference.happy_mask()
+            )
+            assert np.array_equal(
+                ensemble.flippable_mask(replica), reference.flippable_mask()
+            )
+            assert ensemble.unhappy_counts()[replica] == reference.n_unhappy
+            assert ensemble.flippable_counts()[replica] == reference.n_flippable
+            assert np.array_equal(
+                ensemble.unhappy_indices(replica),
+                np.flatnonzero(reference.unhappy_mask().ravel()),
+            )
+
+    def test_energies_match_model_state_energy(self):
+        config = ModelConfig.square(side=16, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=2, seed=13)
+        ensemble.run(max_flips=25)
+        energies = ensemble.energies()
+        for replica in range(2):
+            reference = ModelState(config, grid=None)
+            reference.apply_spin_array(ensemble.replica_spins(replica))
+            assert energies[replica] == reference.energy()
+
+
+class TestValidation:
+    def test_rejects_nonpositive_replica_count(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        with pytest.raises(ConfigurationError):
+            EnsembleDynamics(config, n_replicas=0, seed=1)
+        with pytest.raises(ConfigurationError):
+            EnsembleDynamics(config, seed=1)
+
+    def test_rejects_empty_replica_seeds(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        with pytest.raises(ConfigurationError):
+            EnsembleDynamics(config, replica_seeds=[])
+
+    def test_rejects_bad_initial_spins(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        with pytest.raises(ConfigurationError):
+            EnsembleDynamics(
+                config,
+                replica_seeds=[1, 2],
+                initial_spins=np.ones((3, 12, 12), dtype=np.int8),
+            )
+        with pytest.raises(ConfigurationError):
+            EnsembleDynamics(
+                config,
+                replica_seeds=[1],
+                initial_spins=np.zeros((1, 12, 12), dtype=np.int8),
+            )

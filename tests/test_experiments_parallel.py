@@ -1,0 +1,96 @@
+"""Determinism and equivalence tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.errors import ExperimentError
+from repro.experiments.parallel import (
+    default_chunk_size,
+    default_worker_count,
+    run_sweep_parallel,
+)
+from repro.experiments.runner import run_experiment, run_sweep
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+
+#: Timings differ between runs/engines by construction; everything else must
+#: be byte-identical.
+TIMING_COLUMNS = {"wall_clock_seconds"}
+
+
+def comparable_rows(table):
+    """The table's rows with the timing columns stripped."""
+    return [
+        {key: value for key, value in row.items() if key not in TIMING_COLUMNS}
+        for row in table.rows
+    ]
+
+
+@pytest.fixture
+def small_sweep() -> SweepSpec:
+    """A 2 x 2 x 2 sweep (taus x densities x replicates) of small cells."""
+    base = ModelConfig.square(side=18, horizon=1, tau=0.4)
+    return SweepSpec(
+        name="parallel-unit",
+        base_config=base,
+        taus=[0.35, 0.45],
+        densities=[0.45, 0.55],
+        n_replicates=2,
+        seed=13,
+    )
+
+
+class TestParallelDeterminism:
+    def test_workers_1_and_4_produce_identical_tables(self, small_sweep):
+        serial = run_sweep_parallel(small_sweep, workers=1)
+        parallel = run_sweep_parallel(small_sweep, workers=4)
+        assert len(serial) == 2 * 2 * 2
+        assert comparable_rows(serial) == comparable_rows(parallel)
+
+    def test_parallel_matches_serial_run_sweep(self, small_sweep):
+        serial = run_sweep(small_sweep)
+        parallel = run_sweep(small_sweep, workers=3)
+        assert comparable_rows(serial) == comparable_rows(parallel)
+
+    def test_chunk_size_does_not_change_rows(self, small_sweep):
+        one = run_sweep_parallel(small_sweep, workers=2, chunk_size=1)
+        three = run_sweep_parallel(small_sweep, workers=2, chunk_size=3)
+        assert comparable_rows(one) == comparable_rows(three)
+
+    def test_progress_fires_once_per_cell_in_cell_order(self, small_sweep):
+        expected = [cell.name for cell in small_sweep.cells()]
+        visited: list[str] = []
+        run_sweep_parallel(
+            small_sweep, workers=4, progress=lambda cell: visited.append(cell.name)
+        )
+        assert visited == expected
+
+
+class TestEnsembleExecution:
+    def test_ensemble_rows_match_scalar_rows(self):
+        config = ModelConfig.square(side=18, horizon=1, tau=0.4)
+        spec = ExperimentSpec(name="cell", config=config, n_replicates=5, seed=11)
+        scalar = run_experiment(spec)
+        batched = run_experiment(spec, ensemble_size=2)  # uneven batches: 2+2+1
+        assert comparable_rows(scalar) == comparable_rows(batched)
+
+    def test_parallel_ensemble_sweep_matches_serial(self, small_sweep):
+        serial = run_sweep(small_sweep)
+        combined = run_sweep(small_sweep, workers=2, ensemble_size=2)
+        assert comparable_rows(serial) == comparable_rows(combined)
+
+
+class TestValidationAndDefaults:
+    def test_rejects_nonpositive_workers(self, small_sweep):
+        with pytest.raises(ExperimentError):
+            run_sweep_parallel(small_sweep, workers=0)
+
+    def test_rejects_nonpositive_chunk_size(self, small_sweep):
+        with pytest.raises(ExperimentError):
+            run_sweep_parallel(small_sweep, workers=2, chunk_size=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_default_chunk_size_bounds(self):
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(64, 2) == 8

@@ -61,6 +61,37 @@ class TestRunSweep:
         assert len(table) == 4
         assert len(visited) == 2
 
+    def test_progress_callback_fires_exactly_once_per_cell(self):
+        """Smoke test for the typed ``progress`` hook: one call per cell, in
+        cell order, with the cell's ExperimentSpec."""
+        base = ModelConfig.square(side=18, horizon=1, tau=0.4)
+        sweep = SweepSpec(
+            name="progress",
+            base_config=base,
+            taus=[0.35, 0.4, 0.45],
+            n_replicates=1,
+            seed=2,
+        )
+        visited: list[ExperimentSpec] = []
+        run_sweep(sweep, progress=visited.append)
+        assert [cell.name for cell in visited] == [
+            cell.name for cell in sweep.cells()
+        ]
+        assert all(isinstance(cell, ExperimentSpec) for cell in visited)
+
+    def test_ensemble_size_produces_identical_rows(self):
+        base = ModelConfig.square(side=18, horizon=1, tau=0.4)
+        sweep = SweepSpec(
+            name="sweep", base_config=base, taus=[0.35, 0.45], n_replicates=3, seed=4
+        )
+        serial = run_sweep(sweep)
+        vectorized = run_sweep(sweep, ensemble_size=3)
+        strip = lambda table: [
+            {k: v for k, v in row.items() if k != "wall_clock_seconds"}
+            for row in table.rows
+        ]
+        assert strip(serial) == strip(vectorized)
+
     def test_aggregate_sweep(self):
         base = ModelConfig.square(side=20, horizon=1, tau=0.4)
         sweep = SweepSpec(

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.workloads import (
+    bench_quick_mode,
     default_tau_grid,
     density_ladder,
     figure1_config,
@@ -55,6 +56,43 @@ class TestFigure1:
         for value in ("", "0", "false"):
             monkeypatch.setenv("REPRO_FULL_SCALE", value)
             assert not full_scale_requested()
+
+
+class TestBenchQuickMode:
+    def test_enabled_by_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert bench_quick_mode()
+
+    def test_disabled_by_default_and_falsy_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_QUICK", raising=False)
+        assert not bench_quick_mode()
+        for value in ("", "0", "false", "False"):
+            monkeypatch.setenv("REPRO_BENCH_QUICK", value)
+            assert not bench_quick_mode()
+
+    def test_quick_mode_caps_throughput_benchmark_flips(self, monkeypatch):
+        """The throughput benchmark must bound its run length in quick mode
+        (same grid, same replica count — only the flip budget shrinks)."""
+        import importlib.util
+        from pathlib import Path
+
+        bench_path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "bench_ensemble_throughput.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_ensemble", bench_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        quick = module.throughput_parameters()
+        monkeypatch.delenv("REPRO_BENCH_QUICK")
+        full = module.throughput_parameters()
+        assert quick["max_flips"] is not None and quick["max_flips"] <= 2000
+        assert full["max_flips"] is None
+        assert quick["side"] == full["side"] == 128
+        assert quick["n_replicas"] == full["n_replicas"] == 8
 
 
 class TestParameterGrids:

@@ -11,6 +11,7 @@ from repro.analysis.regions import (
 )
 from repro.core.config import ModelConfig
 from repro.core.dynamics import GlauberDynamics
+from repro.core.ensemble import EnsembleDynamics
 from repro.core.initializer import random_configuration
 from repro.core.lyapunov import lyapunov_energy, max_energy
 from repro.core.neighborhood import neighborhood_size, window_sums
@@ -66,6 +67,105 @@ def test_incremental_state_equals_recomputed_state_after_dynamics(config, seed, 
     reference = ModelState(config, state.grid.copy())
     assert np.array_equal(state.plus_counts(), reference.plus_counts())
     assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+
+
+@COMMON_SETTINGS
+@given(
+    config=config_strategy,
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_energy_strictly_increases_on_every_scalar_flip(config, seed):
+    """The paper's Lyapunov argument, flip by flip: each performed flip must
+    strictly raise the energy (no-op steps of the discrete scheduler leave it
+    unchanged)."""
+    state = ModelState(config, random_configuration(config, seed=seed))
+    dynamics = GlauberDynamics(state, seed=seed + 1)
+    energies = [state.energy()]
+
+    def record(_, event):
+        if event is not None:
+            energies.append(state.energy())
+
+    dynamics.run(max_flips=40, callback=record)
+    deltas = np.diff(energies)
+    assert len(energies) == dynamics.n_flips + 1
+    assert np.all(deltas > 0)
+
+
+@COMMON_SETTINGS
+@given(
+    config=config_strategy,
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_energy_strictly_increases_on_every_ensemble_flip(config, seed):
+    """The ensemble engine preserves per-flip Lyapunov monotonicity in every
+    replica: any replica reported as flipping in a round strictly gains
+    energy, and the others stay put."""
+    ensemble = EnsembleDynamics(config, n_replicas=3, seed=seed)
+    energies = ensemble.energies()
+    for _ in range(30):
+        flipped = ensemble.step_all()
+        new_energies = ensemble.energies()
+        flipped_mask = np.zeros(ensemble.n_replicas, dtype=bool)
+        flipped_mask[flipped] = True
+        assert np.all(new_energies[flipped_mask] > energies[flipped_mask])
+        assert np.all(new_energies[~flipped_mask] == energies[~flipped_mask])
+        energies = new_energies
+        if ensemble.all_terminated:
+            break
+
+
+@COMMON_SETTINGS
+@given(
+    config=config_strategy,
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_flips=st.integers(min_value=0, max_value=60),
+)
+def test_scalar_masks_match_recompute_all_after_flip_sequence(config, seed, n_flips):
+    """Incremental unhappy/flippable bookkeeping equals a fresh rebuild."""
+    state = ModelState(config, random_configuration(config, seed=seed))
+    GlauberDynamics(state, seed=seed).run(max_flips=n_flips)
+    reference = ModelState(config, state.grid.copy())
+    reference.recompute_all()
+    assert state.n_unhappy == reference.n_unhappy
+    assert state.n_flippable == reference.n_flippable
+    assert np.array_equal(state.unhappy_mask(), reference.unhappy_mask())
+    assert np.array_equal(state.flippable_mask(), reference.flippable_mask())
+    assert np.array_equal(
+        state.unhappy_sampler.to_array(), reference.unhappy_sampler.to_array()
+    )
+    assert np.array_equal(
+        state.flippable_sampler.to_array(), reference.flippable_sampler.to_array()
+    )
+
+
+@COMMON_SETTINGS
+@given(
+    config=config_strategy,
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_flips=st.integers(min_value=0, max_value=60),
+)
+def test_ensemble_masks_match_recompute_all_after_flip_sequence(config, seed, n_flips):
+    """Every replica's incremental masks equal a fresh scalar rebuild."""
+    ensemble = EnsembleDynamics(config, n_replicas=2, seed=seed)
+    ensemble.run(max_flips=n_flips)
+    for replica in range(ensemble.n_replicas):
+        reference = ModelState(config, grid=None)
+        reference.apply_spin_array(ensemble.replica_spins(replica))
+        assert ensemble.unhappy_counts()[replica] == reference.n_unhappy
+        assert ensemble.flippable_counts()[replica] == reference.n_flippable
+        assert np.array_equal(ensemble.happy_mask(replica), reference.happy_mask())
+        assert np.array_equal(
+            ensemble.flippable_mask(replica), reference.flippable_mask()
+        )
+        assert np.array_equal(
+            ensemble.unhappy_indices(replica),
+            reference.unhappy_sampler.to_array(),
+        )
+        assert np.array_equal(
+            ensemble.flippable_indices(replica),
+            reference.flippable_sampler.to_array(),
+        )
 
 
 @COMMON_SETTINGS
