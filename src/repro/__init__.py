@@ -36,6 +36,7 @@ from repro.analysis import (
 from repro.core import (
     EnsembleDynamics,
     EnsembleRunResult,
+    EnsembleTrajectory,
     GlauberDynamics,
     KawasakiDynamics,
     ModelConfig,
@@ -96,6 +97,7 @@ __all__ = [
     "DynamicsKind",
     "EnsembleDynamics",
     "EnsembleRunResult",
+    "EnsembleTrajectory",
     "ExperimentError",
     "ExperimentSpec",
     "FirstPassagePercolation",

@@ -24,7 +24,11 @@ from repro.analysis.segregation import segregation_metrics
 from repro.core.config import ModelConfig
 from repro.core.simulation import Simulation
 from repro.experiments.results import ResultTable
-from repro.experiments.runner import aggregate_sweep, run_sweep
+from repro.experiments.runner import (
+    DEFAULT_SWEEP_VALUE_KEYS,
+    aggregate_sweep,
+    run_sweep,
+)
 from repro.experiments.spec import SweepSpec
 from repro.experiments.workloads import default_tau_grid, grid_side_for_horizon
 from repro.theory.bounds import exact_unhappy_probability
@@ -80,6 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="replicas per vectorized lockstep batch (1 = scalar engine)",
+    )
+    sweep.add_argument(
+        "--record-trajectory",
+        action="store_true",
+        help="record per-replica trajectories and aggregate traj_* columns",
+    )
+    sweep.add_argument(
+        "--record-every",
+        type=int,
+        default=100,
+        help="trajectory sampling cadence (flips for the scalar engine, "
+        "lockstep rounds for --ensemble > 1)",
     )
     return parser
 
@@ -163,6 +179,12 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
     else:
         taus = default_tau_grid()
     side = args.side if args.side else grid_side_for_horizon(args.horizon)
+    if args.workers <= 0 or args.ensemble <= 0:
+        print("error: --workers and --ensemble must be positive", file=sys.stderr)
+        return 2
+    if args.record_every <= 0:
+        print("error: --record-every must be positive", file=sys.stderr)
+        return 2
     base = ModelConfig.square(side=side, horizon=args.horizon, tau=0.5)
     sweep = SweepSpec(
         name="cli-sweep",
@@ -170,10 +192,9 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         taus=taus,
         n_replicates=args.replicates,
         seed=args.seed,
+        record_trajectory=args.record_trajectory,
+        record_every=args.record_every,
     )
-    if args.workers <= 0 or args.ensemble <= 0:
-        print("error: --workers and --ensemble must be positive", file=sys.stderr)
-        return 2
     print(
         f"Sweeping {len(taus)} intolerances x {args.replicates} replicates on a "
         f"{side}x{side} torus with w={args.horizon} "
@@ -181,7 +202,10 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         file=out,
     )
     rows = run_sweep(sweep, workers=args.workers, ensemble_size=args.ensemble)
-    aggregated = aggregate_sweep(rows, group_keys=("tau",))
+    value_keys = DEFAULT_SWEEP_VALUE_KEYS
+    if args.record_trajectory:
+        value_keys += ("traj_energy_gain", "traj_energy_monotone")
+    aggregated = aggregate_sweep(rows, group_keys=("tau",), value_keys=value_keys)
     print(aggregated.to_markdown(float_format=".4g"), file=out)
     if args.csv:
         aggregated.to_csv(args.csv)

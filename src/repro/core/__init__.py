@@ -2,7 +2,12 @@
 
 from repro.core.config import ModelConfig, default_figure1_config
 from repro.core.dynamics import GlauberDynamics, RunResult, Trajectory, run_to_completion
-from repro.core.ensemble import EnsembleDynamics, EnsembleRunResult, run_ensemble
+from repro.core.ensemble import (
+    EnsembleDynamics,
+    EnsembleRunResult,
+    EnsembleTrajectory,
+    run_ensemble,
+)
 from repro.core.grid import TorusGrid
 from repro.core.initializer import (
     checkerboard_configuration,
@@ -43,6 +48,7 @@ __all__ = [
     "AsymmetricModelState",
     "EnsembleDynamics",
     "EnsembleRunResult",
+    "EnsembleTrajectory",
     "GlauberDynamics",
     "TwoSidedModelState",
     "KawasakiDynamics",

@@ -44,13 +44,18 @@ class Trajectory:
     magnetization: list[float] = field(default_factory=list)
 
     def record(self, time: float, flips: int, state: ModelState) -> None:
-        """Append one sample taken from ``state`` at simulation ``time``."""
+        """Append one sample taken from ``state`` at simulation ``time``.
+
+        Every recorded quantity is an incrementally maintained counter of the
+        state, so one sample costs O(1) — dense recording (``record_every=1``)
+        no longer triggers per-sample full-grid recomputes.
+        """
         self.times.append(time)
         self.n_flips.append(flips)
         self.n_unhappy.append(state.n_unhappy)
         self.n_flippable.append(state.n_flippable)
         self.energy.append(state.energy())
-        self.magnetization.append(state.grid.magnetization())
+        self.magnetization.append(state.magnetization())
 
     def __len__(self) -> int:
         return len(self.times)
@@ -194,7 +199,9 @@ class GlauberDynamics:
                 trajectory.record(self.time, self.n_flips, self.state)
 
         if trajectory is not None and (
-            not trajectory.n_flips or trajectory.n_flips[-1] != self.n_flips
+            not trajectory.n_flips
+            or trajectory.n_flips[-1] != self.n_flips
+            or trajectory.times[-1] != self.time
         ):
             trajectory.record(self.time, self.n_flips, self.state)
         return RunResult(

@@ -36,6 +36,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.config import ModelConfig
+from repro.core.dynamics import Trajectory
 from repro.core.initializer import random_configuration
 from repro.core.neighborhood import window_sums
 from repro.errors import ConfigurationError, StateError
@@ -103,6 +104,94 @@ class _ReplicaIndexSet:
         return np.sort(np.asarray(self._members[: self._size], dtype=np.int64))
 
 
+class EnsembleTrajectory:
+    """Per-replica time series sampled in lockstep rounds.
+
+    Every property is an ``(R, samples)`` array: one row per replica, one
+    column per sample.  Samples are taken every ``record_every`` *rounds* of
+    :meth:`EnsembleDynamics.run` (plus the initial and final states), so the
+    columns of different replicas are aligned by round rather than by flip
+    count — replicas that terminate early simply repeat their final values.
+    All recorded quantities are incrementally maintained counters, so one
+    sample costs O(R).
+    """
+
+    def __init__(self, n_replicas: int) -> None:
+        self.n_replicas = n_replicas
+        self._times: list[np.ndarray] = []
+        self._n_flips: list[np.ndarray] = []
+        self._n_unhappy: list[np.ndarray] = []
+        self._n_flippable: list[np.ndarray] = []
+        self._energy: list[np.ndarray] = []
+        self._magnetization: list[np.ndarray] = []
+
+    def record(self, ensemble: "EnsembleDynamics") -> None:
+        """Append one sample of every replica's counters."""
+        self._times.append(ensemble.times)
+        self._n_flips.append(ensemble.n_flips)
+        self._n_unhappy.append(ensemble.unhappy_counts())
+        self._n_flippable.append(ensemble.flippable_counts())
+        self._energy.append(ensemble.energies())
+        self._magnetization.append(ensemble.magnetizations())
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def _stack(self, samples: list[np.ndarray], dtype) -> np.ndarray:
+        if not samples:
+            return np.zeros((self.n_replicas, 0), dtype=dtype)
+        return np.stack(samples, axis=1)
+
+    @property
+    def times(self) -> np.ndarray:
+        """``(R, samples)`` per-replica simulation clocks."""
+        return self._stack(self._times, np.float64)
+
+    @property
+    def n_flips(self) -> np.ndarray:
+        """``(R, samples)`` cumulative flip counts."""
+        return self._stack(self._n_flips, np.int64)
+
+    @property
+    def n_unhappy(self) -> np.ndarray:
+        """``(R, samples)`` unhappy-agent counts."""
+        return self._stack(self._n_unhappy, np.int64)
+
+    @property
+    def n_flippable(self) -> np.ndarray:
+        """``(R, samples)`` flippable-agent counts."""
+        return self._stack(self._n_flippable, np.int64)
+
+    @property
+    def energy(self) -> np.ndarray:
+        """``(R, samples)`` Lyapunov energies."""
+        return self._stack(self._energy, np.int64)
+
+    @property
+    def magnetization(self) -> np.ndarray:
+        """``(R, samples)`` mean spins."""
+        return self._stack(self._magnetization, np.float64)
+
+    def replica(self, replica: int) -> Trajectory:
+        """One replica's samples as a scalar :class:`Trajectory`.
+
+        The view plugs directly into :mod:`repro.analysis.trajectory`
+        (summaries, decay profiles) exactly like a scalar engine recording.
+        """
+        if not 0 <= replica < self.n_replicas:
+            raise StateError(
+                f"replica index {replica} out of range for R={self.n_replicas}"
+            )
+        return Trajectory(
+            times=[float(sample[replica]) for sample in self._times],
+            n_flips=[int(sample[replica]) for sample in self._n_flips],
+            n_unhappy=[int(sample[replica]) for sample in self._n_unhappy],
+            n_flippable=[int(sample[replica]) for sample in self._n_flippable],
+            energy=[int(sample[replica]) for sample in self._energy],
+            magnetization=[float(sample[replica]) for sample in self._magnetization],
+        )
+
+
 @dataclass(frozen=True)
 class EnsembleRunResult:
     """Per-replica outcome arrays of :meth:`EnsembleDynamics.run`.
@@ -122,6 +211,8 @@ class EnsembleRunResult:
     final_time: np.ndarray
     #: ``(R, n_rows, n_cols)`` int8 — final configurations (copy).
     final_spins: np.ndarray
+    #: Per-replica trajectory samples, when recording was requested.
+    trajectory: Optional[EnsembleTrajectory] = None
 
     @property
     def n_replicas(self) -> int:
@@ -225,6 +316,8 @@ class EnsembleDynamics:
         self._times: list[float] = [0.0] * r
         self._n_steps: list[int] = [0] * r
         self._n_flips = np.zeros(r, dtype=np.int64)
+        self._energies = np.zeros(r, dtype=np.int64)
+        self._n_plus = np.zeros(r, dtype=np.int64)
         self._offsets = np.arange(-config.horizon, config.horizon + 1)
         self.recompute_all()
 
@@ -249,6 +342,8 @@ class EnsembleDynamics:
                 (self._spins[r] == 1).astype(np.int64), w
             )
         same = np.where(self._spins == 1, self._plus_counts, total - self._plus_counts)
+        self._energies = same.sum(axis=(1, 2), dtype=np.int64)
+        self._n_plus = np.count_nonzero(self._spins == 1, axis=(1, 2)).astype(np.int64)
         self._happy_mask, self._flippable_mask = self._classify(self._spins, same)
         for r in range(self.n_replicas):
             self._unhappy[r].clear()
@@ -320,10 +415,25 @@ class EnsembleDynamics:
         return self._flippable[replica].to_array()
 
     def energies(self) -> np.ndarray:
-        """``(R,)`` Lyapunov energies (total same-type neighbourhood count)."""
+        """``(R,)`` Lyapunov energies (total same-type neighbourhood count).
+
+        Maintained incrementally by :meth:`_apply_flips` — an O(1)-per-flip
+        window-free delta mirroring :meth:`repro.core.state.ModelState.apply_flip`
+        — so reading it (e.g. from trajectory recording) is O(R); the tests
+        cross-check it against the full recompute in :meth:`_energies_full`.
+        """
+        return self._energies.copy()
+
+    def _energies_full(self) -> np.ndarray:
+        """``(R,)`` energies recomputed from scratch (test/verification path)."""
         total = self.config.neighborhood_agents
         same = np.where(self._spins == 1, self._plus_counts, total - self._plus_counts)
-        return same.sum(axis=(1, 2))
+        return same.sum(axis=(1, 2), dtype=np.int64)
+
+    def magnetizations(self) -> np.ndarray:
+        """``(R,)`` mean spins, maintained incrementally (O(R) per read)."""
+        n_sites = self.config.n_sites
+        return (2.0 * self._n_plus - n_sites) / n_sites
 
     def is_replica_terminated(self, replica: int) -> bool:
         """Scalar-engine termination condition for one replica."""
@@ -441,6 +551,22 @@ class EnsembleDynamics:
         col_index = window_cols[:, None, :]
 
         sub_plus = self._plus_counts[rep_index, row_index, col_index]
+        # Incremental per-replica counters, mirroring the O(1) delta of
+        # ModelState.apply_flip: neighbours move by spin(u) * delta (summing
+        # to 2 * old_plus - total - old_spin) and the flipped agent is
+        # re-scored under its new type.
+        center = config.horizon
+        old_plus_center = sub_plus[:, center, center].astype(np.int64)
+        old_spin = -delta
+        old_same_center = np.where(old_spin == 1, old_plus_center, total - old_plus_center)
+        new_plus_center = old_plus_center + delta
+        new_same_center = np.where(delta == 1, new_plus_center, total - new_plus_center)
+        self._energies[reps] += (
+            delta * (2 * old_plus_center - total - old_spin)
+            + new_same_center
+            - old_same_center
+        )
+        self._n_plus[reps] += delta
         sub_plus += delta[:, None, None]
         self._plus_counts[rep_index, row_index, col_index] = sub_plus
         sub_spins = self._spins[rep_index, row_index, col_index]
@@ -477,6 +603,8 @@ class EnsembleDynamics:
         max_flips: Optional[int] = None,
         max_steps: Optional[int] = None,
         max_time: Optional[float] = None,
+        record_trajectory: bool = False,
+        record_every: int = 1,
     ) -> EnsembleRunResult:
         """Run every replica until termination or its per-replica budget.
 
@@ -484,15 +612,26 @@ class EnsembleDynamics:
         replica stops stepping once its flip/step count within this call
         reaches the budget or its clock passes ``max_time``; the others keep
         going.
+
+        ``record_trajectory`` samples every replica's incremental counters
+        into an :class:`EnsembleTrajectory` every ``record_every`` lockstep
+        *rounds* (plus the initial and final states).  One sample is O(R), so
+        dense recording adds no per-site work.
         """
         if max_flips is not None and max_flips < 0:
             raise StateError(f"max_flips must be non-negative, got {max_flips}")
+        if record_every <= 0:
+            raise StateError("record_every must be positive")
+        trajectory = EnsembleTrajectory(self.n_replicas) if record_trajectory else None
+        if trajectory is not None:
+            trajectory.record(self)
         start_flips = self._n_flips.copy()
         start_steps = list(self._n_steps)
         flips = self._n_flips
         steps = self._n_steps
         times = self._times
         remaining = list(range(self.n_replicas))
+        rounds = 0
         while remaining:
             remaining = [
                 r
@@ -505,12 +644,21 @@ class EnsembleDynamics:
             if not remaining:
                 break
             self.step_all(remaining)
+            rounds += 1
+            if trajectory is not None and rounds % record_every == 0:
+                trajectory.record(self)
+        if trajectory is not None and not (
+            np.array_equal(trajectory._times[-1], self.times)
+            and np.array_equal(trajectory._n_flips[-1], self._n_flips)
+        ):
+            trajectory.record(self)
         return EnsembleRunResult(
             terminated=self.terminated_mask(),
             n_flips=self._n_flips - start_flips,
             n_steps=self.n_steps - np.asarray(start_steps, dtype=np.int64),
             final_time=self.times,
             final_spins=self._spins.copy(),
+            trajectory=trajectory,
         )
 
 
@@ -521,6 +669,8 @@ def run_ensemble(
     max_flips: Optional[int] = None,
     scheduler: Optional[SchedulerKind] = None,
     flip_rule: Optional[FlipRule] = None,
+    record_trajectory: bool = False,
+    record_every: int = 1,
 ) -> EnsembleRunResult:
     """Convenience wrapper: build an :class:`EnsembleDynamics` and run it."""
     ensemble = EnsembleDynamics(
@@ -530,4 +680,8 @@ def run_ensemble(
         scheduler=scheduler,
         flip_rule=flip_rule,
     )
-    return ensemble.run(max_flips=max_flips)
+    return ensemble.run(
+        max_flips=max_flips,
+        record_trajectory=record_trajectory,
+        record_every=record_every,
+    )

@@ -49,6 +49,8 @@ class ModelState:
         self._plus_counts = np.zeros(config.shape, dtype=np.int64)
         self._happy_mask = np.zeros(config.shape, dtype=bool)
         self._flippable_mask = np.zeros(config.shape, dtype=bool)
+        self._energy = 0
+        self._n_plus = 0
         self.recompute_all()
 
     # ------------------------------------------------------------- rebuilding
@@ -73,6 +75,8 @@ class ModelState:
         w = self.config.horizon
         self._plus_counts = self.grid.plus_neighborhood_counts(w)
         same = self._same_counts_full()
+        self._energy = int(same.sum())
+        self._n_plus = int(np.count_nonzero(self.grid.spins == 1))
         self._happy_mask, self._flippable_mask = self._classify(self.grid.spins, same)
         self._unhappy.clear()
         self._flippable.clear()
@@ -168,9 +172,22 @@ class ModelState:
 
         Every flip performed under the model's rule strictly increases this
         quantity, which is how the paper argues termination; the dynamics
-        tests assert that monotonicity.
+        tests assert that monotonicity.  The value is maintained incrementally
+        by :meth:`apply_flip` (an O(w^2) window delta per flip), so reading it
+        — e.g. from ``Trajectory.record`` — is O(1) rather than a full-grid
+        recompute; the tests cross-check it against
+        ``_same_counts_full().sum()``.
         """
-        return int(self._same_counts_full().sum())
+        return self._energy
+
+    def magnetization(self) -> float:
+        """Mean spin ``(#plus - #minus) / n_sites``, maintained incrementally.
+
+        Bitwise identical to ``grid.magnetization()`` (both divide the exact
+        integer spin sum by the site count) but O(1) per read.
+        """
+        n_sites = self.config.n_sites
+        return float(2 * self._n_plus - n_sites) / n_sites
 
     def is_terminated(self) -> bool:
         """True when no agent can flip (the paper's termination condition)."""
@@ -189,8 +206,24 @@ class ModelState:
         n_rows, n_cols = self.config.shape
         row %= n_rows
         col %= n_cols
+        total = self.config.neighborhood_agents
+        old_spin = int(self.grid.spins[row, col])
+        old_plus = int(self._plus_counts[row, col])
         new_value = self.grid.flip(row, col)
         delta = 1 if new_value == 1 else -1
+        # O(1) Lyapunov bookkeeping: every *other* agent u whose window holds
+        # the flipped site sees its same-type count move by spin(u) * delta,
+        # and those spins sum to 2 * old_plus - total - old_spin; the flipped
+        # agent itself is re-scored under its new type.
+        old_same_center = old_plus if old_spin == 1 else total - old_plus
+        new_plus_center = old_plus + delta
+        new_same_center = new_plus_center if new_value == 1 else total - new_plus_center
+        self._energy += (
+            delta * (2 * old_plus - total - old_spin)
+            + new_same_center
+            - old_same_center
+        )
+        self._n_plus += delta
         w = self.config.horizon
         rows = np.arange(row - w, row + w + 1) % n_rows
         cols = np.arange(col - w, col + w + 1) % n_cols

@@ -34,6 +34,20 @@ concurrently, each advancing R replicas per vectorized step.
 ``tests/test_core_ensemble.py`` and ``tests/test_experiments_parallel.py``
 pin the equivalences; ``benchmarks/bench_ensemble_throughput.py`` tracks the
 speedups.
+
+Trajectory recording
+--------------------
+Specs carry ``record_trajectory`` / ``record_every`` flags (CLI:
+``repro sweep --record-trajectory [--record-every K]``).  The scalar engine
+records a :class:`~repro.core.dynamics.Trajectory` every ``K`` flips; the
+ensemble engine records an :class:`~repro.core.ensemble.EnsembleTrajectory`
+— ``(R, samples)`` arrays sampled every ``K`` lockstep rounds, with
+``replica(r)`` scalar views — and both feed the same ``traj_*`` summary
+columns, which are identical across engines because the summaries only read
+the (shared) first/last samples plus energy monotonicity.  Recording is
+cheap on either engine: energy and magnetization are incremental counters
+(O(1) per flip to maintain, O(1)/O(R) to read), so dense recording no longer
+performs per-sample full-grid recomputes.
 """
 
 from repro.experiments.figures import (

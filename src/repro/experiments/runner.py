@@ -25,7 +25,9 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.analysis.segregation import segregation_metrics
+from repro.analysis.trajectory import summarize_trajectory
 from repro.core.config import ModelConfig
+from repro.core.dynamics import Trajectory
 from repro.core.ensemble import EnsembleDynamics
 from repro.core.simulation import Simulation
 from repro.experiments.results import ResultTable
@@ -51,8 +53,15 @@ def _result_row(
     n_flips: int,
     final_time: float,
     wall_clock_seconds: float,
+    trajectory: Optional[Trajectory] = None,
 ) -> dict[str, object]:
-    """Assemble one replicate row from run outputs (shared by both engines)."""
+    """Assemble one replicate row from run outputs (shared by both engines).
+
+    When a recorded ``trajectory`` is supplied its scalar summary is attached
+    as ``traj_*`` columns; the summary only reads the first/last samples plus
+    energy monotonicity, so the scalar and ensemble engines produce identical
+    values despite their different sampling cadences.
+    """
     config = spec.config
     max_region_radius = _region_radius(spec, config)
     initial_metrics = segregation_metrics(
@@ -83,6 +92,9 @@ def _result_row(
         row[f"initial_{key}"] = value
     for key, value in final_metrics.as_dict().items():
         row[f"final_{key}"] = value
+    if trajectory is not None:
+        for key, value in summarize_trajectory(trajectory).as_dict().items():
+            row[f"traj_{key}"] = value
     return row
 
 
@@ -92,7 +104,11 @@ def run_replicate(
     """Run one replicate of ``spec`` and return its result row."""
     simulation = Simulation(spec.config, seed=replicate_seed)
     with Timer() as timer:
-        result = simulation.run(max_flips=spec.max_flips)
+        result = simulation.run(
+            max_flips=spec.max_flips,
+            record_trajectory=spec.record_trajectory,
+            record_every=spec.record_every,
+        )
     return _result_row(
         spec,
         replicate_index,
@@ -103,6 +119,7 @@ def run_replicate(
         result.n_flips,
         result.final_time,
         timer.elapsed,
+        trajectory=result.trajectory,
     )
 
 
@@ -121,7 +138,11 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
         ensemble = EnsembleDynamics(spec.config, replica_seeds=batch_seeds)
         initial = ensemble.initial_spins()
         with Timer() as timer:
-            result = ensemble.run(max_flips=spec.max_flips)
+            result = ensemble.run(
+                max_flips=spec.max_flips,
+                record_trajectory=spec.record_trajectory,
+                record_every=spec.record_every,
+            )
         per_replica_seconds = timer.elapsed / len(batch_seeds)
         for offset, seed in enumerate(batch_seeds):
             table.add_row(
@@ -135,6 +156,11 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
                     int(result.n_flips[offset]),
                     float(result.final_time[offset]),
                     per_replica_seconds,
+                    trajectory=(
+                        result.trajectory.replica(offset)
+                        if result.trajectory is not None
+                        else None
+                    ),
                 )
             )
     return table
@@ -190,17 +216,22 @@ def run_sweep(
     return table
 
 
+#: Metrics summarised per parameter cell unless a caller overrides them
+#: (the CLI extends these with ``traj_*`` keys when recording trajectories).
+DEFAULT_SWEEP_VALUE_KEYS: tuple[str, ...] = (
+    "final_mean_monochromatic_size",
+    "final_mean_almost_monochromatic_size",
+    "final_local_homogeneity",
+    "final_unhappy_fraction",
+    "final_largest_cluster_fraction",
+    "n_flips",
+)
+
+
 def aggregate_sweep(
     table: ResultTable,
     group_keys: tuple[str, ...] = ("tau", "horizon", "density"),
-    value_keys: tuple[str, ...] = (
-        "final_mean_monochromatic_size",
-        "final_mean_almost_monochromatic_size",
-        "final_local_homogeneity",
-        "final_unhappy_fraction",
-        "final_largest_cluster_fraction",
-        "n_flips",
-    ),
+    value_keys: tuple[str, ...] = DEFAULT_SWEEP_VALUE_KEYS,
 ) -> ResultTable:
     """Group replicate rows by parameter cell and summarise the key metrics."""
     return table.group_summary(list(group_keys), list(value_keys))

@@ -27,6 +27,11 @@ class ExperimentSpec:
     max_flips: Optional[int] = None
     #: Cap on the region-scan radius used by the metrics (None = grid limit).
     max_region_radius: Optional[int] = None
+    #: Record per-replicate trajectories and add ``traj_*`` summary columns.
+    record_trajectory: bool = False
+    #: Sampling cadence for trajectory recording (flips for the scalar
+    #: engine, lockstep rounds for the ensemble engine).
+    record_every: int = 100
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -34,6 +39,10 @@ class ExperimentSpec:
         if self.n_replicates <= 0:
             raise ExperimentError(
                 f"n_replicates must be positive, got {self.n_replicates}"
+            )
+        if self.record_every <= 0:
+            raise ExperimentError(
+                f"record_every must be positive, got {self.record_every}"
             )
 
 
@@ -50,6 +59,8 @@ class SweepSpec:
     seed: int = 0
     max_flips: Optional[int] = None
     max_region_radius: Optional[int] = None
+    record_trajectory: bool = False
+    record_every: int = 100
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -83,6 +94,8 @@ class SweepSpec:
                         seed=self.seed + 7919 * index,
                         max_flips=self.max_flips,
                         max_region_radius=self.max_region_radius,
+                        record_trajectory=self.record_trajectory,
+                        record_every=self.record_every,
                     )
                     index += 1
 

@@ -155,3 +155,56 @@ class TestSizesAndSummaries:
         mono = expected_region_size(spins, max_radius=4)
         almost = expected_almost_region_size(spins, 0.3, max_radius=4)
         assert almost >= mono
+
+
+class TestDoublingSearchEquivalence:
+    """The doubling + binary search must reproduce the linear radius scan."""
+
+    @staticmethod
+    def _linear_scan(spins, site, max_radius=None):
+        from repro.analysis.regions import _max_usable_radius
+
+        limit = _max_usable_radius(spins.shape, max_radius)
+        n_rows, n_cols = spins.shape
+        row, col = site[0] % n_rows, site[1] % n_cols
+        center_type = spins[row, col]
+        best = 0
+        for radius in range(1, limit + 1):
+            rows = np.arange(row - radius, row + radius + 1) % n_rows
+            cols = np.arange(col - radius, col + radius + 1) % n_cols
+            if np.all(spins[np.ix_(rows, cols)] == center_type):
+                best = radius
+            else:
+                break
+        return best
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        side=st.integers(min_value=1, max_value=25),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        row=st.integers(min_value=-30, max_value=30),
+        col=st.integers(min_value=-30, max_value=30),
+        cap=st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+    )
+    def test_matches_linear_scan_on_random_grids(self, side, density, seed, row, col, cap):
+        rng = np.random.default_rng(seed)
+        spins = np.where(rng.random((side, side)) < density, 1, -1).astype(np.int8)
+        assert monochromatic_radius(spins, (row, col), cap) == self._linear_scan(
+            spins, (row, col), cap
+        )
+
+    def test_matches_radius_map_everywhere(self):
+        rng = np.random.default_rng(5)
+        spins = np.where(rng.random((21, 21)) < 0.5, 1, -1).astype(np.int8)
+        spins[4:12, 4:12] = 1  # a planted patch exercises larger radii
+        radius_map = monochromatic_radius_map(spins)
+        for row in range(21):
+            for col in range(21):
+                assert monochromatic_radius(spins, (row, col)) == radius_map[row, col]
+
+    def test_planted_square_radius_found_by_doubling(self):
+        spins = planted_square(41, 13)
+        center = (20, 20)
+        assert monochromatic_radius(spins, center) == 13
+        assert monochromatic_radius(spins, center, max_radius=6) == 6

@@ -147,3 +147,30 @@ class TestSweep:
             ["sweep", "--taus", "0.4", "--horizon", "1", "--side", "20", "--workers", "0"]
         )
         assert code == 2
+
+
+class TestSweepTrajectory:
+    def test_record_trajectory_adds_aggregated_columns(self):
+        code, output = run_cli(
+            [
+                "sweep",
+                "--horizon",
+                "1",
+                "--taus",
+                "0.4",
+                "--replicates",
+                "2",
+                "--side",
+                "12",
+                "--record-trajectory",
+            ]
+        )
+        assert code == 0
+        assert "traj_energy_gain_mean" in output
+        assert "traj_energy_monotone_mean" in output
+
+    def test_invalid_record_every_rejected(self):
+        code, _ = run_cli(
+            ["sweep", "--taus", "0.4", "--record-every", "0"]
+        )
+        assert code == 2

@@ -226,3 +226,36 @@ class TestHelpers:
         config = ModelConfig.square(side=20, horizon=1, tau=0.5)
         state = ModelState(config, checkerboard_configuration(config))
         assert state.n_unhappy == 0
+
+
+class TestTrajectoryRecordingCost:
+    """Trajectory.record reads incremental counters — no full-grid recompute."""
+
+    def test_record_never_triggers_full_recompute(self, config, monkeypatch):
+        state = fresh_state(config, seed=4)
+        dynamics = GlauberDynamics(state, seed=6)
+        calls = {"n": 0}
+        original = ModelState._same_counts_full
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(ModelState, "_same_counts_full", counting)
+        result = dynamics.run(record_trajectory=True, record_every=1, max_flips=200)
+        assert len(result.trajectory) > 1
+        assert calls["n"] == 0
+
+    def test_dense_recording_matches_full_recompute_at_every_sample(self, config):
+        state = fresh_state(config, seed=8)
+        dynamics = GlauberDynamics(state, seed=9)
+        samples = []
+
+        def check(dyn, event):
+            if event is not None:
+                samples.append(
+                    dyn.state.energy() == int(dyn.state._same_counts_full().sum())
+                )
+
+        dynamics.run(record_trajectory=True, record_every=1, callback=check)
+        assert samples and all(samples)

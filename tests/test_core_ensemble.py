@@ -18,7 +18,7 @@ from repro.core.ensemble import EnsembleDynamics, run_ensemble
 from repro.core.initializer import random_configuration
 from repro.core.simulation import Simulation
 from repro.core.state import ModelState
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StateError
 from repro.rng import spawn_rngs
 from repro.types import FlipRule, SchedulerKind
 
@@ -212,3 +212,111 @@ class TestValidation:
                 replica_seeds=[1],
                 initial_spins=np.zeros((1, 12, 12), dtype=np.int8),
             )
+
+
+class TestIncrementalEnergies:
+    """energies()/magnetizations() are incremental counters kept exact per flip."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_energies_match_full_recompute_after_run(self, scheduler, tau):
+        config = ModelConfig.square(side=16, horizon=1, tau=tau, scheduler=scheduler)
+        ensemble = EnsembleDynamics(config, n_replicas=4, seed=13)
+        ensemble.run(max_flips=250)
+        assert np.array_equal(ensemble.energies(), ensemble._energies_full())
+
+    def test_energies_match_scalar_state_after_termination(self):
+        config = ModelConfig.square(side=14, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=21)
+        ensemble.run()
+        energies = ensemble.energies()
+        magnetizations = ensemble.magnetizations()
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            simulation = Simulation(config, seed=seed)
+            simulation.run()
+            assert energies[replica] == simulation.state.energy()
+            assert magnetizations[replica] == simulation.state.magnetization()
+
+    def test_recompute_all_resets_counters(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=2, seed=3)
+        ensemble.run(max_flips=40)
+        ensemble.recompute_all()
+        assert np.array_equal(ensemble.energies(), ensemble._energies_full())
+
+
+class TestEnsembleTrajectory:
+    def test_arrays_have_replica_by_sample_shape(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        result = run_ensemble(config, n_replicas=3, seed=5, record_trajectory=True)
+        trajectory = result.trajectory
+        assert trajectory is not None
+        samples = len(trajectory)
+        assert samples >= 2
+        for name in ("times", "n_flips", "n_unhappy", "n_flippable", "energy", "magnetization"):
+            assert getattr(trajectory, name).shape == (3, samples)
+
+    def test_no_recording_by_default(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        assert run_ensemble(config, n_replicas=2, seed=5).trajectory is None
+
+    def test_record_every_thins_samples(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        dense = run_ensemble(config, n_replicas=2, seed=5, record_trajectory=True)
+        sparse = run_ensemble(
+            config, n_replicas=2, seed=5, record_trajectory=True, record_every=10
+        )
+        assert len(sparse.trajectory) < len(dense.trajectory)
+        # endpoints are always recorded
+        assert np.array_equal(
+            dense.trajectory.energy[:, -1], sparse.trajectory.energy[:, -1]
+        )
+
+    def test_replica_view_matches_scalar_run_endpoints(self):
+        config = ModelConfig.square(side=14, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=17)
+        result = ensemble.run(record_trajectory=True)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            scalar = Simulation(config, seed=seed).run(
+                record_trajectory=True, record_every=1
+            )
+            view = result.trajectory.replica(replica)
+            assert view.energy[0] == scalar.trajectory.energy[0]
+            assert view.energy[-1] == scalar.trajectory.energy[-1]
+            assert view.n_flips[-1] == scalar.n_flips
+            assert view.times[-1] == scalar.final_time
+            assert view.magnetization[-1] == scalar.trajectory.magnetization[-1]
+            assert view.n_unhappy[-1] == scalar.trajectory.n_unhappy[-1]
+
+    def test_energy_monotone_along_rounds(self):
+        config = ModelConfig.square(side=14, horizon=1, tau=0.45)
+        result = run_ensemble(config, n_replicas=4, seed=23, record_trajectory=True)
+        assert (np.diff(result.trajectory.energy, axis=1) >= 0).all()
+
+    def test_replica_index_validated(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        result = run_ensemble(config, n_replicas=2, seed=5, record_trajectory=True)
+        with pytest.raises(StateError):
+            result.trajectory.replica(2)
+
+    def test_record_every_validated(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        ensemble = EnsembleDynamics(config, n_replicas=2, seed=5)
+        with pytest.raises(StateError):
+            ensemble.run(record_trajectory=True, record_every=0)
+
+    def test_final_sample_matches_scalar_when_run_ends_on_noop_steps(self):
+        """Both engines' final-record guards key on flips OR times (review fix)."""
+        config = ModelConfig.square(
+            side=8, horizon=1, tau=0.6, scheduler=SchedulerKind.DISCRETE
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=1, seed=0)
+        eres = ensemble.run(max_steps=5, record_trajectory=True, record_every=1)
+        init_rng, dynamics_rng = spawn_rngs(ensemble.replica_seeds[0], 2)
+        state = ModelState(config, random_configuration(config, init_rng))
+        scalar = GlauberDynamics(state, seed=dynamics_rng)
+        sres = scalar.run(max_steps=5, record_trajectory=True, record_every=1)
+        view = eres.trajectory.replica(0)
+        assert view.times[-1] == sres.trajectory.times[-1]
+        assert view.n_flips[-1] == sres.trajectory.n_flips[-1]
+        assert view.energy[-1] == sres.trajectory.energy[-1]

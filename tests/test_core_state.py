@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.config import ModelConfig
 from repro.core.grid import TorusGrid
 from repro.core.initializer import random_configuration, uniform_configuration
+from repro.core.dynamics import run_to_completion
 from repro.core.state import ModelState, make_state
 from repro.errors import ConfigurationError, StateError
 from repro.types import AgentType
@@ -179,3 +180,54 @@ class TestOtherOperations:
         snap = state.snapshot()
         state.apply_flip(0, 0)
         assert snap[0, 0] == -state.grid.get(0, 0)
+
+
+class TestIncrementalCounters:
+    """energy()/magnetization() are O(1) counters kept exact by apply_flip."""
+
+    def test_energy_matches_full_recompute_after_long_flip_sequence(self, config):
+        state = make_state(config, seed=3)
+        rng = np.random.default_rng(11)
+        for _ in range(400):
+            row = int(rng.integers(0, config.n_rows))
+            col = int(rng.integers(0, config.n_cols))
+            state.apply_flip(row, col)
+        assert state.energy() == int(state._same_counts_full().sum())
+        assert state.magnetization() == state.grid.magnetization()
+
+    def test_energy_matches_full_recompute_after_dynamics_run(self, config):
+        state = make_state(config, seed=5)
+        run_to_completion(state, seed=7)
+        assert state.energy() == int(state._same_counts_full().sum())
+        assert state.magnetization() == state.grid.magnetization()
+
+    def test_counters_reset_by_apply_spin_array(self, config, rng):
+        state = make_state(config, seed=1)
+        state.apply_flip(0, 0)
+        spins = np.where(rng.random(config.shape) < 0.5, 1, -1).astype(np.int8)
+        state.apply_spin_array(spins)
+        assert state.energy() == int(state._same_counts_full().sum())
+        assert state.magnetization() == state.grid.magnetization()
+
+    def test_magnetization_bitwise_equals_grid_magnetization(self, config):
+        state = make_state(config, seed=9)
+        for flat in range(0, config.n_sites, 7):
+            state.apply_flip(*state.site_of(flat))
+            assert state.magnetization() == state.grid.magnetization()
+
+    def test_energy_read_does_not_recompute(self, config, monkeypatch):
+        state = make_state(config, seed=2)
+        calls = {"n": 0}
+        original = ModelState._same_counts_full
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(ModelState, "_same_counts_full", counting)
+        state.apply_flip(1, 1)
+        energy = state.energy()
+        magnetization = state.magnetization()
+        assert calls["n"] == 0
+        assert energy == int(original(state).sum())
+        assert magnetization == state.grid.magnetization()

@@ -102,3 +102,49 @@ class TestRunSweep:
         assert len(summary) == 2
         assert "final_mean_monochromatic_size_mean" in summary[0]
         assert summary[0]["n"] == 2
+
+
+class TestTrajectoryRecording:
+    def _sweep(self, record=True):
+        base = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        return SweepSpec(
+            name="traj",
+            base_config=base,
+            taus=[0.35, 0.4],
+            n_replicates=2,
+            seed=3,
+            record_trajectory=record,
+            record_every=25,
+        )
+
+    def test_rows_gain_traj_columns(self):
+        table = run_sweep(self._sweep())
+        for row in table.rows:
+            assert "traj_final_energy" in row
+            assert "traj_energy_monotone" in row
+            assert row["traj_energy_monotone"] == 1.0
+            assert row["traj_total_flips"] == float(row["n_flips"])
+
+    def test_no_traj_columns_by_default(self):
+        table = run_sweep(self._sweep(record=False))
+        assert not any(key.startswith("traj_") for key in table.rows[0])
+
+    def test_ensemble_and_scalar_rows_identical_with_recording(self):
+        sweep = self._sweep()
+        strip = lambda table: [
+            {k: v for k, v in row.items() if k != "wall_clock_seconds"}
+            for row in table.rows
+        ]
+        serial = run_sweep(sweep)
+        batched = run_sweep(sweep, ensemble_size=2)
+        assert strip(serial) == strip(batched)
+
+    def test_parallel_rows_identical_with_recording(self):
+        sweep = self._sweep()
+        strip = lambda table: [
+            {k: v for k, v in row.items() if k != "wall_clock_seconds"}
+            for row in table.rows
+        ]
+        serial = run_sweep(sweep)
+        parallel = run_sweep(sweep, workers=2, ensemble_size=2)
+        assert strip(serial) == strip(parallel)

@@ -2,9 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import PercolationError
 from repro.percolation.cluster import (
+    _label_clusters_reference,
     cluster_containing,
     cluster_radius,
     cluster_sizes,
@@ -129,3 +132,57 @@ class TestRadiusTail:
         if np.count_nonzero(estimate.probabilities > 0) < 2:
             with pytest.raises(PercolationError):
                 estimate.decay_rate()
+
+
+class TestLabelingEquivalence:
+    """The vectorized labeller must be bitwise identical to the reference."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=24),
+        n_cols=st.integers(min_value=1, max_value=24),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        periodic=st.booleans(),
+    )
+    def test_matches_reference_on_random_masks(self, n_rows, n_cols, density, seed, periodic):
+        mask = np.random.default_rng(seed).random((n_rows, n_cols)) < density
+        expected = _label_clusters_reference(mask, periodic=periodic)
+        actual = label_clusters(mask, periodic=periodic)
+        assert np.array_equal(actual, expected)
+
+    @pytest.mark.parametrize("periodic", [False, True])
+    @pytest.mark.parametrize(
+        "mask",
+        [
+            np.zeros((6, 6), dtype=bool),
+            np.ones((6, 6), dtype=bool),
+            np.ones((1, 9), dtype=bool),
+            np.ones((9, 1), dtype=bool),
+            np.array([[True, False, True, False, True]]),
+            np.array([[True], [False], [True], [False]]),
+            np.ones((1, 1), dtype=bool),
+        ],
+        ids=["empty", "full", "single-row", "single-col", "alt-row", "alt-col", "1x1"],
+    )
+    def test_matches_reference_on_edge_cases(self, mask, periodic):
+        expected = _label_clusters_reference(mask, periodic=periodic)
+        actual = label_clusters(mask, periodic=periodic)
+        assert np.array_equal(actual, expected)
+
+    def test_labels_ordered_by_first_appearance(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 3] = True   # first in row-major order -> label 0
+        mask[1, 0] = True   # second -> label 1
+        mask[3, 2] = True   # third -> label 2
+        labels = label_clusters(mask)
+        assert labels[0, 3] == 0 and labels[1, 0] == 1 and labels[3, 2] == 2
+
+    def test_checkerboard_has_no_merges(self):
+        mask = np.indices((8, 8)).sum(axis=0) % 2 == 0
+        labels = label_clusters(mask, periodic=True)
+        assert cluster_sizes(labels).tolist() == [1] * int(mask.sum())
+
+    def test_reference_rejects_non_2d(self):
+        with pytest.raises(PercolationError):
+            _label_clusters_reference(np.zeros(4, dtype=bool))

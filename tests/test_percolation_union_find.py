@@ -1,5 +1,6 @@
 """Tests for the union-find structure."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -92,3 +93,97 @@ def test_matches_reference_connectivity(n, edges):
     for i in range(n):
         for j in range(n):
             assert uf.connected(i, j) == (find(i) == find(j))
+
+
+class TestBatchedOps:
+    def test_find_many_matches_scalar_find(self):
+        uf = UnionFind(12)
+        for a, b in [(0, 1), (1, 2), (5, 6), (9, 10), (10, 11)]:
+            uf.union(a, b)
+        roots = uf.find_many(np.arange(12))
+        assert roots.tolist() == [uf.find(i) for i in range(12)]
+
+    def test_find_many_empty(self):
+        uf = UnionFind(4)
+        assert uf.find_many(np.array([], dtype=np.int64)).size == 0
+
+    def test_find_many_compresses_paths(self):
+        uf = UnionFind(8)
+        uf.union_many(np.array([1, 2, 3]), np.array([2, 3, 4]))
+        roots = uf.find_many(np.arange(8))
+        # after compression every queried element points straight at its root
+        assert all(uf._parent[i] == roots[i] for i in range(8))
+
+    def test_union_many_counts_merges(self):
+        uf = UnionFind(6)
+        merges = uf.union_many(np.array([0, 1, 0, 4]), np.array([1, 2, 2, 4]))
+        assert merges == 2
+        assert uf.n_components == 4
+
+    def test_union_many_empty_is_noop(self):
+        uf = UnionFind(5)
+        assert uf.union_many(np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == 0
+        assert uf.n_components == 5
+
+    def test_union_many_mismatched_lengths_rejected(self):
+        uf = UnionFind(5)
+        with pytest.raises(ValueError):
+            uf.union_many(np.array([0, 1]), np.array([2]))
+
+    def test_union_many_self_edges_are_noops(self):
+        uf = UnionFind(5)
+        assert uf.union_many(np.array([0, 1, 2]), np.array([0, 1, 2])) == 0
+        assert uf.n_components == 5
+
+    def test_batched_representative_is_minimum_index(self):
+        """Fresh structures driven only by union_many root at the min element."""
+        uf = UnionFind(10)
+        uf.union_many(np.array([7, 5, 9]), np.array([5, 3, 7]))
+        assert uf.find(9) == 3
+
+    def test_sizes_refresh_after_batched_union(self):
+        uf = UnionFind(8)
+        uf.union_many(np.array([0, 1, 5]), np.array([1, 2, 6]))
+        assert uf.component_size(2) == 3
+        assert uf.component_size(5) == 2
+        assert uf.component_size(7) == 1
+        assert sum(uf.component_sizes().values()) == 8
+
+    def test_scalar_union_after_batched_union(self):
+        uf = UnionFind(8)
+        uf.union_many(np.array([0, 3]), np.array([1, 4]))
+        assert uf.union(1, 3)
+        assert uf.connected(0, 4)
+        assert uf.n_components == 8 - 3
+        assert uf.component_size(0) == 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    edges=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=39), st.integers(min_value=0, max_value=39)),
+        max_size=80,
+    ),
+    split=st.integers(min_value=0, max_value=80),
+)
+def test_batched_and_scalar_unions_build_the_same_partition(n, edges, split):
+    """Mixing union_many and scalar union yields the scalar-only partition."""
+    edges = [(a % n, b % n) for a, b in edges]
+    scalar = UnionFind(n)
+    for a, b in edges:
+        scalar.union(a, b)
+    mixed = UnionFind(n)
+    batch, rest = edges[:split], edges[split:]
+    if batch:
+        arr = np.asarray(batch, dtype=np.int64)
+        mixed.union_many(arr[:, 0], arr[:, 1])
+    for a, b in rest:
+        mixed.union(a, b)
+    assert mixed.n_components == scalar.n_components
+    for i in range(n):
+        assert mixed.component_size(i) == scalar.component_size(i)
+    scalar_labels = scalar.labels()
+    mixed_labels = mixed.find_many(np.arange(n))
+    for a, b in edges:
+        assert (scalar_labels[a] == scalar_labels[b]) == (mixed_labels[a] == mixed_labels[b])
