@@ -8,9 +8,19 @@ al.  Neither variant has paper-side numbers, so these benchmarks record the
 reproduction's own baseline: the two-sided band suppresses segregation
 relative to the one-sided model, and the per-type model interpolates between
 the static and segregating behaviours of its two thresholds.
+
+``bench_variant_ensemble_vs_scalar_flips_per_second`` additionally backs the
+PR 3 execution claim: variant rules run on the vectorized lockstep engine
+(:class:`~repro.core.variants.TwoSidedEnsemble` /
+:class:`~repro.core.variants.AsymmetricEnsemble`) with at least 3x the flip
+throughput of sequential scalar variant runs of the same seeds.
+``REPRO_BENCH_QUICK=1`` caps the flip budgets (same grids, same assertions)
+so the file finishes well under 30 seconds.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -18,9 +28,14 @@ from repro.analysis.segregation import local_homogeneity
 from repro.core.config import ModelConfig
 from repro.core.dynamics import GlauberDynamics
 from repro.core.initializer import random_configuration
+from repro.core.simulation import Simulation
 from repro.core.state import ModelState
-from repro.core.variants import AsymmetricModelState, TwoSidedModelState
+from repro.core.variants import AsymmetricModelState, TwoSidedModelState, VariantSpec
 from repro.experiments.results import ResultTable
+from repro.experiments.workloads import bench_quick_mode as quick_mode
+
+#: Acceptance floor for variant rules on the ensemble engine (R = 8).
+MIN_VARIANT_ENSEMBLE_SPEEDUP = 3.0
 
 
 def bench_two_sided_vs_one_sided(benchmark, emit):
@@ -90,3 +105,89 @@ def bench_asymmetric_intolerances(benchmark, emit):
     benchmark.extra_info["plus_fraction_by_tau_minus"] = {
         str(k): float(np.mean(v)) for k, v in by_tau.items()
     }
+
+
+def bench_variant_ensemble_vs_scalar_flips_per_second(benchmark, emit):
+    """R = 8 lockstep variant replicas vs 8 sequential scalar variant runs.
+
+    Both variants run on the 128x128 / w=3 grid of the PR 1 throughput claim
+    with the *same seeds* on both engines; flip counts are asserted equal, so
+    the flips/sec comparison is work-for-work.  Variant rules carry no
+    termination guarantee, hence every run gets a flip budget (capped much
+    lower in quick mode).
+    """
+    config = ModelConfig.square(side=128, horizon=3, tau=0.45)
+    n_replicas = 8
+    max_flips = 1500 if quick_mode() else 20000
+    variants = {
+        "two_sided": VariantSpec.two_sided(0.8),
+        "asymmetric": VariantSpec.asymmetric(0.35),
+    }
+
+    def time_ensemble(variant) -> tuple[int, float, tuple[int, ...]]:
+        """Best-of-2 timing of a fresh lockstep run (identical work per round)."""
+        flips, seconds, seeds = 0, float("inf"), ()
+        for _ in range(2):
+            ensemble = variant.make_ensemble(config, n_replicas=n_replicas, seed=7)
+            start = time.perf_counter()
+            result = ensemble.run(max_flips=max_flips)
+            seconds = min(seconds, time.perf_counter() - start)
+            flips, seeds = result.total_flips, ensemble.replica_seeds
+        return flips, seconds, seeds
+
+    def time_scalar(variant, seeds) -> tuple[int, float]:
+        """Best-of-2 timing of the sequential scalar runs of the same seeds."""
+        flips, seconds = 0, float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            flips = sum(
+                Simulation(config, seed=seed, variant=variant)
+                .run(max_flips=max_flips)
+                .n_flips
+                for seed in seeds
+            )
+            seconds = min(seconds, time.perf_counter() - start)
+        return flips, seconds
+
+    def run() -> ResultTable:
+        table = ResultTable()
+        for name, variant in variants.items():
+            ensemble_flips, ensemble_seconds, seeds = time_ensemble(variant)
+            scalar_flips, scalar_seconds = time_scalar(variant, seeds)
+            assert scalar_flips == ensemble_flips, (
+                f"{name}: engines disagree on total flips"
+            )
+
+            table.add_row(
+                variant=name,
+                engine="scalar x8",
+                flips=scalar_flips,
+                seconds=scalar_seconds,
+                flips_per_second=scalar_flips / scalar_seconds,
+            )
+            table.add_row(
+                variant=name,
+                engine="ensemble R=8",
+                flips=ensemble_flips,
+                seconds=ensemble_seconds,
+                flips_per_second=ensemble_flips / ensemble_seconds,
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("PERF_variant_ensemble_throughput", table, benchmark)
+
+    for name in variants:
+        rates = [
+            float(row["flips_per_second"])
+            for row in table
+            if row["variant"] == name
+        ]
+        speedup = rates[1] / rates[0]
+        benchmark.extra_info[f"{name}_speedup"] = speedup
+        assert speedup >= MIN_VARIANT_ENSEMBLE_SPEEDUP, (
+            f"{name} ensemble speedup {speedup:.2f}x below the "
+            f"{MIN_VARIANT_ENSEMBLE_SPEEDUP}x floor"
+        )
+    benchmark.extra_info["quick_mode"] = quick_mode()
+    benchmark.extra_info["max_flips"] = max_flips

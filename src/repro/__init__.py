@@ -44,6 +44,7 @@ from repro.core import (
     Simulation,
     SimulationResult,
     TorusGrid,
+    VariantSpec,
     lyapunov_energy,
     neighborhood_size,
     planted_radical_region_configuration,
@@ -88,7 +89,14 @@ from repro.theory import (
     trigger_epsilon,
     upper_exponent,
 )
-from repro.types import AgentType, DynamicsKind, FlipRule, Regime, SchedulerKind
+from repro.types import (
+    AgentType,
+    DynamicsKind,
+    FlipRule,
+    Regime,
+    SchedulerKind,
+    VariantKind,
+)
 
 __all__ = [
     "AgentType",
@@ -119,6 +127,8 @@ __all__ = [
     "StateError",
     "SweepSpec",
     "TorusGrid",
+    "VariantKind",
+    "VariantSpec",
     "__version__",
     "almost_monochromatic_radius_map",
     "binary_entropy",

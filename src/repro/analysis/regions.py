@@ -19,7 +19,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.neighborhood import neighborhood_size, window_sums
+from repro.core.neighborhood import (
+    neighborhood_size,
+    window_sums,
+    wrapped_summed_area_table,
+)
 from repro.errors import AnalysisError
 from repro.utils.validation import require_spin_array
 
@@ -44,6 +48,85 @@ def monochromatic_radius_map(
     at ``(i, j)`` (0 when even the 3x3 window is mixed... i.e. when only the
     agent itself qualifies).  The scan stops at ``max_radius`` or at the
     largest radius that fits on the torus, whichever is smaller.
+
+    Window monochromaticity is monotone in the radius (a sub-window of a
+    uniform window is uniform), so instead of the linear per-radius
+    ``window_sums`` scan — a full O(grid) pass per radius, O(limit) passes
+    total — the search builds *one* summed-area table padded by ``limit``
+    (window sums at any per-site radius are then four table gathers) and runs
+    a doubling/bisection schedule over radius levels on the alive set:
+    doubling probes ``1, 2, 4, ...`` bracket each surviving site's radius,
+    and a per-site parallel bisection pins it exactly.  Total work is
+    O(grid * log limit) gathers plus the O((grid side + 2 limit)^2) table
+    build, versus O(grid * limit) for the scan.  Bitwise identical to
+    :func:`_monochromatic_radius_map_reference` (the retained linear scan),
+    which the equivalence tests assert.
+    """
+    spins = require_spin_array(spins)
+    limit = _max_usable_radius(spins.shape, max_radius)
+    n_rows, n_cols = spins.shape
+    radii = np.zeros(spins.shape, dtype=np.int64)
+    if limit < 1:
+        return radii
+
+    # One summed-area table over the torus-padded indicator; the window of
+    # any radius <= limit around any site lies inside it, so per-site counts
+    # are four gathers instead of a grid pass.
+    table = wrapped_summed_area_table(spins == 1, limit)
+
+    all_rows, all_cols = np.divmod(np.arange(n_rows * n_cols), n_cols)
+
+    def is_mono(sites: np.ndarray, radius) -> np.ndarray:
+        """Whether each site's window of its ``radius`` (scalar or per-site)
+        is single-type: the plus count is 0 or the full window population."""
+        top = all_rows[sites] - radius + limit
+        bottom = all_rows[sites] + radius + limit + 1
+        left = all_cols[sites] - radius + limit
+        right = all_cols[sites] + radius + limit + 1
+        counts = (
+            table[bottom, right]
+            - table[top, right]
+            - table[bottom, left]
+            + table[top, left]
+        )
+        return (counts == (2 * radius + 1) ** 2) | (counts == 0)
+
+    # Doubling phase on the alive set: lo holds the largest probed radius
+    # each site is known to satisfy, hi the smallest it is known to fail
+    # (sentinel limit + 1 = "never failed"); only sites alive at the previous
+    # level are probed again.
+    lo = np.zeros(n_rows * n_cols, dtype=np.int64)
+    hi = np.full(n_rows * n_cols, limit + 1, dtype=np.int64)
+    alive = np.arange(n_rows * n_cols)
+    radius = 1
+    while alive.size and radius <= limit:
+        mono = is_mono(alive, radius)
+        lo[alive[mono]] = radius
+        hi[alive[~mono]] = radius
+        alive = alive[mono]
+        radius *= 2
+
+    # Per-site parallel bisection: every unresolved bracket halves per round,
+    # each site probing its own midpoint in the same vectorized gather.
+    unresolved = np.flatnonzero(hi - lo > 1)
+    while unresolved.size:
+        mid = (lo[unresolved] + hi[unresolved]) // 2
+        mono = is_mono(unresolved, mid)
+        lo[unresolved[mono]] = mid[mono]
+        hi[unresolved[~mono]] = mid[~mono]
+        unresolved = unresolved[hi[unresolved] - lo[unresolved] > 1]
+    radii[...] = lo.reshape(n_rows, n_cols)
+    return radii
+
+
+def _monochromatic_radius_map_reference(
+    spins: np.ndarray, max_radius: Optional[int] = None
+) -> np.ndarray:
+    """Linear per-radius scan — the reference :func:`monochromatic_radius_map`.
+
+    Retained for the equivalence tests (and as the easiest statement of the
+    semantics): one ``window_sums`` pass per radius over the whole grid,
+    stopping once no site is alive.
     """
     spins = require_spin_array(spins)
     limit = _max_usable_radius(spins.shape, max_radius)

@@ -7,7 +7,10 @@ Three subcommands cover the common workflows without writing any Python:
 * ``repro simulate`` — run one seeded simulation and print before/after
   segregation metrics (optionally an ASCII rendering and a CSV row).
 * ``repro sweep`` — sweep the intolerance at a fixed horizon, print the
-  aggregated table and optionally write it to CSV.
+  aggregated table and optionally write it to CSV.  ``--workers`` and
+  ``--ensemble`` pick the execution levers, and ``--variant`` (with
+  ``--tau-high`` / ``--tau-minus``) swaps in the Section I.A/V model variants
+  on either engine.
 
 The module is usable both as ``python -m repro ...`` and through the
 :func:`main` entry point.
@@ -23,6 +26,8 @@ from repro._version import PAPER, __version__
 from repro.analysis.segregation import segregation_metrics
 from repro.core.config import ModelConfig
 from repro.core.simulation import Simulation
+from repro.core.variants import VariantSpec
+from repro.errors import ConfigurationError
 from repro.experiments.results import ResultTable
 from repro.experiments.runner import (
     DEFAULT_SWEEP_VALUE_KEYS,
@@ -97,10 +102,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="trajectory sampling cadence (flips for the scalar engine, "
         "lockstep rounds for --ensemble > 1)",
     )
+    sweep.add_argument(
+        "--variant",
+        choices=["base", "two-sided", "asymmetric"],
+        default="base",
+        help="happiness rule: the paper's model, the two-sided comfort band "
+        "[tau, --tau-high], or per-type intolerances (tau for +1 agents, "
+        "--tau-minus for -1 agents)",
+    )
+    sweep.add_argument(
+        "--tau-high",
+        type=float,
+        default=None,
+        help="upper comfort bound for --variant two-sided (default: 0.8); "
+        "rejected with any other variant",
+    )
+    sweep.add_argument(
+        "--tau-minus",
+        type=float,
+        default=None,
+        help="-1 agents' intolerance for --variant asymmetric (default: 0.3); "
+        "rejected with any other variant",
+    )
+    sweep.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="per-replicate scheduler-step budget (defaults to 20x the number "
+        "of sites for the variants, which have no termination guarantee)",
+    )
     return parser
 
 
 def _command_info(args: argparse.Namespace, out) -> int:
+    """Print thresholds, regime classification and exponents for one tau."""
     tau = args.tau
     config = ModelConfig.square(
         side=max(4 * (2 * args.horizon + 1), 24), horizon=args.horizon, tau=tau
@@ -133,6 +168,7 @@ def _command_info(args: argparse.Namespace, out) -> int:
 
 
 def _command_simulate(args: argparse.Namespace, out) -> int:
+    """Run one seeded simulation and print before/after metrics."""
     config = ModelConfig.square(
         side=args.side, horizon=args.horizon, tau=args.tau, density=args.density
     )
@@ -170,6 +206,7 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
 
 
 def _command_sweep(args: argparse.Namespace, out) -> int:
+    """Sweep the intolerance axis and print/write the aggregated table."""
     if args.taus:
         try:
             taus = [float(part) for part in args.taus.split(",") if part.strip()]
@@ -185,20 +222,58 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
     if args.record_every <= 0:
         print("error: --record-every must be positive", file=sys.stderr)
         return 2
+    if args.max_steps is not None and args.max_steps <= 0:
+        print("error: --max-steps must be positive", file=sys.stderr)
+        return 2
     base = ModelConfig.square(side=side, horizon=args.horizon, tau=0.5)
+    max_steps = args.max_steps
+    # A parameter for a different variant is a configuration mistake, not a
+    # value to ignore: reject it instead of silently running with defaults.
+    if args.variant != "two-sided" and args.tau_high is not None:
+        print(f"error: --tau-high does not apply to --variant {args.variant}", file=sys.stderr)
+        return 2
+    if args.variant != "asymmetric" and args.tau_minus is not None:
+        print(f"error: --tau-minus does not apply to --variant {args.variant}", file=sys.stderr)
+        return 2
+    try:
+        if args.variant == "two-sided":
+            tau_high = args.tau_high if args.tau_high is not None else 0.8
+            if any(tau > tau_high for tau in taus):
+                print(
+                    f"error: --tau-high {tau_high} must be at least every "
+                    "swept intolerance",
+                    file=sys.stderr,
+                )
+                return 2
+            variant = VariantSpec.two_sided(tau_high)
+        elif args.variant == "asymmetric":
+            variant = VariantSpec.asymmetric(
+                args.tau_minus if args.tau_minus is not None else 0.3
+            )
+        else:
+            variant = VariantSpec.base()
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if max_steps is None and not variant.guarantees_termination:
+        # No Lyapunov guarantee: cap every replicate so the sweep halts.
+        max_steps = 20 * base.n_sites
     sweep = SweepSpec(
         name="cli-sweep",
         base_config=base,
         taus=taus,
         n_replicates=args.replicates,
         seed=args.seed,
+        max_steps=max_steps,
         record_trajectory=args.record_trajectory,
         record_every=args.record_every,
+        variant=variant,
     )
     print(
         f"Sweeping {len(taus)} intolerances x {args.replicates} replicates on a "
         f"{side}x{side} torus with w={args.horizon} "
-        f"(workers={args.workers}, ensemble={args.ensemble})",
+        f"(variant={variant.describe()}, workers={args.workers}, "
+        f"ensemble={args.ensemble})",
         file=out,
     )
     rows = run_sweep(sweep, workers=args.workers, ensemble_size=args.ensemble)

@@ -23,9 +23,16 @@ Per-replica seeds are spawned from one master seed (via
 isolation: ``EnsembleDynamics(config, replica_seeds=[s])`` or
 ``Simulation(config, seed=s)`` reproduce it exactly.
 
-The engine implements the base model's happiness rule only; the variant
-states in :mod:`repro.core.variants` override classification hooks the
-batched code does not call.  Use the scalar engine for variants.
+Every classification of agents — the initial rebuild and the per-flip window
+refresh — goes through the single overridable :meth:`EnsembleDynamics._classify`
+hook, mirroring :meth:`repro.core.state.ModelState._classify` on the scalar
+side.  The variant engines in :mod:`repro.core.variants`
+(:class:`~repro.core.variants.TwoSidedEnsemble`,
+:class:`~repro.core.variants.AsymmetricEnsemble`) override that one hook with
+the same shared kernels as their scalar states, so variant ensembles inherit
+the bitwise scalar equivalence unchanged.  The two-sided variant has no
+Lyapunov function; give :meth:`EnsembleDynamics.run` a step/flip budget and
+read per-replica termination off :attr:`EnsembleRunResult.terminated`.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.core.config import ModelConfig
 from repro.core.dynamics import Trajectory
 from repro.core.initializer import random_configuration
 from repro.core.neighborhood import window_sums
+from repro.core.state import classify_base
 from repro.errors import ConfigurationError, StateError
 from repro.rng import SeedLike, replicate_seeds, spawn_rngs
 from repro.types import FlipRule, SchedulerKind
@@ -326,12 +334,19 @@ class EnsembleDynamics:
     def _classify(
         self, spins: np.ndarray, same: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Batched happy/flippable classification (base model rule)."""
-        threshold = self.config.happiness_threshold
-        total = self.config.neighborhood_agents
-        happy = same >= threshold
-        flippable = (~happy) & (total - same + 1 >= threshold)
-        return happy, flippable
+        """Batched happy/flippable classification — the engine's variant hook.
+
+        Every classification in the engine (the O(R * grid) rebuild and the
+        per-flip window refresh) funnels through this one method, exactly as
+        :meth:`repro.core.state.ModelState._classify` does on the scalar side.
+        Subclasses implement variant rules by overriding it with the shared
+        kernels from :mod:`repro.core.variants`; the base implementation
+        applies the paper's one-sided rule via
+        :func:`repro.core.state.classify_base`.
+        """
+        return classify_base(
+            same, self.config.happiness_threshold, self.config.neighborhood_agents
+        )
 
     def recompute_all(self) -> None:
         """Rebuild counts, masks and samplers from the spins (O(R * grid))."""

@@ -103,6 +103,22 @@ def torus_euclidean_distance(
     return float(np.hypot(dr, dc))
 
 
+def wrapped_summed_area_table(arr: np.ndarray, pad: int) -> np.ndarray:
+    """Summed-area table of ``arr`` torus-padded by ``pad`` on every side.
+
+    The table has a leading zero row/column, so the sum of the padded array
+    over ``[r0, r1) x [c0, c1)`` is ``T[r1, c1] - T[r0, c1] - T[r1, c0] +
+    T[r0, c0]``.  Shared by :func:`window_sums` (one fixed radius for the
+    whole grid) and the per-site doubling/bisection search of
+    :func:`repro.analysis.regions.monochromatic_radius_map` (one table, many
+    radii).
+    """
+    padded = np.pad(np.asarray(arr, dtype=np.int64), pad, mode="wrap")
+    table = np.zeros((padded.shape[0] + 1, padded.shape[1] + 1), dtype=np.int64)
+    table[1:, 1:] = padded.cumsum(axis=0).cumsum(axis=1)
+    return table
+
+
 def window_sums(indicator: np.ndarray, radius: int) -> np.ndarray:
     """Wrapped moving-window sums of a 2-D array over square windows.
 
@@ -126,10 +142,7 @@ def window_sums(indicator: np.ndarray, radius: int) -> np.ndarray:
         )
     if radius == 0:
         return arr.copy()
-    padded = np.pad(arr, radius, mode="wrap")
-    # Summed-area table with a leading row/column of zeros.
-    table = np.zeros((padded.shape[0] + 1, padded.shape[1] + 1), dtype=np.int64)
-    table[1:, 1:] = padded.cumsum(axis=0).cumsum(axis=1)
+    table = wrapped_summed_area_table(arr, radius)
     side = 2 * radius + 1
     top = np.arange(n_rows)
     left = np.arange(n_cols)

@@ -20,6 +20,7 @@ from repro.core.dynamics import GlauberDynamics, RunResult, Trajectory
 from repro.core.grid import TorusGrid
 from repro.core.initializer import random_configuration
 from repro.core.state import ModelState
+from repro.core.variants import BASE_VARIANT, VariantSpec
 from repro.errors import StateError
 from repro.rng import SeedLike, spawn_rngs
 from repro.types import FlipRule, SchedulerKind
@@ -56,7 +57,14 @@ class SimulationResult:
 
 
 class Simulation:
-    """One seeded run of the Glauber segregation process."""
+    """One seeded run of the Glauber segregation process.
+
+    ``variant`` selects the happiness rule (base model, two-sided comfort or
+    per-type intolerances) via :class:`~repro.core.variants.VariantSpec`; the
+    seed-to-stream derivation is identical for every variant, so a variant
+    ensemble replica seeded with the same integer reproduces the
+    corresponding variant ``Simulation`` bit for bit.
+    """
 
     def __init__(
         self,
@@ -65,12 +73,14 @@ class Simulation:
         initial_grid: Optional[TorusGrid] = None,
         scheduler: Optional[SchedulerKind] = None,
         flip_rule: Optional[FlipRule] = None,
+        variant: Optional[VariantSpec] = None,
     ) -> None:
         self.config = config
+        self.variant = variant if variant is not None else BASE_VARIANT
         init_rng, dynamics_rng = spawn_rngs(seed, 2)
         if initial_grid is None:
             initial_grid = random_configuration(config, init_rng)
-        self.state = ModelState(config, initial_grid.copy())
+        self.state: ModelState = self.variant.make_state(config, initial_grid.copy())
         self.dynamics = GlauberDynamics(
             self.state, seed=dynamics_rng, scheduler=scheduler, flip_rule=flip_rule
         )
@@ -87,6 +97,7 @@ class Simulation:
     def run(
         self,
         max_flips: Optional[int] = None,
+        max_steps: Optional[int] = None,
         max_time: Optional[float] = None,
         snapshot_flip_counts: Optional[Sequence[int]] = None,
         record_trajectory: bool = False,
@@ -94,9 +105,11 @@ class Simulation:
     ) -> SimulationResult:
         """Run the dynamics (to termination unless a budget is given).
 
-        ``snapshot_flip_counts`` requests configuration snapshots after the
-        given cumulative flip counts — this is how the Figure 1 benchmark
-        collects its intermediate panels.
+        ``max_steps`` bounds scheduler steps (flips *and* no-op selections) —
+        essential for the two-sided variant, which has no Lyapunov function
+        and may never terminate.  ``snapshot_flip_counts`` requests
+        configuration snapshots after the given cumulative flip counts — this
+        is how the Figure 1 benchmark collects its intermediate panels.
         """
         if self._has_run:
             raise StateError("Simulation.run may only be called once per instance")
@@ -117,6 +130,7 @@ class Simulation:
 
         result: RunResult = self.dynamics.run(
             max_flips=max_flips,
+            max_steps=max_steps,
             max_time=max_time,
             record_trajectory=record_trajectory,
             record_every=record_every,
@@ -144,8 +158,12 @@ def simulate(
     seed: SeedLike = None,
     initial_grid: Optional[TorusGrid] = None,
     max_flips: Optional[int] = None,
+    max_steps: Optional[int] = None,
     record_trajectory: bool = False,
+    variant: Optional[VariantSpec] = None,
 ) -> SimulationResult:
     """One-call helper: build a :class:`Simulation` and run it."""
-    simulation = Simulation(config, seed=seed, initial_grid=initial_grid)
-    return simulation.run(max_flips=max_flips, record_trajectory=record_trajectory)
+    simulation = Simulation(config, seed=seed, initial_grid=initial_grid, variant=variant)
+    return simulation.run(
+        max_flips=max_flips, max_steps=max_steps, record_trajectory=record_trajectory
+    )

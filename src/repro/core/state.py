@@ -31,6 +31,24 @@ from repro.rng import SeedLike
 from repro.utils.indexset import IndexSampler
 
 
+def classify_base(
+    same: np.ndarray, threshold: int, total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The base model's happiness rule as a pure array kernel.
+
+    Returns ``(happy, flippable)`` for the given same-type counts: happy iff
+    the count meets the single threshold, flippable iff unhappy and the
+    post-flip count ``total - same + 1`` would meet it.  Both the scalar
+    :class:`ModelState` and the vectorized
+    :class:`~repro.core.ensemble.EnsembleDynamics` call this one kernel from
+    their ``_classify`` hooks, so the two engines cannot drift apart on the
+    rule itself (their cross-consistency tests lock the rest down).
+    """
+    happy = same >= threshold
+    flippable = (~happy) & (total - same + 1 >= threshold)
+    return happy, flippable
+
+
 class ModelState:
     """Mutable model state: grid plus derived happiness structures."""
 
@@ -62,13 +80,13 @@ class ModelState:
         threshold, flippable iff unhappy and the post-flip count would meet
         it.  Variant models (two-sided comfort, per-type intolerances) override
         this single hook; everything else — incremental updates, samplers,
-        dynamics — is inherited unchanged.
+        dynamics — is inherited unchanged.  The vectorized ensemble engine
+        exposes the same hook, and the variant ensembles in
+        :mod:`repro.core.variants` override both from one shared kernel.
         """
-        threshold = self.config.happiness_threshold
-        total = self.config.neighborhood_agents
-        happy = same >= threshold
-        flippable = (~happy) & (total - same + 1 >= threshold)
-        return happy, flippable
+        return classify_base(
+            same, self.config.happiness_threshold, self.config.neighborhood_agents
+        )
 
     def recompute_all(self) -> None:
         """Rebuild all derived structures from the grid (O(grid size))."""

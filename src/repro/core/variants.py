@@ -14,28 +14,156 @@ the basic model:
   ``tau_minus`` (the paper's results cover the special case
   ``tau_plus = tau_minus``).
 
-Both variants reuse the incremental bookkeeping of
-:class:`~repro.core.state.ModelState` by overriding its single classification
-hook, and run under the unmodified :class:`~repro.core.dynamics.GlauberDynamics`
-engine.  Note that the two-sided variant no longer has the paper's Lyapunov
-function, so termination is not guaranteed — run it with a step budget.
+Each variant is one happiness rule, written once as a pure array kernel
+(:func:`classify_two_sided`, :func:`classify_asymmetric`) and plugged into
+*both* execution engines through their single classification hook:
+
+* the scalar states (:class:`TwoSidedModelState`, :class:`AsymmetricModelState`)
+  subclass :class:`~repro.core.state.ModelState` and run under the unmodified
+  :class:`~repro.core.dynamics.GlauberDynamics` engine;
+* the ensemble engines (:class:`TwoSidedEnsemble`, :class:`AsymmetricEnsemble`)
+  subclass :class:`~repro.core.ensemble.EnsembleDynamics` and advance R
+  lockstep replicas with the variant rule, bitwise equivalent to the scalar
+  runs replica by replica (same replica seeds, same final grids, flip counts
+  and trajectories).
+
+:class:`VariantSpec` names a variant plus its parameters as a frozen,
+picklable value, which is how experiment specs, the sweep runners and the CLI
+select a rule without importing engine classes.
+
+Note that the two-sided variant no longer has the paper's Lyapunov function,
+so termination is not guaranteed — run it with a step or flip budget and read
+per-replica termination status off the run result.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import ModelConfig
+from repro.core.ensemble import EnsembleDynamics
 from repro.core.grid import TorusGrid
 from repro.core.state import ModelState
 from repro.errors import ConfigurationError
+from repro.types import VariantKind
 from repro.utils.validation import require_in_range
 
+# --------------------------------------------------------------- rule kernels
 
-class TwoSidedModelState(ModelState):
+
+def two_sided_high_threshold(config: ModelConfig, tau_high: float) -> int:
+    """Validate ``tau_high`` and return the integer upper comfort threshold.
+
+    ``ceil`` is used for the lower threshold (as in the base model), ``floor``
+    for the upper one, so the comfort band is the integer interval
+    ``[config.happiness_threshold, high]``.
+    """
+    tau_high = require_in_range(tau_high, "tau_high", 0.0, 1.0)
+    if tau_high < config.tau:
+        raise ConfigurationError(
+            f"tau_high={tau_high} must be at least the lower intolerance "
+            f"tau={config.tau}"
+        )
+    return int(math.floor(tau_high * config.neighborhood_agents))
+
+
+def asymmetric_minus_threshold(config: ModelConfig, tau_minus: float) -> int:
+    """Validate ``tau_minus`` and return the ``-1`` agents' integer threshold."""
+    tau_minus = require_in_range(tau_minus, "tau_minus", 0.0, 1.0)
+    return int(math.ceil(tau_minus * config.neighborhood_agents))
+
+
+def classify_two_sided(
+    same: np.ndarray, low: int, high: int, total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two-sided comfort rule as a pure array kernel.
+
+    Happy iff the same-type count lies in the band ``[low, high]``; flippable
+    iff unhappy and the post-flip count ``total - same + 1`` lands inside the
+    band.  Shared by :class:`TwoSidedModelState` and :class:`TwoSidedEnsemble`
+    so the two engines apply literally the same rule.
+    """
+    happy = (same >= low) & (same <= high)
+    flipped_same = total - same + 1
+    flippable = (~happy) & (flipped_same >= low) & (flipped_same <= high)
+    return happy, flippable
+
+
+def classify_asymmetric(
+    spins: np.ndarray,
+    same: np.ndarray,
+    plus_threshold: int,
+    minus_threshold: int,
+    total: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-type intolerance rule as a pure array kernel.
+
+    ``+1`` agents are happy at ``plus_threshold`` same-type neighbours, ``-1``
+    agents at ``minus_threshold``; after a flip the agent adopts the *other*
+    type, hence the other type's threshold applies to its post-flip count.
+    Shared by :class:`AsymmetricModelState` and :class:`AsymmetricEnsemble`.
+    """
+    threshold = np.where(spins == 1, plus_threshold, minus_threshold)
+    happy = same >= threshold
+    flipped_threshold = np.where(spins == 1, minus_threshold, plus_threshold)
+    flippable = (~happy) & (total - same + 1 >= flipped_threshold)
+    return happy, flippable
+
+
+# ----------------------------------------------------------------- rule mixins
+
+
+class _TwoSidedRuleMixin:
+    """Threshold setup + classification of the two-sided rule, written once.
+
+    Both the scalar state and the lockstep ensemble inherit this mixin ahead
+    of their engine base class, so the rule's dispatch lives in exactly one
+    place and the two engines cannot drift apart.  ``_set_rule`` must run
+    before the engine constructor's initial classification.
+    """
+
+    def _set_rule(self, config: ModelConfig, tau_high: float) -> None:
+        """Validate ``tau_high`` and precompute the integer band bounds."""
+        self.high_threshold = two_sided_high_threshold(config, tau_high)
+        self.tau_high = float(tau_high)
+
+    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Two-sided comfort band, via the shared kernel."""
+        return classify_two_sided(
+            same,
+            self.config.happiness_threshold,
+            self.high_threshold,
+            self.config.neighborhood_agents,
+        )
+
+
+class _AsymmetricRuleMixin:
+    """Threshold setup + classification of the per-type rule, written once."""
+
+    def _set_rule(self, config: ModelConfig, tau_minus: float) -> None:
+        """Validate ``tau_minus`` and precompute the ``-1`` threshold."""
+        self.minus_threshold = asymmetric_minus_threshold(config, tau_minus)
+        self.tau_minus = float(tau_minus)
+
+    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-type thresholds, via the shared kernel."""
+        return classify_asymmetric(
+            spins,
+            same,
+            self.config.happiness_threshold,
+            self.minus_threshold,
+            self.config.neighborhood_agents,
+        )
+
+
+# -------------------------------------------------------------- scalar states
+
+
+class TwoSidedModelState(_TwoSidedRuleMixin, ModelState):
     """State for the two-sided comfort variant.
 
     An agent is happy iff ``tau_low <= s(u) <= tau_high``.  A selected unhappy
@@ -50,27 +178,8 @@ class TwoSidedModelState(ModelState):
         tau_high: float,
         grid: Optional[TorusGrid] = None,
     ) -> None:
-        tau_high = require_in_range(tau_high, "tau_high", 0.0, 1.0)
-        if tau_high < config.tau:
-            raise ConfigurationError(
-                f"tau_high={tau_high} must be at least the lower intolerance "
-                f"tau={config.tau}"
-            )
-        n = config.neighborhood_agents
-        # ceil for the lower threshold (as in the base model), floor for the
-        # upper one so the band is the integer interval [low, high].
-        self.high_threshold = int(math.floor(tau_high * n))
-        self.tau_high = tau_high
+        self._set_rule(config, tau_high)
         super().__init__(config, grid)
-
-    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        low = self.config.happiness_threshold
-        high = self.high_threshold
-        total = self.config.neighborhood_agents
-        happy = (same >= low) & (same <= high)
-        flipped_same = total - same + 1
-        flippable = (~happy) & (flipped_same >= low) & (flipped_same <= high)
-        return happy, flippable
 
     def would_be_happy_after_flip(self, row: int, col: int) -> bool:
         """Whether flipping would land the agent inside the comfort band."""
@@ -79,7 +188,7 @@ class TwoSidedModelState(ModelState):
         return self.config.happiness_threshold <= flipped_same <= self.high_threshold
 
 
-class AsymmetricModelState(ModelState):
+class AsymmetricModelState(_AsymmetricRuleMixin, ModelState):
     """State for the per-type intolerance variant (Barmpalias et al. [26]).
 
     ``+1`` agents are happy when their same-type fraction is at least
@@ -93,26 +202,8 @@ class AsymmetricModelState(ModelState):
         tau_minus: float,
         grid: Optional[TorusGrid] = None,
     ) -> None:
-        tau_minus = require_in_range(tau_minus, "tau_minus", 0.0, 1.0)
-        self.tau_minus = tau_minus
-        self.minus_threshold = int(math.ceil(tau_minus * config.neighborhood_agents))
+        self._set_rule(config, tau_minus)
         super().__init__(config, grid)
-
-    def _threshold_for(self, spins: np.ndarray) -> np.ndarray:
-        """Per-agent happiness threshold as an array aligned with ``spins``."""
-        return np.where(
-            spins == 1, self.config.happiness_threshold, self.minus_threshold
-        )
-
-    def _classify(self, spins: np.ndarray, same: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        total = self.config.neighborhood_agents
-        threshold = self._threshold_for(spins)
-        happy = same >= threshold
-        # After a flip the agent adopts the *other* type, hence the other
-        # type's threshold applies to its post-flip count.
-        flipped_threshold = self._threshold_for(-spins)
-        flippable = (~happy) & (total - same + 1 >= flipped_threshold)
-        return happy, flippable
 
     def would_be_happy_after_flip(self, row: int, col: int) -> bool:
         """Whether flipping satisfies the threshold of the agent's new type."""
@@ -131,3 +222,158 @@ class AsymmetricModelState(ModelState):
         if self.tau_minus != self.config.tau:
             return False
         return self.config.tau < 0.25 or self.config.tau > 0.75
+
+
+# ------------------------------------------------------------ ensemble engines
+
+
+class TwoSidedEnsemble(_TwoSidedRuleMixin, EnsembleDynamics):
+    """R lockstep replicas of the two-sided comfort variant.
+
+    The mixin overrides the engine's single classification hook with the same
+    kernel as :class:`TwoSidedModelState`, so replica ``r`` reproduces a
+    scalar ``GlauberDynamics`` run over a ``TwoSidedModelState`` seeded with
+    ``replica_seeds[r]`` bit for bit.  The variant has no Lyapunov function:
+    always pass a ``max_steps``/``max_flips`` budget to :meth:`run` and read
+    per-replica termination off the result's ``terminated`` array.
+    """
+
+    def __init__(self, config: ModelConfig, tau_high: float, **kwargs: object) -> None:
+        # Thresholds must exist before the base constructor's initial
+        # recompute_all() classifies the starting configurations.
+        self._set_rule(config, tau_high)
+        super().__init__(config, **kwargs)
+
+
+class AsymmetricEnsemble(_AsymmetricRuleMixin, EnsembleDynamics):
+    """R lockstep replicas of the per-type intolerance variant.
+
+    The mixin overrides the engine's classification hook with the same kernel
+    as :class:`AsymmetricModelState`; replica ``r`` is bitwise equivalent to
+    the scalar variant run with seed ``replica_seeds[r]``.
+    """
+
+    def __init__(self, config: ModelConfig, tau_minus: float, **kwargs: object) -> None:
+        self._set_rule(config, tau_minus)
+        super().__init__(config, **kwargs)
+
+
+# ---------------------------------------------------------------- variant spec
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Which happiness rule a run applies, as a frozen picklable value.
+
+    Experiment specs, the sweep runners (serial, ensemble and process-pool)
+    and the CLI all carry one of these instead of engine classes; both
+    execution engines are constructed from it via :meth:`make_state` (scalar)
+    and :meth:`make_ensemble` (vectorized), guaranteeing the two paths apply
+    the same rule with the same parameters.
+    """
+
+    kind: VariantKind = VariantKind.BASE
+    #: Upper comfort bound of the two-sided band (two-sided variant only).
+    tau_high: Optional[float] = None
+    #: Intolerance of the ``-1`` agents (asymmetric variant only); the ``+1``
+    #: agents use the configuration's ``tau`` (the paper's ``tau_plus``).
+    tau_minus: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, VariantKind):
+            raise ConfigurationError(
+                f"kind must be a VariantKind, got {self.kind!r}"
+            )
+        if self.kind is VariantKind.TWO_SIDED:
+            if self.tau_high is None:
+                raise ConfigurationError("two-sided variant requires tau_high")
+            if self.tau_minus is not None:
+                raise ConfigurationError(
+                    "tau_minus does not apply to the two-sided variant"
+                )
+            require_in_range(self.tau_high, "tau_high", 0.0, 1.0)
+        elif self.kind is VariantKind.ASYMMETRIC:
+            if self.tau_minus is None:
+                raise ConfigurationError("asymmetric variant requires tau_minus")
+            if self.tau_high is not None:
+                raise ConfigurationError(
+                    "tau_high does not apply to the asymmetric variant"
+                )
+            require_in_range(self.tau_minus, "tau_minus", 0.0, 1.0)
+        else:
+            if self.tau_high is not None or self.tau_minus is not None:
+                raise ConfigurationError(
+                    "the base model takes neither tau_high nor tau_minus"
+                )
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def base(cls) -> "VariantSpec":
+        """The paper's one-sided model."""
+        return cls(kind=VariantKind.BASE)
+
+    @classmethod
+    def two_sided(cls, tau_high: float) -> "VariantSpec":
+        """Two-sided comfort band ``[config.tau, tau_high]``."""
+        return cls(kind=VariantKind.TWO_SIDED, tau_high=tau_high)
+
+    @classmethod
+    def asymmetric(cls, tau_minus: float) -> "VariantSpec":
+        """Per-type intolerances ``(config.tau, tau_minus)``."""
+        return cls(kind=VariantKind.ASYMMETRIC, tau_minus=tau_minus)
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def is_base(self) -> bool:
+        """True for the paper's unmodified rule."""
+        return self.kind is VariantKind.BASE
+
+    @property
+    def guarantees_termination(self) -> bool:
+        """Whether the paper's Lyapunov argument applies to this rule.
+
+        Only the base model carries the strictly-increasing energy that proves
+        termination; the two-sided band breaks it outright, and the
+        asymmetric model's status depends on its thresholds, so both variants
+        should be run with budgets.
+        """
+        return self.kind is VariantKind.BASE
+
+    def describe(self) -> str:
+        """Short human-readable tag for tables and CLI output."""
+        if self.kind is VariantKind.TWO_SIDED:
+            return f"two_sided[tau_high={self.tau_high:.4f}]"
+        if self.kind is VariantKind.ASYMMETRIC:
+            return f"asymmetric[tau_minus={self.tau_minus:.4f}]"
+        return "base"
+
+    # ------------------------------------------------------------ construction
+
+    def make_state(
+        self, config: ModelConfig, grid: Optional[TorusGrid] = None
+    ) -> ModelState:
+        """Build the scalar state implementing this rule."""
+        if self.kind is VariantKind.TWO_SIDED:
+            return TwoSidedModelState(config, tau_high=self.tau_high, grid=grid)
+        if self.kind is VariantKind.ASYMMETRIC:
+            return AsymmetricModelState(config, tau_minus=self.tau_minus, grid=grid)
+        return ModelState(config, grid)
+
+    def make_ensemble(self, config: ModelConfig, **kwargs: object) -> EnsembleDynamics:
+        """Build the vectorized lockstep engine implementing this rule.
+
+        ``kwargs`` are forwarded to :class:`~repro.core.ensemble.EnsembleDynamics`
+        (``n_replicas``, ``seed``, ``replica_seeds``, ``initial_spins``,
+        ``scheduler``, ``flip_rule``).
+        """
+        if self.kind is VariantKind.TWO_SIDED:
+            return TwoSidedEnsemble(config, tau_high=self.tau_high, **kwargs)
+        if self.kind is VariantKind.ASYMMETRIC:
+            return AsymmetricEnsemble(config, tau_minus=self.tau_minus, **kwargs)
+        return EnsembleDynamics(config, **kwargs)
+
+
+#: The paper's unmodified rule — the default everywhere a variant is optional.
+BASE_VARIANT = VariantSpec()

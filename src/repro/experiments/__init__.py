@@ -35,6 +35,16 @@ concurrently, each advancing R replicas per vectorized step.
 pin the equivalences; ``benchmarks/bench_ensemble_throughput.py`` tracks the
 speedups.
 
+Variant rules compose with all three strategies: specs carry a
+:class:`~repro.core.variants.VariantSpec` (two-sided comfort band, per-type
+intolerances) that the runners route onto the matching scalar state or
+ensemble engine, with identical rows either way
+(``tests/test_core_variant_ensemble.py`` pins the bitwise equivalence,
+``benchmarks/bench_variants.py`` the variant-engine throughput).  Because no
+variant rule carries the paper's Lyapunov termination guarantee, such specs
+must set ``max_flips`` or ``max_steps``; per-replicate ``terminated`` columns
+report which runs settled within the budget.
+
 Trajectory recording
 --------------------
 Specs carry ``record_trajectory`` / ``record_every`` flags (CLI:

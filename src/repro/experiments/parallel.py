@@ -20,6 +20,10 @@ parallel table interchangeable with the serial one:
 
 Workers inherit nothing mutable: each one re-imports the library and receives
 pickled frozen specs, which keeps the executor oblivious to interpreter state.
+Variant cells need no special handling: the spec's frozen
+:class:`~repro.core.variants.VariantSpec` (and its ``max_steps`` budget)
+pickles with the rest, and each worker routes it onto the scalar or ensemble
+variant engine exactly as the serial runner would.
 """
 
 from __future__ import annotations

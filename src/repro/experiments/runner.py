@@ -16,6 +16,14 @@ Two execution strategies are available on top of the serial defaults:
 * ``workers=N`` fans sweep cells out to a process pool
   (:func:`repro.experiments.parallel.run_sweep_parallel`); cell seeds come
   from the sweep spec, so the table is row-for-row identical to a serial run.
+
+Cells carrying a non-base :class:`~repro.core.variants.VariantSpec` go through
+the same machinery: the scalar path builds the variant state inside
+:class:`~repro.core.simulation.Simulation`, the ensemble path builds the
+matching variant engine via :meth:`VariantSpec.make_ensemble`, and both apply
+the cell's ``max_flips``/``max_steps`` budgets per replicate, so variant rows
+are engine-independent too (the two-sided variant reports per-replicate
+``terminated`` flags instead of relying on the Lyapunov guarantee).
 """
 
 from __future__ import annotations
@@ -28,7 +36,6 @@ from repro.analysis.segregation import segregation_metrics
 from repro.analysis.trajectory import summarize_trajectory
 from repro.core.config import ModelConfig
 from repro.core.dynamics import Trajectory
-from repro.core.ensemble import EnsembleDynamics
 from repro.core.simulation import Simulation
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, SweepSpec
@@ -82,12 +89,17 @@ def _result_row(
         "tau": config.tau,
         "effective_tau": config.effective_tau,
         "density": config.density,
+        "variant": spec.variant.kind.value,
         "terminated": terminated,
         "n_flips": n_flips,
         "final_time": final_time,
         "wall_clock_seconds": wall_clock_seconds,
         "flipped_fraction": flipped / initial_spins.size,
     }
+    if spec.variant.tau_high is not None:
+        row["tau_high"] = spec.variant.tau_high
+    if spec.variant.tau_minus is not None:
+        row["tau_minus"] = spec.variant.tau_minus
     for key, value in initial_metrics.as_dict().items():
         row[f"initial_{key}"] = value
     for key, value in final_metrics.as_dict().items():
@@ -101,11 +113,12 @@ def _result_row(
 def run_replicate(
     spec: ExperimentSpec, replicate_index: int, replicate_seed: int
 ) -> dict[str, object]:
-    """Run one replicate of ``spec`` and return its result row."""
-    simulation = Simulation(spec.config, seed=replicate_seed)
+    """Run one replicate of ``spec`` (under its variant rule) and return its row."""
+    simulation = Simulation(spec.config, seed=replicate_seed, variant=spec.variant)
     with Timer() as timer:
         result = simulation.run(
             max_flips=spec.max_flips,
+            max_steps=spec.max_steps,
             record_trajectory=spec.record_trajectory,
             record_every=spec.record_every,
         )
@@ -135,11 +148,12 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
     seeds = replicate_seeds(spec.seed, spec.n_replicates)
     for batch_start in range(0, len(seeds), ensemble_size):
         batch_seeds = seeds[batch_start : batch_start + ensemble_size]
-        ensemble = EnsembleDynamics(spec.config, replica_seeds=batch_seeds)
+        ensemble = spec.variant.make_ensemble(spec.config, replica_seeds=batch_seeds)
         initial = ensemble.initial_spins()
         with Timer() as timer:
             result = ensemble.run(
                 max_flips=spec.max_flips,
+                max_steps=spec.max_steps,
                 record_trajectory=spec.record_trajectory,
                 record_every=spec.record_every,
             )

@@ -5,6 +5,15 @@ configuration, a replicate count and a master seed — and a :class:`SweepSpec`
 expands a base configuration along the axes the paper sweeps (intolerance,
 horizon, density).  Keeping these as plain frozen dataclasses makes sweeps
 serialisable and the benchmark parameters explicit.
+
+Both specs carry a :class:`~repro.core.variants.VariantSpec` selecting the
+happiness rule (base model, two-sided comfort band, per-type intolerances);
+the runners route it to either execution engine unchanged, and the process
+pool pickles it with the rest of the frozen spec.  Because only the base
+model carries the paper's Lyapunov termination guarantee, specs using any
+other variant must set a ``max_flips`` or ``max_steps`` budget —
+construction fails otherwise rather than risking a non-terminating sweep
+cell.
 """
 
 from __future__ import annotations
@@ -13,7 +22,26 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from repro.core.config import ModelConfig
+from repro.core.variants import BASE_VARIANT, VariantSpec
 from repro.errors import ExperimentError
+from repro.types import VariantKind
+
+
+def _require_budget_for_variant(
+    variant: VariantSpec, max_flips: Optional[int], max_steps: Optional[int]
+) -> None:
+    """Reject budget-less specs for rules without a termination guarantee.
+
+    The paper's Lyapunov argument covers the base model only; the two-sided
+    band breaks it outright and the asymmetric rule's status is open, so any
+    non-base variant must bound its replicates by flips or steps rather than
+    risk a sweep cell that never halts.
+    """
+    if not variant.guarantees_termination and max_flips is None and max_steps is None:
+        raise ExperimentError(
+            f"the {variant.kind.value} variant has no termination guarantee: "
+            "set max_flips or max_steps on the spec"
+        )
 
 
 @dataclass(frozen=True)
@@ -25,6 +53,10 @@ class ExperimentSpec:
     n_replicates: int = 3
     seed: int = 0
     max_flips: Optional[int] = None
+    #: Cap on scheduler steps per replicate (flips plus no-op selections).
+    #: Mandatory (or ``max_flips``) for every non-base variant, none of which
+    #: carries the paper's Lyapunov termination guarantee.
+    max_steps: Optional[int] = None
     #: Cap on the region-scan radius used by the metrics (None = grid limit).
     max_region_radius: Optional[int] = None
     #: Record per-replicate trajectories and add ``traj_*`` summary columns.
@@ -32,6 +64,8 @@ class ExperimentSpec:
     #: Sampling cadence for trajectory recording (flips for the scalar
     #: engine, lockstep rounds for the ensemble engine).
     record_every: int = 100
+    #: Happiness rule applied by every replicate of this cell.
+    variant: VariantSpec = BASE_VARIANT
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -44,6 +78,11 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"record_every must be positive, got {self.record_every}"
             )
+        if not isinstance(self.variant, VariantSpec):
+            raise ExperimentError(
+                f"variant must be a VariantSpec, got {self.variant!r}"
+            )
+        _require_budget_for_variant(self.variant, self.max_flips, self.max_steps)
 
 
 @dataclass(frozen=True)
@@ -58,15 +97,23 @@ class SweepSpec:
     n_replicates: int = 3
     seed: int = 0
     max_flips: Optional[int] = None
+    max_steps: Optional[int] = None
     max_region_radius: Optional[int] = None
     record_trajectory: bool = False
     record_every: int = 100
+    #: Happiness rule applied by every cell of the sweep.
+    variant: VariantSpec = BASE_VARIANT
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ExperimentError("sweep name must be non-empty")
         if not (self.taus or self.horizons or self.densities):
             raise ExperimentError("a sweep must vary at least one parameter")
+        if not isinstance(self.variant, VariantSpec):
+            raise ExperimentError(
+                f"variant must be a VariantSpec, got {self.variant!r}"
+            )
+        _require_budget_for_variant(self.variant, self.max_flips, self.max_steps)
 
     def cells(self) -> Iterator[ExperimentSpec]:
         """Yield one :class:`ExperimentSpec` per parameter combination.
@@ -93,9 +140,11 @@ class SweepSpec:
                         n_replicates=self.n_replicates,
                         seed=self.seed + 7919 * index,
                         max_flips=self.max_flips,
+                        max_steps=self.max_steps,
                         max_region_radius=self.max_region_radius,
                         record_trajectory=self.record_trajectory,
                         record_every=self.record_every,
+                        variant=self.variant,
                     )
                     index += 1
 

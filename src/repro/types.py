@@ -52,6 +52,19 @@ class FlipRule(enum.Enum):
     ALWAYS = "always"
 
 
+class VariantKind(enum.Enum):
+    """Which happiness rule a run applies (Sections I.A / V variants)."""
+
+    #: The paper's one-sided rule: happy iff same-type fraction >= tau.
+    BASE = "base"
+    #: Two-sided comfort band [tau, tau_high]; no Lyapunov function, so runs
+    #: need a step budget.
+    TWO_SIDED = "two_sided"
+    #: Barmpalias-Elwes-Lewis-Pye per-type intolerances: +1 agents use tau,
+    #: -1 agents use tau_minus.
+    ASYMMETRIC = "asymmetric"
+
+
 class Regime(enum.Enum):
     """Qualitative behaviour predicted for an intolerance value (Figure 2)."""
 

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.regions import (
+    _monochromatic_radius_map_reference,
     almost_monochromatic_radius_map,
     expected_almost_region_size,
     expected_region_size,
@@ -208,3 +209,58 @@ class TestDoublingSearchEquivalence:
         center = (20, 20)
         assert monochromatic_radius(spins, center) == 13
         assert monochromatic_radius(spins, center, max_radius=6) == 6
+
+
+class TestRadiusMapEquivalence:
+    """The SAT doubling/bisection map must equal the linear-scan reference."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_rows=st.integers(min_value=5, max_value=30),
+        n_cols=st.integers(min_value=5, max_value=30),
+        density=st.floats(min_value=0.05, max_value=0.95),
+        max_radius=st.one_of(st.none(), st.integers(min_value=0, max_value=40)),
+    )
+    def test_matches_reference_on_random_grids(
+        self, seed, n_rows, n_cols, density, max_radius
+    ):
+        rng = np.random.default_rng(seed)
+        spins = np.where(rng.random((n_rows, n_cols)) < density, 1, -1).astype(np.int8)
+        assert np.array_equal(
+            monochromatic_radius_map(spins, max_radius=max_radius),
+            _monochromatic_radius_map_reference(spins, max_radius=max_radius),
+        )
+
+    def test_matches_reference_on_uniform_grid(self):
+        spins = np.ones((23, 23), dtype=np.int8)
+        for max_radius in (None, 3, 11):
+            assert np.array_equal(
+                monochromatic_radius_map(spins, max_radius=max_radius),
+                _monochromatic_radius_map_reference(spins, max_radius=max_radius),
+            )
+
+    def test_matches_reference_on_planted_structures(self):
+        for spins in (
+            planted_square(41, 13),
+            np.where((np.arange(36)[:, None] // 9) % 2 == 0, 1, -1)
+            * np.ones((36, 36), dtype=np.int64),
+            np.indices((20, 20)).sum(axis=0) % 2 * 2 - 1,  # checkerboard
+        ):
+            spins = spins.astype(np.int8)
+            assert np.array_equal(
+                monochromatic_radius_map(spins),
+                _monochromatic_radius_map_reference(spins),
+            )
+
+    def test_matches_reference_on_rectangular_torus(self):
+        rng = np.random.default_rng(5)
+        spins = np.where(rng.random((11, 31)) < 0.4, 1, -1).astype(np.int8)
+        assert np.array_equal(
+            monochromatic_radius_map(spins),
+            _monochromatic_radius_map_reference(spins),
+        )
+
+    def test_zero_limit_returns_zeros(self):
+        spins = np.ones((9, 9), dtype=np.int8)
+        assert np.all(monochromatic_radius_map(spins, max_radius=0) == 0)

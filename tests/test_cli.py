@@ -174,3 +174,81 @@ class TestSweepTrajectory:
             ["sweep", "--taus", "0.4", "--record-every", "0"]
         )
         assert code == 2
+
+
+class TestSweepVariants:
+    BASE_ARGS = [
+        "sweep",
+        "--horizon", "1",
+        "--taus", "0.4,0.45",
+        "--replicates", "2",
+        "--side", "20",
+    ]
+
+    def test_two_sided_variant_runs_with_default_budget(self):
+        code, output = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-high", "0.8"]
+        )
+        assert code == 0
+        assert "variant=two_sided[tau_high=0.8000]" in output
+
+    def test_asymmetric_variant_runs(self):
+        code, output = run_cli(
+            self.BASE_ARGS + ["--variant", "asymmetric", "--tau-minus", "0.3"]
+        )
+        assert code == 0
+        assert "variant=asymmetric[tau_minus=0.3000]" in output
+
+    def test_variant_flags_compose_with_execution_flags(self, tmp_path):
+        """Variant sweeps produce identical aggregates on every engine."""
+        args = self.BASE_ARGS + ["--variant", "asymmetric", "--tau-minus", "0.3"]
+        serial_csv = tmp_path / "serial.csv"
+        fast_csv = tmp_path / "fast.csv"
+        code, _ = run_cli(args + ["--csv", str(serial_csv)])
+        assert code == 0
+        code, _ = run_cli(
+            args + ["--csv", str(fast_csv), "--workers", "2", "--ensemble", "2"]
+        )
+        assert code == 0
+        assert serial_csv.read_text() == fast_csv.read_text()
+
+    def test_tau_high_below_swept_taus_rejected(self):
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-high", "0.3"]
+        )
+        assert code == 2
+
+    def test_invalid_tau_high_rejected(self):
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-high", "1.4"]
+        )
+        assert code == 2
+
+    def test_nonpositive_max_steps_rejected(self):
+        code, _ = run_cli(self.BASE_ARGS + ["--max-steps", "0"])
+        assert code == 2
+
+    def test_inapplicable_variant_parameter_rejected(self):
+        # Passing the wrong variant's knob is a mistake, not a no-op.
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "asymmetric", "--tau-high", "0.9"]
+        )
+        assert code == 2
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-minus", "0.2"]
+        )
+        assert code == 2
+        code, _ = run_cli(self.BASE_ARGS + ["--tau-high", "0.9"])
+        assert code == 2
+
+    def test_variant_defaults_apply_without_explicit_parameters(self):
+        code, output = run_cli(self.BASE_ARGS + ["--variant", "two-sided"])
+        assert code == 0
+        assert "variant=two_sided[tau_high=0.8000]" in output
+        code, output = run_cli(self.BASE_ARGS + ["--variant", "asymmetric"])
+        assert code == 0
+        assert "variant=asymmetric[tau_minus=0.3000]" in output
+
+    def test_unknown_variant_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--variant", "sideways"])

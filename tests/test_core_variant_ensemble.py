@@ -1,0 +1,227 @@
+"""Cross-consistency tests: variant ensembles must match scalar variant runs.
+
+PR 1's contract — replica ``r`` of an ensemble reproduces the scalar run
+seeded with ``replica_seeds[r]`` bit for bit — is extended here to the
+Section I.A/V model variants: :class:`TwoSidedEnsemble` against
+``Simulation(..., variant=VariantSpec.two_sided(...))`` and
+:class:`AsymmetricEnsemble` against the asymmetric scalar runs, across
+schedulers and both tau bookkeeping regimes.  Budgets matter more here than
+for the base model (the two-sided variant has no Lyapunov function), so the
+suite also locks down per-replica step budgets and termination reporting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.simulation import Simulation
+from repro.core.variants import (
+    AsymmetricEnsemble,
+    TwoSidedEnsemble,
+    VariantSpec,
+)
+from repro.errors import ConfigurationError
+from repro.types import SchedulerKind, VariantKind
+
+SCHEDULERS = [SchedulerKind.CONTINUOUS, SchedulerKind.DISCRETE]
+#: One intolerance at or below 1/2 and one above — the two bookkeeping
+#: regimes of the flippability rule (see test_core_ensemble).
+TAUS = [0.35, 0.55]
+
+
+def scalar_variant_reference(
+    config: ModelConfig,
+    variant: VariantSpec,
+    seed: int,
+    max_flips=None,
+    max_steps=None,
+):
+    """The scalar variant run an ensemble replica with this seed must match."""
+    simulation = Simulation(config, seed=seed, variant=variant)
+    return simulation.run(max_flips=max_flips, max_steps=max_steps)
+
+
+def assert_replicas_match(ensemble, result, variant, max_flips=None, max_steps=None):
+    """Every replica equals its scalar variant twin, field by field."""
+    for replica, seed in enumerate(ensemble.replica_seeds):
+        reference = scalar_variant_reference(
+            ensemble.config, variant, seed, max_flips=max_flips, max_steps=max_steps
+        )
+        assert np.array_equal(
+            reference.final_spins, result.final_spins[replica]
+        ), f"final grids diverge for replica {replica}"
+        assert reference.n_flips == result.n_flips[replica]
+        assert reference.n_steps == result.n_steps[replica]
+        assert reference.terminated == bool(result.terminated[replica])
+        assert reference.final_time == result.final_time[replica]
+
+
+class TestTwoSidedEquivalence:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_replicas_match_scalar_runs_exactly(self, scheduler, tau):
+        config = ModelConfig.square(side=18, horizon=2, tau=tau, scheduler=scheduler)
+        variant = VariantSpec.two_sided(0.8)
+        budget = 10 * config.n_sites
+        ensemble = variant.make_ensemble(config, n_replicas=3, seed=42)
+        assert isinstance(ensemble, TwoSidedEnsemble)
+        result = ensemble.run(max_steps=budget)
+        assert_replicas_match(ensemble, result, variant, max_steps=budget)
+
+    def test_flip_budget_matches_scalar_runs(self):
+        config = ModelConfig.square(side=18, horizon=2, tau=0.45)
+        variant = VariantSpec.two_sided(0.75)
+        ensemble = variant.make_ensemble(config, n_replicas=3, seed=5)
+        result = ensemble.run(max_flips=40)
+        assert_replicas_match(ensemble, result, variant, max_flips=40)
+        assert (result.n_flips <= 40).all()
+
+    def test_trajectory_replicas_match_scalar_endpoints(self):
+        config = ModelConfig.square(side=16, horizon=1, tau=0.45)
+        variant = VariantSpec.two_sided(0.9)
+        budget = 5 * config.n_sites
+        ensemble = variant.make_ensemble(config, n_replicas=3, seed=17)
+        result = ensemble.run(max_steps=budget, record_trajectory=True)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            scalar = Simulation(config, seed=seed, variant=variant).run(
+                max_steps=budget, record_trajectory=True, record_every=1
+            )
+            view = result.trajectory.replica(replica)
+            assert view.energy[0] == scalar.trajectory.energy[0]
+            assert view.energy[-1] == scalar.trajectory.energy[-1]
+            assert view.n_flips[-1] == scalar.n_flips
+            assert view.times[-1] == scalar.final_time
+            assert view.n_unhappy[-1] == scalar.trajectory.n_unhappy[-1]
+            assert view.magnetization[-1] == scalar.trajectory.magnetization[-1]
+
+    def test_tau_high_below_tau_rejected(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.6)
+        with pytest.raises(ConfigurationError):
+            TwoSidedEnsemble(config, tau_high=0.4, n_replicas=2, seed=1)
+
+    def test_reduces_to_base_ensemble_when_upper_bound_is_one(self):
+        config = ModelConfig.square(side=16, horizon=1, tau=0.4)
+        base = VariantSpec.base().make_ensemble(config, n_replicas=2, seed=9)
+        capped = VariantSpec.two_sided(1.0).make_ensemble(config, n_replicas=2, seed=9)
+        base_result = base.run()
+        capped_result = capped.run(max_steps=50 * config.n_sites)
+        assert np.array_equal(base_result.final_spins, capped_result.final_spins)
+        assert np.array_equal(base_result.n_flips, capped_result.n_flips)
+        assert capped_result.all_terminated
+
+
+class TestAsymmetricEquivalence:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_replicas_match_scalar_runs_exactly(self, scheduler, tau):
+        config = ModelConfig.square(side=18, horizon=2, tau=tau, scheduler=scheduler)
+        variant = VariantSpec.asymmetric(0.3)
+        budget = 20 * config.n_sites
+        ensemble = variant.make_ensemble(config, n_replicas=3, seed=42)
+        assert isinstance(ensemble, AsymmetricEnsemble)
+        result = ensemble.run(max_steps=budget)
+        assert_replicas_match(ensemble, result, variant, max_steps=budget)
+
+    def test_equal_intolerances_match_base_ensemble(self):
+        config = ModelConfig.square(side=16, horizon=1, tau=0.45)
+        base = VariantSpec.base().make_ensemble(config, n_replicas=3, seed=23)
+        equal = VariantSpec.asymmetric(config.tau).make_ensemble(
+            config, n_replicas=3, seed=23
+        )
+        base_result = base.run()
+        equal_result = equal.run()
+        assert np.array_equal(base_result.final_spins, equal_result.final_spins)
+        assert np.array_equal(base_result.n_flips, equal_result.n_flips)
+        assert np.array_equal(base_result.final_time, equal_result.final_time)
+
+    def test_masks_match_fresh_scalar_variant_state(self):
+        config = ModelConfig.square(side=18, horizon=2, tau=0.55)
+        variant = VariantSpec.asymmetric(0.35)
+        ensemble = variant.make_ensemble(config, n_replicas=3, seed=21)
+        ensemble.run(max_flips=50)
+        for replica in range(3):
+            reference = variant.make_state(config)
+            reference.apply_spin_array(ensemble.replica_spins(replica))
+            assert np.array_equal(ensemble.happy_mask(replica), reference.happy_mask())
+            assert np.array_equal(
+                ensemble.flippable_mask(replica), reference.flippable_mask()
+            )
+            assert ensemble.unhappy_counts()[replica] == reference.n_unhappy
+
+
+class TestStepBudgets:
+    """Two-sided ensembles must honour budgets and report non-termination."""
+
+    def test_step_budget_is_honoured_per_replica(self):
+        # Natural termination of this configuration takes ~200 steps per
+        # replica (see the equivalence tests); a budget of 50 must cut every
+        # replica short and be reported as non-termination, not hang.
+        config = ModelConfig.square(side=24, horizon=2, tau=0.45)
+        ensemble = TwoSidedEnsemble(config, tau_high=0.8, n_replicas=4, seed=11)
+        result = ensemble.run(max_steps=50)
+        assert (result.n_steps <= 50).all()
+        assert not result.terminated.any()
+        assert not result.all_terminated
+        assert (ensemble.flippable_counts() > 0).all()
+
+    def test_resuming_after_budget_continues_each_replica(self):
+        config = ModelConfig.square(side=24, horizon=2, tau=0.45)
+        ensemble = TwoSidedEnsemble(config, tau_high=0.8, n_replicas=2, seed=11)
+        first = ensemble.run(max_steps=50)
+        second = ensemble.run(max_steps=50)
+        # Budgets are per run call; counters accumulate across calls.
+        assert (first.n_steps == 50).all()
+        assert (second.n_steps <= 50).all()
+        assert (ensemble.n_steps >= first.n_steps).all()
+
+    def test_terminated_mask_is_per_replica(self):
+        # With a generous budget every replica of this configuration settles;
+        # the mask must agree with the per-replica flippable sets.
+        config = ModelConfig.square(side=16, horizon=1, tau=0.45)
+        ensemble = TwoSidedEnsemble(config, tau_high=0.9, n_replicas=3, seed=7)
+        result = ensemble.run(max_steps=50 * config.n_sites)
+        for replica in range(3):
+            expected = ensemble.flippable_counts()[replica] == 0
+            assert bool(result.terminated[replica]) == expected
+
+
+class TestVariantSpecValidation:
+    def test_kind_round_trips_through_pickle(self):
+        import pickle
+
+        for variant in (
+            VariantSpec.base(),
+            VariantSpec.two_sided(0.8),
+            VariantSpec.asymmetric(0.3),
+        ):
+            assert pickle.loads(pickle.dumps(variant)) == variant
+
+    def test_two_sided_requires_tau_high(self):
+        with pytest.raises(ConfigurationError):
+            VariantSpec(kind=VariantKind.TWO_SIDED)
+
+    def test_asymmetric_requires_tau_minus(self):
+        with pytest.raises(ConfigurationError):
+            VariantSpec(kind=VariantKind.ASYMMETRIC)
+
+    def test_base_rejects_variant_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VariantSpec(kind=VariantKind.BASE, tau_high=0.8)
+        with pytest.raises(ConfigurationError):
+            VariantSpec(kind=VariantKind.BASE, tau_minus=0.3)
+
+    def test_cross_variant_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VariantSpec(kind=VariantKind.TWO_SIDED, tau_high=0.8, tau_minus=0.3)
+        with pytest.raises(ConfigurationError):
+            VariantSpec(kind=VariantKind.ASYMMETRIC, tau_minus=0.3, tau_high=0.8)
+
+    def test_guarantees_termination_only_for_base(self):
+        assert VariantSpec.base().guarantees_termination
+        assert not VariantSpec.two_sided(0.8).guarantees_termination
+        assert not VariantSpec.asymmetric(0.3).guarantees_termination
+
+    def test_describe_names_parameters(self):
+        assert VariantSpec.base().describe() == "base"
+        assert "tau_high=0.8" in VariantSpec.two_sided(0.8).describe()
+        assert "tau_minus=0.3" in VariantSpec.asymmetric(0.3).describe()

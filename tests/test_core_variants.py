@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import ModelConfig
 from repro.core.dynamics import GlauberDynamics
@@ -181,3 +183,55 @@ class TestAsymmetricState:
     def test_invalid_tau_minus_rejected(self, config):
         with pytest.raises(ConfigurationError):
             AsymmetricModelState(config, tau_minus=1.5)
+
+
+class TestDegenerateParameterEquivalence:
+    """Property tests: degenerate variant parameters recover the base model."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        tau=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_equal_intolerances_trajectory_matches_base_bit_for_bit(self, seed, tau):
+        """``tau_plus == tau_minus`` must reproduce the base dynamics exactly:
+        same RNG draws, same flips in the same order, same final grid."""
+        config = ModelConfig.square(side=12, horizon=1, tau=tau)
+        grid = random_configuration(config, seed=seed)
+        budget = 4 * config.n_sites
+
+        base_state = ModelState(config, grid.copy())
+        base_result = GlauberDynamics(base_state, seed=seed).run(
+            max_steps=budget, record_trajectory=True, record_every=1
+        )
+        asym_state = AsymmetricModelState(config, tau_minus=config.tau, grid=grid.copy())
+        asym_result = GlauberDynamics(asym_state, seed=seed).run(
+            max_steps=budget, record_trajectory=True, record_every=1
+        )
+
+        assert np.array_equal(base_state.grid.spins, asym_state.grid.spins)
+        assert base_result.n_flips == asym_result.n_flips
+        assert base_result.n_steps == asym_result.n_steps
+        assert base_result.terminated == asym_result.terminated
+        assert base_result.final_time == asym_result.final_time
+        assert base_result.trajectory.energy == asym_result.trajectory.energy
+        assert base_result.trajectory.times == asym_result.trajectory.times
+        assert base_result.trajectory.n_unhappy == asym_result.trajectory.n_unhappy
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_tau_high_one_trajectory_matches_base_bit_for_bit(self, seed):
+        """``tau_high = 1`` removes the upper bound, recovering the base rule."""
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        grid = random_configuration(config, seed=seed)
+
+        base_state = ModelState(config, grid.copy())
+        base_result = GlauberDynamics(base_state, seed=seed).run()
+        two_state = TwoSidedModelState(config, tau_high=1.0, grid=grid.copy())
+        two_result = GlauberDynamics(two_state, seed=seed).run(
+            max_steps=20 * config.n_sites
+        )
+
+        assert np.array_equal(base_state.grid.spins, two_state.grid.spins)
+        assert base_result.n_flips == two_result.n_flips
+        assert base_result.final_time == two_result.final_time

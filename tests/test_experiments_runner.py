@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.config import ModelConfig
+from repro.core.variants import VariantSpec
 from repro.experiments.runner import (
     aggregate_sweep,
     run_experiment,
@@ -148,3 +149,89 @@ class TestTrajectoryRecording:
         serial = run_sweep(sweep)
         parallel = run_sweep(sweep, workers=2, ensemble_size=2)
         assert strip(serial) == strip(parallel)
+
+
+def _strip_timings(table):
+    return [
+        {k: v for k, v in row.items() if k != "wall_clock_seconds"}
+        for row in table.rows
+    ]
+
+
+class TestVariantCells:
+    """Variant cells produce engine-independent rows across all three paths."""
+
+    def _variant_sweep(self, variant, record=False):
+        base = ModelConfig.square(side=16, horizon=1, tau=0.45)
+        return SweepSpec(
+            name="variant",
+            base_config=base,
+            taus=[0.4, 0.45],
+            n_replicates=3,
+            seed=3,
+            max_steps=5 * base.n_sites,
+            record_trajectory=record,
+            record_every=25,
+            variant=variant,
+        )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [VariantSpec.two_sided(0.8), VariantSpec.asymmetric(0.3)],
+        ids=["two_sided", "asymmetric"],
+    )
+    def test_ensemble_rows_match_serial_rows(self, variant):
+        sweep = self._variant_sweep(variant)
+        serial = run_sweep(sweep)
+        batched = run_sweep(sweep, ensemble_size=2)
+        assert _strip_timings(serial) == _strip_timings(batched)
+
+    @pytest.mark.parametrize(
+        "variant",
+        [VariantSpec.two_sided(0.8), VariantSpec.asymmetric(0.3)],
+        ids=["two_sided", "asymmetric"],
+    )
+    def test_parallel_ensemble_rows_match_serial_rows(self, variant):
+        sweep = self._variant_sweep(variant)
+        serial = run_sweep(sweep)
+        parallel = run_sweep(sweep, workers=2, ensemble_size=2)
+        assert _strip_timings(serial) == _strip_timings(parallel)
+
+    def test_variant_rows_with_trajectories_match(self):
+        sweep = self._variant_sweep(VariantSpec.asymmetric(0.3), record=True)
+        serial = run_sweep(sweep)
+        batched = run_sweep(sweep, ensemble_size=2)
+        assert _strip_timings(serial) == _strip_timings(batched)
+        assert all("traj_final_energy" in row for row in serial.rows)
+
+    def test_variant_columns_present(self):
+        sweep = self._variant_sweep(VariantSpec.two_sided(0.8))
+        table = run_sweep(sweep)
+        for row in table.rows:
+            assert row["variant"] == "two_sided"
+            assert row["tau_high"] == 0.8
+            assert "tau_minus" not in row
+
+    def test_base_rows_record_base_variant(self):
+        base = ModelConfig.square(side=16, horizon=1, tau=0.4)
+        spec = ExperimentSpec(name="unit", config=base, n_replicates=1, seed=1)
+        table = run_experiment(spec)
+        assert table[0]["variant"] == "base"
+        assert "tau_high" not in table[0]
+
+    def test_two_sided_cells_report_step_capped_runs(self):
+        # A tiny budget leaves every replicate unterminated; the rows must
+        # say so instead of the cell hanging.
+        base = ModelConfig.square(side=24, horizon=2, tau=0.45)
+        spec = ExperimentSpec(
+            name="budget",
+            config=base,
+            n_replicates=2,
+            seed=11,
+            max_steps=50,
+            variant=VariantSpec.two_sided(0.8),
+        )
+        for table in (run_experiment(spec), run_experiment(spec, ensemble_size=2)):
+            for row in table.rows:
+                assert row["terminated"] is False
+                assert row["n_flips"] <= 50

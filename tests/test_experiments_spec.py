@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.config import ModelConfig
+from repro.core.variants import VariantSpec
 from repro.errors import ExperimentError
 from repro.experiments.spec import ExperimentSpec, SweepSpec
 
@@ -76,3 +77,61 @@ class TestSweepSpec:
             name="budget", base_config=base_config, taus=[0.4], max_flips=17
         )
         assert next(iter(sweep.cells())).max_flips == 17
+
+
+class TestVariantSurface:
+    """Variant and budget fields ride through spec expansion unchanged."""
+
+    def test_variant_and_max_steps_propagate_to_cells(self, base_config):
+        variant = VariantSpec.asymmetric(0.3)
+        sweep = SweepSpec(
+            name="variant",
+            base_config=base_config,
+            taus=[0.4, 0.45],
+            max_steps=1000,
+            variant=variant,
+        )
+        for cell in sweep.cells():
+            assert cell.variant == variant
+            assert cell.max_steps == 1000
+
+    def test_default_variant_is_base(self, base_config):
+        spec = ExperimentSpec(name="unit", config=base_config)
+        assert spec.variant.is_base
+        assert spec.max_steps is None
+
+    @pytest.mark.parametrize(
+        "variant",
+        [VariantSpec.two_sided(0.8), VariantSpec.asymmetric(0.3)],
+        ids=["two_sided", "asymmetric"],
+    )
+    def test_variant_without_budget_rejected(self, base_config, variant):
+        # No non-base rule carries the Lyapunov termination guarantee, so
+        # budget-less variant specs are construction errors.
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="unit", config=base_config, variant=variant)
+        with pytest.raises(ExperimentError):
+            SweepSpec(
+                name="sweep", base_config=base_config, taus=[0.4], variant=variant
+            )
+
+    def test_two_sided_with_budget_accepted(self, base_config):
+        spec = ExperimentSpec(
+            name="unit",
+            config=base_config,
+            max_steps=500,
+            variant=VariantSpec.two_sided(0.8),
+        )
+        assert spec.variant.tau_high == 0.8
+        sweep = SweepSpec(
+            name="sweep",
+            base_config=base_config,
+            taus=[0.4],
+            max_flips=100,
+            variant=VariantSpec.two_sided(0.8),
+        )
+        assert next(iter(sweep.cells())).max_flips == 100
+
+    def test_non_variant_spec_rejected(self, base_config):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="unit", config=base_config, variant="two_sided")

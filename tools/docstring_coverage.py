@@ -1,0 +1,114 @@
+"""Docstring-coverage gate (a dependency-free stand-in for ``interrogate``).
+
+Walks the given source trees with :mod:`ast`, counts docstrings on modules,
+classes and functions, and exits non-zero when coverage falls below the
+``--fail-under`` threshold — CI runs it so the documentation surface cannot
+rot silently.
+
+Counting rules (matching interrogate's spirit):
+
+* modules, classes, and functions/methods (sync and async) all count;
+* private helpers (a leading underscore) still count — this repo documents
+  them — but ``__dunder__`` methods are skipped (``__init__`` parameters are
+  documented on the class docstring here, as interrogate's
+  ``--ignore-init-method`` assumes);
+* nested functions are skipped (they are implementation detail);
+* an overload/stub body of just ``...``/``pass`` with no docstring is still
+  counted as missing, because the gate guards real code here.
+
+Usage::
+
+    python tools/docstring_coverage.py src/repro --fail-under 95 [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def iter_definitions(tree: ast.Module):
+    """Yield ``(kind, qualified_name, node)`` for every countable definition."""
+    yield "module", "<module>", tree
+
+    def walk(node: ast.AST, prefix: str, depth: int) -> object:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                name = f"{prefix}{child.name}"
+                yield "class", name, child
+                yield from walk(child, f"{name}.", depth)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                if child.name.startswith("__") and child.name.endswith("__"):
+                    continue
+                yield "function", name, child
+                # Do not descend: nested defs are implementation detail.
+
+    yield from walk(tree, "", 0)
+
+
+def scan_file(path: Path) -> list[tuple[str, str, bool]]:
+    """Return ``(kind, name, documented)`` for every definition in ``path``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return [
+        (kind, name, ast.get_docstring(node) is not None)
+        for kind, name, node in iter_definitions(tree)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="+", type=Path, help="files or directories to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=95.0,
+        help="minimum coverage percentage (default: 95)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="list every undocumented definition"
+    )
+    args = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for root in args.roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    if not files:
+        print("error: no Python files found", file=sys.stderr)
+        return 2
+
+    total = documented = 0
+    missing: list[str] = []
+    for path in files:
+        for kind, name, has_doc in scan_file(path):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(f"{path}:{name} ({kind})")
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} definitions "
+        f"({coverage:.1f}%), threshold {args.fail_under:.1f}%"
+    )
+    if missing and (args.verbose or coverage < args.fail_under):
+        shown = missing if args.verbose else missing[:20]
+        for entry in shown:
+            print(f"  missing: {entry}")
+        if len(shown) < len(missing):
+            print(f"  ... and {len(missing) - len(shown)} more (use -v)")
+    if coverage < args.fail_under:
+        print("FAILED: documentation coverage below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
