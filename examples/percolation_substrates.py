@@ -60,7 +60,7 @@ def main() -> None:
 
     print("\nSub-critical cluster radius tail (Grimmett, Theorem 5), p = 0.35")
     tail = estimate_radius_tail(
-        0.35, [1, 2, 3, 4, 6], box_radius=8, n_trials=max(args.trials * 5, 200), rng=rng
+        0.35, [1, 2, 3, 4, 6], box_radius=8, n_trials=max(args.trials * 5, 200), seed=rng
     )
     print("  radius   P(radius >= k)")
     for radius, probability in zip(tail.radii, tail.probabilities):

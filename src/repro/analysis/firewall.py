@@ -83,11 +83,19 @@ def firewall_agent_type(
     outer_radius: float,
     width: Optional[float] = None,
 ) -> Optional[AgentType]:
-    """Type of a monochromatic firewall, or ``None`` if the annulus is mixed."""
+    """Type of a monochromatic firewall, or ``None`` if the annulus is mixed.
+
+    A degenerate annulus containing no agents raises
+    :class:`~repro.errors.AnalysisError`, exactly like
+    :func:`is_monochromatic_firewall` — an empty firewall is a geometry
+    mistake, not a mixed wall.
+    """
     spins = require_spin_array(spins)
     mask = firewall_mask(config, center, outer_radius, width)
     values = spins[mask]
-    if values.size and np.all(values == values[0]):
+    if values.size == 0:
+        raise AnalysisError("firewall annulus contains no agents")
+    if np.all(values == values[0]):
         return AgentType(int(values[0]))
     return None
 

@@ -38,8 +38,50 @@ def _max_usable_radius(shape: tuple[int, int], max_radius: Optional[int]) -> int
     return min(max_radius, limit)
 
 
+def region_scan_table(spins: np.ndarray, max_radius: Optional[int] = None) -> np.ndarray:
+    """Shared summed-area table for the region scans of one configuration.
+
+    Both :func:`monochromatic_radius_map` and
+    :func:`almost_monochromatic_radius_map` resolve window counts from a
+    limit-padded :func:`~repro.core.neighborhood.wrapped_summed_area_table`
+    of the plus indicator.  Building the table once and passing it to both
+    scans (as :func:`repro.analysis.segregation.segregation_metrics` does)
+    halves the table-construction cost without changing a single bit of the
+    results.
+    """
+    spins = require_spin_array(spins)
+    limit = _max_usable_radius(spins.shape, max_radius)
+    return wrapped_summed_area_table(spins == 1, max(limit, 0))
+
+
+def _resolve_scan_table(
+    spins: np.ndarray, limit: int, table: Optional[np.ndarray]
+) -> tuple[np.ndarray, int]:
+    """Build or validate the scan table for one radius map; returns (table, pad).
+
+    A caller-supplied table must be a ``wrapped_summed_area_table`` of the
+    configuration's plus indicator with padding at least ``limit`` so that
+    every window of every usable radius lies inside it; ``None`` builds a
+    fresh ``limit``-padded one.
+    """
+    if table is None:
+        return wrapped_summed_area_table(spins == 1, limit), limit
+    n_rows, n_cols = spins.shape
+    pad = (table.shape[0] - 1 - n_rows) // 2
+    expected = (n_rows + 2 * pad + 1, n_cols + 2 * pad + 1)
+    if pad < limit or table.shape != expected:
+        raise AnalysisError(
+            f"scan table of shape {table.shape} does not cover grid "
+            f"{spins.shape} up to radius {limit}"
+        )
+    return table, pad
+
+
 def monochromatic_radius_map(
-    spins: np.ndarray, max_radius: Optional[int] = None
+    spins: np.ndarray,
+    max_radius: Optional[int] = None,
+    *,
+    table: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Per-agent radius of the largest monochromatic window centred at the agent.
 
@@ -61,6 +103,9 @@ def monochromatic_radius_map(
     build, versus O(grid * limit) for the scan.  Bitwise identical to
     :func:`_monochromatic_radius_map_reference` (the retained linear scan),
     which the equivalence tests assert.
+
+    ``table`` optionally supplies a precomputed :func:`region_scan_table` so
+    several scans of the same configuration share one build.
     """
     spins = require_spin_array(spins)
     limit = _max_usable_radius(spins.shape, max_radius)
@@ -72,17 +117,17 @@ def monochromatic_radius_map(
     # One summed-area table over the torus-padded indicator; the window of
     # any radius <= limit around any site lies inside it, so per-site counts
     # are four gathers instead of a grid pass.
-    table = wrapped_summed_area_table(spins == 1, limit)
+    table, pad = _resolve_scan_table(spins, limit, table)
 
     all_rows, all_cols = np.divmod(np.arange(n_rows * n_cols), n_cols)
 
     def is_mono(sites: np.ndarray, radius) -> np.ndarray:
         """Whether each site's window of its ``radius`` (scalar or per-site)
         is single-type: the plus count is 0 or the full window population."""
-        top = all_rows[sites] - radius + limit
-        bottom = all_rows[sites] + radius + limit + 1
-        left = all_cols[sites] - radius + limit
-        right = all_cols[sites] + radius + limit + 1
+        top = all_rows[sites] - radius + pad
+        bottom = all_rows[sites] + radius + pad + 1
+        left = all_cols[sites] - radius + pad
+        right = all_cols[sites] + radius + pad + 1
         counts = (
             table[bottom, right]
             - table[top, right]
@@ -204,13 +249,90 @@ def almost_monochromatic_radius_map(
     spins: np.ndarray,
     ratio_threshold: float,
     max_radius: Optional[int] = None,
+    *,
+    table: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Per-agent radius of the largest window with minority ratio below threshold.
 
     Unlike the strictly monochromatic case the property is not monotone in the
-    radius, so the scan records the largest radius at which the condition
-    holds rather than stopping at the first failure — matching the paper's
-    "neighbourhood with largest radius such that ..." phrasing.
+    radius (a window can re-qualify after a mixed intermediate shell), so the
+    doubling/bisection bracket of :func:`monochromatic_radius_map` does not
+    apply.  The *largest-qualifying-radius* formulation does: the answer for a
+    site is the largest level of a top-down sweep at which its window
+    qualifies, so the scan walks the radius levels from ``limit`` down to 1
+    with an active set from which each site leaves at its first (largest)
+    qualifying radius.  Window counts come from per-site four-corner gathers
+    on one limit-padded summed-area table instead of the full
+    ``minority_ratio_map`` grid pass (table build included) the reference
+    performs per level, and sites in segregated patches — where all the
+    Theorem 2 signal lives — leave the active set near ``limit``, so the
+    sweep touches a rapidly shrinking population.  Bitwise identical to
+    :func:`_almost_monochromatic_radius_map_reference` (the retained linear
+    scan), which the equivalence tests assert.
+
+    ``table`` optionally supplies a precomputed :func:`region_scan_table` so
+    several scans of the same configuration share one build.
+    """
+    if not 0.0 <= ratio_threshold <= 1.0:
+        raise AnalysisError(
+            f"ratio_threshold must lie in [0, 1], got {ratio_threshold}"
+        )
+    spins = require_spin_array(spins)
+    limit = _max_usable_radius(spins.shape, max_radius)
+    n_rows, n_cols = spins.shape
+    radii = np.zeros(spins.shape, dtype=np.int64)
+    if limit < 1:
+        return radii
+
+    table, pad = _resolve_scan_table(spins, limit, table)
+
+    # Flat view of the table plus a per-site base index: at a fixed radius
+    # level every window corner sits at one scalar offset from the base, so
+    # each level costs four flat gathers on the active set — no per-site
+    # index arithmetic beyond a single add.
+    flat_table = table.ravel()
+    width = table.shape[1]
+    flat_radii = radii.ravel()
+    all_rows, all_cols = np.divmod(np.arange(n_rows * n_cols), n_cols)
+    base = (all_rows + pad) * width + (all_cols + pad)
+    active = np.arange(n_rows * n_cols)
+    for radius in range(limit, 0, -1):
+        below = (radius + 1) * width
+        above = radius * width
+        plus = (
+            flat_table.take(base + (below + radius + 1))
+            - flat_table.take(base - (above - radius - 1))
+            - flat_table.take(base + (below - radius))
+            + flat_table.take(base - (above + radius))
+        )
+        minus = neighborhood_size(radius) - plus
+        # The exact float expression of minority_ratio_map, applied to the
+        # active sites only: identical integer counts, identical IEEE
+        # division, hence bitwise-identical qualification decisions.
+        minority = np.minimum(plus, minus).astype(float)
+        majority = np.maximum(plus, minus).astype(float)
+        qualifies = minority / majority <= ratio_threshold
+        flat_radii[active[qualifies]] = radius
+        keep = ~qualifies
+        active = active[keep]
+        if not active.size:
+            break
+        base = base[keep]
+    return radii
+
+
+def _almost_monochromatic_radius_map_reference(
+    spins: np.ndarray,
+    ratio_threshold: float,
+    max_radius: Optional[int] = None,
+) -> np.ndarray:
+    """Linear per-radius scan — the reference for
+    :func:`almost_monochromatic_radius_map`.
+
+    One full :func:`minority_ratio_map` grid pass per radius, recording the
+    largest qualifying radius per site.  Retained as the equivalence oracle
+    for the property tests and the region-scan benchmark; production code
+    should always call :func:`almost_monochromatic_radius_map`.
     """
     if not 0.0 <= ratio_threshold <= 1.0:
         raise AnalysisError(

@@ -17,15 +17,30 @@ import numpy as np
 
 from repro.analysis.clusters import dominant_type_fraction, largest_monochromatic_cluster_fraction
 from repro.analysis.regions import (
-    expected_almost_region_size,
+    almost_monochromatic_radius_map,
     expected_region_size,
     monochromatic_radius_map,
     paper_ratio_threshold,
+    region_scan_table,
     region_sizes_from_radii,
 )
 from repro.core.config import ModelConfig
 from repro.core.lyapunov import lyapunov_energy, same_type_count_field
+from repro.errors import AnalysisError
 from repro.utils.validation import require_spin_array
+
+
+def default_region_radius(config: ModelConfig) -> int:
+    """The region-scan radius cap used by every entry point of the pipeline.
+
+    Region scans cost grows with the radius while all of the finite-size
+    signal lives within a few multiples of the horizon, so the metrics cap
+    the scans at ``min(4 * w, largest radius that fits on the torus)``.  The
+    sweep runner, the CLI and :func:`segregation_gain` all share this one
+    helper so the same measurement saturates identically no matter how it is
+    invoked (callers can still override the cap explicitly).
+    """
+    return min(4 * config.horizon, (min(config.shape) - 1) // 2)
 
 
 def unhappy_fraction(spins: np.ndarray, config: ModelConfig) -> float:
@@ -99,21 +114,62 @@ def segregation_metrics(
     spins = require_spin_array(spins)
     if ratio_threshold is None:
         ratio_threshold = paper_ratio_threshold(config.neighborhood_agents)
-    radii = monochromatic_radius_map(spins, max_radius=max_region_radius)
+    # The two region scans read window counts from the same limit-padded
+    # summed-area table, so build it once and hand it to both.
+    table = region_scan_table(spins, max_radius=max_region_radius)
+    radii = monochromatic_radius_map(spins, max_radius=max_region_radius, table=table)
+    almost_radii = almost_monochromatic_radius_map(
+        spins, ratio_threshold, max_radius=max_region_radius, table=table
+    )
     sizes = region_sizes_from_radii(radii)
     return SegregationMetrics(
         unhappy_fraction=unhappy_fraction(spins, config),
         local_homogeneity=local_homogeneity(spins, config.horizon),
         interface_density=interface_density(spins),
         mean_monochromatic_size=float(sizes.mean()),
-        mean_almost_monochromatic_size=expected_almost_region_size(
-            spins, ratio_threshold, max_radius=max_region_radius
+        mean_almost_monochromatic_size=float(
+            region_sizes_from_radii(almost_radii).mean()
         ),
         max_monochromatic_radius=int(radii.max()),
         largest_cluster_fraction=largest_monochromatic_cluster_fraction(spins),
         dominant_type_fraction=dominant_type_fraction(spins),
         energy=lyapunov_energy(spins, config.horizon),
     )
+
+
+def segregation_metrics_batch(
+    spins_stack: np.ndarray,
+    config: ModelConfig,
+    max_region_radius: Optional[int] = None,
+    ratio_threshold: Optional[float] = None,
+) -> list[SegregationMetrics]:
+    """Compute :func:`segregation_metrics` for a whole ``(R, n, n)`` stack.
+
+    This is the measurement back end of the ensemble runner: one call maps
+    the full metrics bundle over every replica of a lockstep batch.  Each
+    replica's two region scans share one summed-area table (built once per
+    replica) and the paper's ratio threshold is resolved once for the whole
+    stack, so the bundle costs two batched scans plus the cheap scalar
+    metrics per replica.  Entry ``r`` is bitwise identical to
+    ``segregation_metrics(spins_stack[r], ...)`` — the engine-independence
+    contract the runner's regression tests lock down.
+    """
+    stack = np.asarray(spins_stack)
+    if stack.ndim != 3:
+        raise AnalysisError(
+            f"spins_stack must be a (R, n, n) array, got shape {stack.shape}"
+        )
+    if ratio_threshold is None:
+        ratio_threshold = paper_ratio_threshold(config.neighborhood_agents)
+    return [
+        segregation_metrics(
+            replica,
+            config,
+            max_region_radius=max_region_radius,
+            ratio_threshold=ratio_threshold,
+        )
+        for replica in stack
+    ]
 
 
 def segregation_gain(
@@ -126,8 +182,9 @@ def segregation_gain(
     the three quantities whose movement demonstrates self-organised
     segregation in the Figure 1 experiment.
     """
-    before = segregation_metrics(initial_spins, config, max_region_radius=2 * config.horizon)
-    after = segregation_metrics(final_spins, config, max_region_radius=2 * config.horizon)
+    max_region_radius = default_region_radius(config)
+    before = segregation_metrics(initial_spins, config, max_region_radius=max_region_radius)
+    after = segregation_metrics(final_spins, config, max_region_radius=max_region_radius)
     result: dict[str, float] = {}
     for name in ("local_homogeneity", "interface_density", "mean_monochromatic_size"):
         initial_value = getattr(before, name)

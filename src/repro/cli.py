@@ -8,9 +8,13 @@ Three subcommands cover the common workflows without writing any Python:
   segregation metrics (optionally an ASCII rendering and a CSV row).
 * ``repro sweep`` — sweep the intolerance at a fixed horizon, print the
   aggregated table and optionally write it to CSV.  ``--workers`` and
-  ``--ensemble`` pick the execution levers, and ``--variant`` (with
-  ``--tau-high`` / ``--tau-minus``) swaps in the Section I.A/V model variants
-  on either engine.
+  ``--ensemble`` pick the execution levers.
+
+Both ``simulate`` and ``sweep`` accept the same variant flags: ``--variant``
+(with ``--tau-high`` / ``--tau-minus``) swaps in the Section I.A/V model
+variants and ``--max-steps`` caps the scheduler steps — applied by default
+for the non-base variants, which carry no termination guarantee, with the
+honest ``terminated`` flag reported either way.
 
 The module is usable both as ``python -m repro ...`` and through the
 :func:`main` entry point.
@@ -23,7 +27,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro._version import PAPER, __version__
-from repro.analysis.segregation import segregation_metrics
+from repro.analysis.segregation import default_region_radius, segregation_metrics
 from repro.core.config import ModelConfig
 from repro.core.simulation import Simulation
 from repro.core.variants import VariantSpec
@@ -65,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-flips", type=int, default=None)
     simulate.add_argument("--ascii", action="store_true", help="print the final grid")
     simulate.add_argument("--csv", type=str, default=None, help="append metrics row to CSV")
+    _add_variant_arguments(simulate)
 
     sweep = subparsers.add_parser("sweep", help="sweep the intolerance axis")
     sweep.add_argument("--horizon", type=int, default=2)
@@ -102,7 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="trajectory sampling cadence (flips for the scalar engine, "
         "lockstep rounds for --ensemble > 1)",
     )
-    sweep.add_argument(
+    _add_variant_arguments(sweep)
+    return parser
+
+
+def _add_variant_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared variant/budget flags to ``simulate`` or ``sweep``."""
+    subparser.add_argument(
         "--variant",
         choices=["base", "two-sided", "asymmetric"],
         default="base",
@@ -110,28 +121,74 @@ def build_parser() -> argparse.ArgumentParser:
         "[tau, --tau-high], or per-type intolerances (tau for +1 agents, "
         "--tau-minus for -1 agents)",
     )
-    sweep.add_argument(
+    subparser.add_argument(
         "--tau-high",
         type=float,
         default=None,
         help="upper comfort bound for --variant two-sided (default: 0.8); "
         "rejected with any other variant",
     )
-    sweep.add_argument(
+    subparser.add_argument(
         "--tau-minus",
         type=float,
         default=None,
         help="-1 agents' intolerance for --variant asymmetric (default: 0.3); "
         "rejected with any other variant",
     )
-    sweep.add_argument(
+    subparser.add_argument(
         "--max-steps",
         type=int,
         default=None,
-        help="per-replicate scheduler-step budget (defaults to 20x the number "
-        "of sites for the variants, which have no termination guarantee)",
+        help="scheduler-step budget per run/replicate (defaults to 20x the "
+        "number of sites for the variants, which have no termination "
+        "guarantee)",
     )
-    return parser
+
+
+def _default_step_budget(config: ModelConfig) -> int:
+    """Step cap applied to variant runs that carry no termination guarantee.
+
+    Referenced by the ``--max-steps`` help text; ``simulate`` and ``sweep``
+    share it so both subcommands budget identically.
+    """
+    return 20 * config.n_sites
+
+
+def _resolve_variant(args: argparse.Namespace, taus: Sequence[float]) -> Optional[VariantSpec]:
+    """Build the :class:`VariantSpec` selected by the shared CLI flags.
+
+    Prints an error and returns ``None`` when an inapplicable knob is passed
+    (a parameter for a different variant is a configuration mistake, not a
+    value to ignore), when a parameter is out of range, or when ``--tau-high``
+    does not dominate every requested intolerance.  ``simulate`` and ``sweep``
+    share this resolution so the two subcommands reject exactly the same
+    inputs.
+    """
+    if args.variant != "two-sided" and args.tau_high is not None:
+        print(f"error: --tau-high does not apply to --variant {args.variant}", file=sys.stderr)
+        return None
+    if args.variant != "asymmetric" and args.tau_minus is not None:
+        print(f"error: --tau-minus does not apply to --variant {args.variant}", file=sys.stderr)
+        return None
+    try:
+        if args.variant == "two-sided":
+            tau_high = args.tau_high if args.tau_high is not None else 0.8
+            if any(tau > tau_high for tau in taus):
+                print(
+                    f"error: --tau-high {tau_high} must be at least every "
+                    "requested intolerance",
+                    file=sys.stderr,
+                )
+                return None
+            return VariantSpec.two_sided(tau_high)
+        if args.variant == "asymmetric":
+            return VariantSpec.asymmetric(
+                args.tau_minus if args.tau_minus is not None else 0.3
+            )
+        return VariantSpec.base()
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
 
 
 def _command_info(args: argparse.Namespace, out) -> int:
@@ -168,14 +225,24 @@ def _command_info(args: argparse.Namespace, out) -> int:
 
 
 def _command_simulate(args: argparse.Namespace, out) -> int:
-    """Run one seeded simulation and print before/after metrics."""
+    """Run one seeded simulation (under any variant) and print before/after metrics."""
+    if args.max_steps is not None and args.max_steps <= 0:
+        print("error: --max-steps must be positive", file=sys.stderr)
+        return 2
+    variant = _resolve_variant(args, [args.tau])
+    if variant is None:
+        return 2
     config = ModelConfig.square(
         side=args.side, horizon=args.horizon, tau=args.tau, density=args.density
     )
-    print(f"Model: {config.describe()}", file=out)
-    simulation = Simulation(config, seed=args.seed)
-    result = simulation.run(max_flips=args.max_flips)
-    max_radius = min(4 * config.horizon, (min(config.shape) - 1) // 2)
+    max_steps = args.max_steps
+    if max_steps is None and not variant.guarantees_termination:
+        # No Lyapunov guarantee: cap the run so the command always returns.
+        max_steps = _default_step_budget(config)
+    print(f"Model: {config.describe()} variant={variant.describe()}", file=out)
+    simulation = Simulation(config, seed=args.seed, variant=variant)
+    result = simulation.run(max_flips=args.max_flips, max_steps=max_steps)
+    max_radius = default_region_radius(config)
     before = segregation_metrics(result.initial_spins, config, max_region_radius=max_radius)
     after = segregation_metrics(result.final_spins, config, max_region_radius=max_radius)
     print(
@@ -188,6 +255,7 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
         "seed": args.seed,
         "tau": config.tau,
         "horizon": config.horizon,
+        "variant": variant.kind.value,
         "terminated": result.terminated,
         "n_flips": result.n_flips,
     }
@@ -227,37 +295,12 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         return 2
     base = ModelConfig.square(side=side, horizon=args.horizon, tau=0.5)
     max_steps = args.max_steps
-    # A parameter for a different variant is a configuration mistake, not a
-    # value to ignore: reject it instead of silently running with defaults.
-    if args.variant != "two-sided" and args.tau_high is not None:
-        print(f"error: --tau-high does not apply to --variant {args.variant}", file=sys.stderr)
-        return 2
-    if args.variant != "asymmetric" and args.tau_minus is not None:
-        print(f"error: --tau-minus does not apply to --variant {args.variant}", file=sys.stderr)
-        return 2
-    try:
-        if args.variant == "two-sided":
-            tau_high = args.tau_high if args.tau_high is not None else 0.8
-            if any(tau > tau_high for tau in taus):
-                print(
-                    f"error: --tau-high {tau_high} must be at least every "
-                    "swept intolerance",
-                    file=sys.stderr,
-                )
-                return 2
-            variant = VariantSpec.two_sided(tau_high)
-        elif args.variant == "asymmetric":
-            variant = VariantSpec.asymmetric(
-                args.tau_minus if args.tau_minus is not None else 0.3
-            )
-        else:
-            variant = VariantSpec.base()
-    except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    variant = _resolve_variant(args, taus)
+    if variant is None:
         return 2
     if max_steps is None and not variant.guarantees_termination:
         # No Lyapunov guarantee: cap every replicate so the sweep halts.
-        max_steps = 20 * base.n_sites
+        max_steps = _default_step_budget(base)
     sweep = SweepSpec(
         name="cli-sweep",
         base_config=base,

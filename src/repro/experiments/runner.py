@@ -32,7 +32,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.analysis.segregation import segregation_metrics
+from repro.analysis.segregation import (
+    default_region_radius,
+    segregation_metrics,
+    segregation_metrics_batch,
+)
 from repro.analysis.trajectory import summarize_trajectory
 from repro.core.config import ModelConfig
 from repro.core.dynamics import Trajectory
@@ -47,7 +51,7 @@ def _region_radius(spec: ExperimentSpec, config: ModelConfig) -> int:
     """The region-scan radius used by the metrics of one cell."""
     if spec.max_region_radius is not None:
         return spec.max_region_radius
-    return min(4 * config.horizon, (min(config.shape) - 1) // 2)
+    return default_region_radius(config)
 
 
 def _result_row(
@@ -61,22 +65,30 @@ def _result_row(
     final_time: float,
     wall_clock_seconds: float,
     trajectory: Optional[Trajectory] = None,
+    initial_metrics=None,
+    final_metrics=None,
 ) -> dict[str, object]:
     """Assemble one replicate row from run outputs (shared by both engines).
 
     When a recorded ``trajectory`` is supplied its scalar summary is attached
     as ``traj_*`` columns; the summary only reads the first/last samples plus
     energy monotonicity, so the scalar and ensemble engines produce identical
-    values despite their different sampling cadences.
+    values despite their different sampling cadences.  ``initial_metrics`` /
+    ``final_metrics`` accept precomputed
+    :class:`~repro.analysis.segregation.SegregationMetrics` bundles (the
+    ensemble path computes them batched); when omitted they are computed here
+    with the identical settings, so the rows come out the same either way.
     """
     config = spec.config
     max_region_radius = _region_radius(spec, config)
-    initial_metrics = segregation_metrics(
-        initial_spins, config, max_region_radius=max_region_radius
-    )
-    final_metrics = segregation_metrics(
-        final_spins, config, max_region_radius=max_region_radius
-    )
+    if initial_metrics is None:
+        initial_metrics = segregation_metrics(
+            initial_spins, config, max_region_radius=max_region_radius
+        )
+    if final_metrics is None:
+        final_metrics = segregation_metrics(
+            final_spins, config, max_region_radius=max_region_radius
+        )
     flipped = int(np.count_nonzero(initial_spins != final_spins))
     row: dict[str, object] = {
         "experiment": spec.name,
@@ -142,10 +154,14 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
     Replica seeds and RNG streams match the scalar path exactly, so the rows
     differ from :func:`run_experiment`'s serial output only in
     ``wall_clock_seconds`` (reported as the batch time split evenly across its
-    replicas, since lockstep replicas share the work).
+    replicas, since lockstep replicas share the work).  Measurement is batched
+    too: each batch's initial and final ``(R, n, n)`` stacks go through
+    :func:`~repro.analysis.segregation.segregation_metrics_batch`, whose
+    per-replica bundles are bitwise identical to the serial path's.
     """
     table = ResultTable()
     seeds = replicate_seeds(spec.seed, spec.n_replicates)
+    max_region_radius = _region_radius(spec, spec.config)
     for batch_start in range(0, len(seeds), ensemble_size):
         batch_seeds = seeds[batch_start : batch_start + ensemble_size]
         ensemble = spec.variant.make_ensemble(spec.config, replica_seeds=batch_seeds)
@@ -158,6 +174,12 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
                 record_every=spec.record_every,
             )
         per_replica_seconds = timer.elapsed / len(batch_seeds)
+        initial_metrics = segregation_metrics_batch(
+            initial, spec.config, max_region_radius=max_region_radius
+        )
+        final_metrics = segregation_metrics_batch(
+            result.final_spins, spec.config, max_region_radius=max_region_radius
+        )
         for offset, seed in enumerate(batch_seeds):
             table.add_row(
                 **_result_row(
@@ -175,6 +197,8 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
                         if result.trajectory is not None
                         else None
                     ),
+                    initial_metrics=initial_metrics[offset],
+                    final_metrics=final_metrics[offset],
                 )
             )
     return table

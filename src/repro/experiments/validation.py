@@ -272,7 +272,7 @@ def percolation_substrate_experiment(
         list(radius_tail_radii),
         box_radius=max(radius_tail_radii) + 2,
         n_trials=radius_tail_trials,
-        rng=rng,
+        seed=rng,
     )
     for radius, probability in zip(tail.radii, tail.probabilities):
         radius_tail.add_row(

@@ -28,8 +28,11 @@ from repro.percolation.chemical import (
     l1_distance,
 )
 from repro.percolation.cluster import (
+    ClusterBoundingStats,
     RadiusTailEstimate,
+    cluster_bounding_stats,
     cluster_containing,
+    cluster_radii,
     cluster_radius,
     cluster_sizes,
     estimate_radius_tail,
@@ -56,6 +59,7 @@ from repro.percolation.union_find import UnionFind
 
 __all__ = [
     "BlockGrid",
+    "ClusterBoundingStats",
     "FirstPassagePercolation",
     "PassageTimeStudy",
     "RadiusTailEstimate",
@@ -65,7 +69,9 @@ __all__ = [
     "ThetaEstimate",
     "UnionFind",
     "chemical_distance",
+    "cluster_bounding_stats",
     "cluster_containing",
+    "cluster_radii",
     "cluster_radius",
     "cluster_sizes",
     "divisible_block_side",

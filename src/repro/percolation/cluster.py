@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import PercolationError
 from repro.percolation.union_find import UnionFind
+from repro.rng import SeedLike, make_rng
 
 
 def label_clusters(mask: np.ndarray, periodic: bool = False) -> np.ndarray:
@@ -152,6 +153,117 @@ def cluster_containing(labels: np.ndarray, site: tuple[int, int]) -> np.ndarray:
     return labels == label
 
 
+def _fold_l1_offsets(
+    dr: np.ndarray, dc: np.ndarray, shape: tuple[int, int], periodic: bool
+) -> np.ndarray:
+    """Per-site l1 distances from absolute row/col offsets, torus-aware."""
+    if periodic:
+        dr = np.minimum(dr, shape[0] - dr)
+        dc = np.minimum(dc, shape[1] - dc)
+    return dr + dc
+
+
+def cluster_radii(
+    labels: np.ndarray, centers: np.ndarray, periodic: bool = False
+) -> np.ndarray:
+    """l1 radii of *every* labelled cluster measured from per-cluster centers.
+
+    ``centers`` has shape ``(n_clusters, 2)``: row/column of the measurement
+    origin of each cluster id (any value works for clusters the caller does
+    not care about — their entries are computed but carry no meaning).  The
+    result is an ``(n_clusters,)`` array whose entry ``c`` is
+    ``max{|x - centers[c]|_1 : labels[x] == c}``, the paper's
+    ``sup{Delta(0, x) : x in cluster}``.
+
+    All clusters resolve in one label-indexed reduction pass: per-site l1
+    distances to the owning cluster's center followed by a single
+    ``np.maximum.at`` scatter — no per-cluster Python work, which is what
+    makes the batched :func:`estimate_radius_tail` and the per-cluster
+    geometry of large masks cheap.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise PercolationError(f"labels must be 2-D, got shape {labels.shape}")
+    n_clusters = int(labels.max()) + 1 if labels.size else 0
+    centers = np.asarray(centers, dtype=np.int64)
+    if centers.shape != (n_clusters, 2):
+        raise PercolationError(
+            f"centers must have shape ({n_clusters}, 2), got {centers.shape}"
+        )
+    radii = np.zeros(n_clusters, dtype=np.int64)
+    if n_clusters == 0:
+        return radii
+    rows, cols = np.nonzero(labels >= 0)
+    owners = labels[rows, cols]
+    distances = _fold_l1_offsets(
+        np.abs(rows - centers[owners, 0]),
+        np.abs(cols - centers[owners, 1]),
+        labels.shape,
+        periodic,
+    )
+    np.maximum.at(radii, owners, distances)
+    return radii
+
+
+@dataclass(frozen=True)
+class ClusterBoundingStats:
+    """Per-cluster sizes and (open-boundary) bounding boxes, indexed by label.
+
+    All arrays have one entry per cluster id.  The bounding boxes ignore
+    toroidal wrap-around — they describe each cluster's extent in array
+    coordinates, the form size/extent screens over labelled masks consume
+    (e.g. discarding clusters too small or too flat to reach a target
+    radius before any per-cluster work).
+    """
+
+    sizes: np.ndarray
+    min_row: np.ndarray
+    max_row: np.ndarray
+    min_col: np.ndarray
+    max_col: np.ndarray
+
+    @property
+    def heights(self) -> np.ndarray:
+        """Number of rows each cluster's bounding box spans."""
+        return self.max_row - self.min_row + 1
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Number of columns each cluster's bounding box spans."""
+        return self.max_col - self.min_col + 1
+
+
+def cluster_bounding_stats(labels: np.ndarray) -> ClusterBoundingStats:
+    """Sizes and bounding boxes of every labelled cluster in one reduction pass.
+
+    One ``np.bincount`` resolves all sizes and four ``np.minimum.at`` /
+    ``np.maximum.at`` scatters resolve all bounding boxes, regardless of how
+    many clusters the mask contains.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise PercolationError(f"labels must be 2-D, got shape {labels.shape}")
+    rows, cols = np.nonzero(labels >= 0)
+    owners = labels[rows, cols]
+    n_clusters = int(owners.max()) + 1 if owners.size else 0
+    sizes = np.bincount(owners, minlength=n_clusters)
+    min_row = np.full(n_clusters, labels.shape[0], dtype=np.int64)
+    max_row = np.full(n_clusters, -1, dtype=np.int64)
+    min_col = np.full(n_clusters, labels.shape[1], dtype=np.int64)
+    max_col = np.full(n_clusters, -1, dtype=np.int64)
+    np.minimum.at(min_row, owners, rows)
+    np.maximum.at(max_row, owners, rows)
+    np.minimum.at(min_col, owners, cols)
+    np.maximum.at(max_col, owners, cols)
+    return ClusterBoundingStats(
+        sizes=sizes,
+        min_row=min_row,
+        max_row=max_row,
+        min_col=min_col,
+        max_col=max_col,
+    )
+
+
 def cluster_radius(
     labels: np.ndarray, site: tuple[int, int], periodic: bool = False
 ) -> int:
@@ -159,19 +271,25 @@ def cluster_radius(
 
     Matches the paper's definition ``sup{Delta(0, x) : x in cluster}`` used in
     Lemma 14 and Grimmett's Theorem 5.4.  Returns ``-1`` when ``site`` is not
-    in the mask.
+    in the mask.  The single-site form of :func:`cluster_radii`'s reduction
+    (same distance folding), restricted to the one cluster's members so that
+    scalar query loops — e.g. the Lemma 14 block analysis — never pay the
+    all-clusters reduction per call; batched call sites should use
+    :func:`cluster_radii` instead.
     """
     member = cluster_containing(labels, site)
     if not member[site]:
         return -1
-    n_rows, n_cols = member.shape
     rows, cols = np.nonzero(member)
-    dr = np.abs(rows - site[0])
-    dc = np.abs(cols - site[1])
-    if periodic:
-        dr = np.minimum(dr, n_rows - dr)
-        dc = np.minimum(dc, n_cols - dc)
-    return int((dr + dc).max())
+    distances = _fold_l1_offsets(
+        np.abs(rows - site[0]), np.abs(cols - site[1]), member.shape, periodic
+    )
+    return int(distances.max())
+
+
+#: Lattice-cell budget per batched radius-tail chunk (draw + composite +
+#: labels stay within a few megabytes regardless of ``n_trials``).
+_RADIUS_TAIL_CHUNK_CELLS = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -204,7 +322,7 @@ def estimate_radius_tail(
     radii: list[int],
     box_radius: int,
     n_trials: int,
-    rng: np.random.Generator,
+    seed: SeedLike = None,
 ) -> RadiusTailEstimate:
     """Monte-Carlo estimate of the origin cluster radius tail at density ``p_open``.
 
@@ -213,27 +331,86 @@ def estimate_radius_tail(
     records how often the origin's cluster reaches l1 distance ``k`` for each
     requested ``k``.  Used by the E12 substrate benchmark to exhibit the
     exponential decay below criticality.
+
+    Trials run batched in bounded chunks: each chunk is one
+    ``(chunk, side, side)`` draw (sequential chunk draws consume the RNG
+    stream exactly like per-trial draws), one labelling pass over a
+    composite mask with a closed separator row between consecutive trials
+    (so clusters cannot bridge them), and one :func:`cluster_radii`
+    reduction for every origin cluster at once.  The chunk size caps memory
+    at a few megabytes however large ``n_trials`` is.  Bitwise identical to
+    the retained per-trial loop :func:`_estimate_radius_tail_reference`
+    under a fixed seed.
     """
     if not 0.0 <= p_open <= 1.0:
         raise PercolationError(f"p_open must lie in [0, 1], got {p_open}")
     if any(k > box_radius for k in radii):
         raise PercolationError("requested radii exceed the simulation box radius")
+    rng = make_rng(seed)
+    side = 2 * box_radius + 1
+    radii_arr = np.asarray(sorted(radii), dtype=int)
+    hits = np.zeros(radii_arr.size, dtype=np.int64)
+    # Bound the per-chunk footprint (draw + composite + labels) to a few MB.
+    chunk_size = max(_RADIUS_TAIL_CHUNK_CELLS // (side * side), 1)
+    for chunk_start in range(0, max(n_trials, 0), chunk_size):
+        chunk = min(chunk_size, n_trials - chunk_start)
+        batch = rng.random((chunk, side, side)) < p_open
+        batch[:, box_radius, box_radius] = True  # condition on the origin being open
+
+        # Composite mask: trials stacked vertically with one always-closed
+        # separator row in between, so a single (open-boundary) labelling
+        # pass resolves every trial without clusters leaking across trials.
+        composite = np.zeros((chunk, side + 1, side), dtype=bool)
+        composite[:, :side, :] = batch
+        labels = label_clusters(composite.reshape(chunk * (side + 1), side)[:-1])
+
+        origin_rows = np.arange(chunk) * (side + 1) + box_radius
+        origin_labels = labels[origin_rows, box_radius]
+        n_clusters = int(labels.max()) + 1
+        centers = np.zeros((n_clusters, 2), dtype=np.int64)
+        centers[origin_labels, 0] = origin_rows
+        centers[origin_labels, 1] = box_radius
+        origin_radii = cluster_radii(labels, centers)[origin_labels]
+        hits += (origin_radii[:, None] >= radii_arr[None, :]).sum(axis=0)
+    return RadiusTailEstimate(
+        p_open=p_open,
+        radii=radii_arr,
+        probabilities=hits / max(n_trials, 1),
+        n_trials=max(n_trials, 0),
+    )
+
+
+def _estimate_radius_tail_reference(
+    p_open: float,
+    radii: list[int],
+    box_radius: int,
+    n_trials: int,
+    seed: SeedLike = None,
+) -> RadiusTailEstimate:
+    """Per-trial loop — the reference for :func:`estimate_radius_tail`.
+
+    One mask draw, labelling pass and origin :func:`cluster_radius` query per
+    trial.  Retained as the equivalence oracle for the property tests;
+    production code should always call the batched estimator.
+    """
+    if not 0.0 <= p_open <= 1.0:
+        raise PercolationError(f"p_open must lie in [0, 1], got {p_open}")
+    if any(k > box_radius for k in radii):
+        raise PercolationError("requested radii exceed the simulation box radius")
+    rng = make_rng(seed)
     side = 2 * box_radius + 1
     origin = (box_radius, box_radius)
     radii_arr = np.asarray(sorted(radii), dtype=int)
     hits = np.zeros(radii_arr.size, dtype=np.int64)
-    effective_trials = 0
     for _ in range(n_trials):
         mask = rng.random((side, side)) < p_open
         mask[origin] = True  # condition on the origin being open
-        effective_trials += 1
         labels = label_clusters(mask)
         radius = cluster_radius(labels, origin)
         hits += radius >= radii_arr
-    probabilities = hits / max(effective_trials, 1)
     return RadiusTailEstimate(
         p_open=p_open,
         radii=radii_arr,
-        probabilities=probabilities,
-        n_trials=effective_trials,
+        probabilities=hits / max(n_trials, 1),
+        n_trials=max(n_trials, 0),
     )

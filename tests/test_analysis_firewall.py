@@ -56,6 +56,16 @@ class TestMaskAndDetection:
         assert not is_monochromatic_firewall(spins, config, CENTER, RADIUS)
         assert firewall_agent_type(spins, config, CENTER, RADIUS) is None
 
+    def test_degenerate_empty_annulus_raises_in_both_detectors(self, config):
+        # No lattice site has Euclidean distance in [1.1, 1.3]: the annulus is
+        # empty.  Both detectors must treat that as a geometry error rather
+        # than one raising and the other silently answering None.
+        spins = random_configuration(config, seed=2).spins
+        with pytest.raises(AnalysisError):
+            is_monochromatic_firewall(spins, config, CENTER, 1.3, width=0.2)
+        with pytest.raises(AnalysisError):
+            firewall_agent_type(spins, config, CENTER, 1.3, width=0.2)
+
 
 class TestRobustness:
     def test_planted_firewall_with_interior_holds(self, config):

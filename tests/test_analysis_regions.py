@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.regions import (
+    _almost_monochromatic_radius_map_reference,
     _monochromatic_radius_map_reference,
     almost_monochromatic_radius_map,
     expected_almost_region_size,
@@ -14,6 +15,7 @@ from repro.analysis.regions import (
     monochromatic_radius,
     monochromatic_radius_map,
     paper_ratio_threshold,
+    region_scan_table,
     region_sizes_from_radii,
     summarize_regions,
 )
@@ -264,3 +266,116 @@ class TestRadiusMapEquivalence:
     def test_zero_limit_returns_zeros(self):
         spins = np.ones((9, 9), dtype=np.int8)
         assert np.all(monochromatic_radius_map(spins, max_radius=0) == 0)
+
+
+class TestAlmostRadiusMapEquivalence:
+    """The top-down active-set sweep must equal the linear-scan reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_rows=st.integers(min_value=1, max_value=28),
+        n_cols=st.integers(min_value=1, max_value=28),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        ratio_threshold=st.one_of(
+            st.sampled_from([0.0, 1.0]),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        max_radius=st.one_of(st.none(), st.integers(min_value=0, max_value=40)),
+    )
+    def test_matches_reference_on_random_grids(
+        self, seed, n_rows, n_cols, density, ratio_threshold, max_radius
+    ):
+        rng = np.random.default_rng(seed)
+        spins = np.where(rng.random((n_rows, n_cols)) < density, 1, -1).astype(np.int8)
+        assert np.array_equal(
+            almost_monochromatic_radius_map(
+                spins, ratio_threshold, max_radius=max_radius
+            ),
+            _almost_monochromatic_radius_map_reference(
+                spins, ratio_threshold, max_radius=max_radius
+            ),
+        )
+
+    @pytest.mark.parametrize("ratio_threshold", [0.0, 0.05, 0.5, 1.0])
+    def test_matches_reference_on_planted_structures(self, ratio_threshold):
+        checkerboard = (np.indices((20, 20)).sum(axis=0) % 2 * 2 - 1).astype(np.int8)
+        defected = planted_square(25, 6)
+        defected[12, 12] = -1
+        for spins in (planted_square(41, 13), checkerboard, defected):
+            assert np.array_equal(
+                almost_monochromatic_radius_map(spins, ratio_threshold),
+                _almost_monochromatic_radius_map_reference(spins, ratio_threshold),
+            )
+
+    def test_matches_reference_on_rectangular_torus(self):
+        rng = np.random.default_rng(12)
+        spins = np.where(rng.random((9, 33)) < 0.35, 1, -1).astype(np.int8)
+        for ratio_threshold in (0.0, 0.25, 1.0):
+            assert np.array_equal(
+                almost_monochromatic_radius_map(spins, ratio_threshold),
+                _almost_monochromatic_radius_map_reference(spins, ratio_threshold),
+            )
+
+    def test_max_radius_edge_cases(self):
+        spins = planted_square(21, 5)
+        for max_radius in (0, 1, 10, 100, None):
+            assert np.array_equal(
+                almost_monochromatic_radius_map(spins, 0.1, max_radius=max_radius),
+                _almost_monochromatic_radius_map_reference(
+                    spins, 0.1, max_radius=max_radius
+                ),
+            )
+
+    def test_threshold_zero_matches_monochromatic_qualification(self):
+        rng = np.random.default_rng(3)
+        spins = np.where(rng.random((17, 17)) < 0.5, 1, -1).astype(np.int8)
+        strict = almost_monochromatic_radius_map(spins, 0.0, max_radius=4)
+        reference = _almost_monochromatic_radius_map_reference(spins, 0.0, max_radius=4)
+        assert np.array_equal(strict, reference)
+
+    def test_reference_rejects_invalid_threshold(self):
+        with pytest.raises(AnalysisError):
+            _almost_monochromatic_radius_map_reference(
+                np.ones((5, 5), dtype=np.int8), -0.1
+            )
+
+
+class TestSharedScanTable:
+    """Both radius maps accept one precomputed summed-area table."""
+
+    def test_shared_table_matches_fresh_scans(self):
+        rng = np.random.default_rng(9)
+        spins = np.where(rng.random((19, 19)) < 0.5, 1, -1).astype(np.int8)
+        table = region_scan_table(spins, max_radius=5)
+        assert np.array_equal(
+            monochromatic_radius_map(spins, max_radius=5, table=table),
+            monochromatic_radius_map(spins, max_radius=5),
+        )
+        assert np.array_equal(
+            almost_monochromatic_radius_map(spins, 0.2, max_radius=5, table=table),
+            almost_monochromatic_radius_map(spins, 0.2, max_radius=5),
+        )
+
+    def test_wider_table_reusable_for_smaller_caps(self):
+        spins = planted_square(23, 7)
+        table = region_scan_table(spins)  # padded to the torus limit
+        for max_radius in (1, 4, 9):
+            assert np.array_equal(
+                monochromatic_radius_map(spins, max_radius=max_radius, table=table),
+                monochromatic_radius_map(spins, max_radius=max_radius),
+            )
+            assert np.array_equal(
+                almost_monochromatic_radius_map(
+                    spins, 0.3, max_radius=max_radius, table=table
+                ),
+                almost_monochromatic_radius_map(spins, 0.3, max_radius=max_radius),
+            )
+
+    def test_undersized_table_rejected(self):
+        spins = np.ones((15, 15), dtype=np.int8)
+        small = region_scan_table(spins, max_radius=2)
+        with pytest.raises(AnalysisError):
+            monochromatic_radius_map(spins, max_radius=6, table=small)
+        with pytest.raises(AnalysisError):
+            almost_monochromatic_radius_map(spins, 0.1, max_radius=6, table=small)

@@ -4,12 +4,15 @@ import numpy as np
 import pytest
 
 from repro.analysis.segregation import (
+    default_region_radius,
     interface_density,
     local_homogeneity,
     segregation_gain,
     segregation_metrics,
+    segregation_metrics_batch,
     unhappy_fraction,
 )
+from repro.errors import AnalysisError
 from repro.core.config import ModelConfig
 from repro.core.initializer import (
     checkerboard_configuration,
@@ -95,3 +98,55 @@ class TestMetricsBundle:
             assert f"initial_{name}" in gain
             assert f"final_{name}" in gain
             assert f"delta_{name}" in gain
+
+
+class TestDefaultRegionRadius:
+    def test_small_torus_caps_at_fitting_radius(self):
+        config = ModelConfig.square(side=9, horizon=3, tau=0.45)
+        assert default_region_radius(config) == 4  # (9 - 1) // 2
+
+    def test_large_torus_caps_at_four_horizons(self):
+        config = ModelConfig.square(side=64, horizon=3, tau=0.45)
+        assert default_region_radius(config) == 12
+
+    def test_gain_uses_shared_cap(self, config):
+        # segregation_gain saturates exactly like the runner and the CLI:
+        # its mean monochromatic size must equal a metrics call capped at
+        # default_region_radius.
+        result = simulate(config, seed=7)
+        gain = segregation_gain(result.initial_spins, result.final_spins, config)
+        capped = segregation_metrics(
+            result.final_spins, config, max_region_radius=default_region_radius(config)
+        )
+        assert gain["final_mean_monochromatic_size"] == capped.mean_monochromatic_size
+
+
+class TestMetricsBatch:
+    def test_rows_identical_to_serial_metrics(self, config):
+        rng = np.random.default_rng(8)
+        stack = np.where(rng.random((3, config.n_rows, config.n_cols)) < 0.5, 1, -1)
+        stack = stack.astype(np.int8)
+        batch = segregation_metrics_batch(stack, config, max_region_radius=6)
+        for replica, metrics in zip(stack, batch):
+            assert metrics == segregation_metrics(replica, config, max_region_radius=6)
+
+    def test_custom_threshold_forwarded(self, config):
+        rng = np.random.default_rng(9)
+        stack = np.where(rng.random((2, config.n_rows, config.n_cols)) < 0.5, 1, -1)
+        stack = stack.astype(np.int8)
+        batch = segregation_metrics_batch(
+            stack, config, max_region_radius=4, ratio_threshold=0.9
+        )
+        for replica, metrics in zip(stack, batch):
+            assert metrics == segregation_metrics(
+                replica, config, max_region_radius=4, ratio_threshold=0.9
+            )
+
+    def test_non_stack_rejected(self, config):
+        spins = np.ones((config.n_rows, config.n_cols), dtype=np.int8)
+        with pytest.raises(AnalysisError):
+            segregation_metrics_batch(spins, config)
+
+    def test_empty_stack_allowed(self, config):
+        stack = np.ones((0, config.n_rows, config.n_cols), dtype=np.int8)
+        assert segregation_metrics_batch(stack, config) == []

@@ -85,6 +85,74 @@ class TestSimulate:
         assert "terminated=False" in output
 
 
+class TestSimulateVariants:
+    BASE_ARGS = [
+        "simulate",
+        "--side", "20",
+        "--horizon", "1",
+        "--tau", "0.4",
+        "--seed", "2",
+    ]
+
+    def test_two_sided_variant_runs_with_max_steps(self):
+        code, output = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--max-steps", "50"]
+        )
+        assert code == 0
+        assert "variant=two_sided[tau_high=0.8000]" in output
+        # A 50-step budget cannot exhaust a 400-site grid's unhappiness:
+        # the flag must report the honest outcome.
+        assert "terminated=False" in output
+
+    def test_variant_gets_default_step_budget(self):
+        # No --max-steps: the CLI must cap the non-terminating variants
+        # itself instead of hanging.
+        code, output = run_cli(self.BASE_ARGS + ["--variant", "two-sided"])
+        assert code == 0
+        assert "terminated=" in output
+
+    def test_asymmetric_variant_runs(self):
+        code, output = run_cli(
+            self.BASE_ARGS + ["--variant", "asymmetric", "--tau-minus", "0.3"]
+        )
+        assert code == 0
+        assert "variant=asymmetric[tau_minus=0.3000]" in output
+
+    def test_base_variant_unbudgeted_run_reports_termination(self):
+        code, output = run_cli(self.BASE_ARGS)
+        assert code == 0
+        assert "terminated=True" in output
+
+    def test_inapplicable_variant_parameter_rejected(self):
+        # Exactly the sweep subcommand's rejection rules.
+        code, _ = run_cli(self.BASE_ARGS + ["--tau-high", "0.9"])
+        assert code == 2
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "asymmetric", "--tau-high", "0.9"]
+        )
+        assert code == 2
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-minus", "0.2"]
+        )
+        assert code == 2
+
+    def test_tau_high_below_tau_rejected(self):
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-high", "0.3"]
+        )
+        assert code == 2
+
+    def test_invalid_tau_high_rejected(self):
+        code, _ = run_cli(
+            self.BASE_ARGS + ["--variant", "two-sided", "--tau-high", "1.4"]
+        )
+        assert code == 2
+
+    def test_nonpositive_max_steps_rejected(self):
+        code, _ = run_cli(self.BASE_ARGS + ["--max-steps", "0"])
+        assert code == 2
+
+
 class TestSweep:
     def test_sweep_with_explicit_taus(self, tmp_path):
         csv_path = tmp_path / "sweep.csv"

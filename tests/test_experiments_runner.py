@@ -1,5 +1,8 @@
 """Tests for the replicate/sweep runner."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.config import ModelConfig
@@ -156,6 +159,40 @@ def _strip_timings(table):
         {k: v for k, v in row.items() if k != "wall_clock_seconds"}
         for row in table.rows
     ]
+
+
+class TestGoldenRows:
+    """The measurement pipeline must keep producing the pre-batching rows.
+
+    ``tests/data/golden_sweep_rows.json`` was captured from the serial runner
+    *before* the batched region scans and ``segregation_metrics_batch``
+    landed; every execution path must still reproduce those rows bitwise
+    (timings aside), which pins the whole pipeline — metrics included — to
+    the original semantics.
+    """
+
+    GOLDEN_PATH = Path(__file__).parent / "data" / "golden_sweep_rows.json"
+
+    def _sweep(self) -> SweepSpec:
+        base = ModelConfig.square(side=22, horizon=2, tau=0.45)
+        return SweepSpec(
+            name="golden", base_config=base, taus=[0.4, 0.45], n_replicates=2, seed=2024
+        )
+
+    def _normalized_rows(self, table) -> list[dict]:
+        # A JSON round-trip mirrors how the fixture was written (tuples to
+        # lists, numpy scalars to Python numbers) without perturbing floats.
+        return json.loads(json.dumps(_strip_timings(table)))
+
+    @pytest.mark.parametrize(
+        "run_kwargs",
+        [{}, {"ensemble_size": 2}, {"workers": 2, "ensemble_size": 2}],
+        ids=["serial", "ensemble", "parallel"],
+    )
+    def test_rows_match_pre_batching_capture(self, run_kwargs):
+        golden = json.loads(self.GOLDEN_PATH.read_text())
+        table = run_sweep(self._sweep(), **run_kwargs)
+        assert self._normalized_rows(table) == golden
 
 
 class TestVariantCells:

@@ -7,8 +7,11 @@ from hypothesis import strategies as st
 
 from repro.errors import PercolationError
 from repro.percolation.cluster import (
+    _estimate_radius_tail_reference,
     _label_clusters_reference,
+    cluster_bounding_stats,
     cluster_containing,
+    cluster_radii,
     cluster_radius,
     cluster_sizes,
     estimate_radius_tail,
@@ -104,34 +107,169 @@ class TestClusterQueries:
 
 class TestRadiusTail:
     def test_probabilities_monotone_in_radius(self, rng):
-        estimate = estimate_radius_tail(0.4, [1, 2, 3], box_radius=5, n_trials=200, rng=rng)
+        estimate = estimate_radius_tail(0.4, [1, 2, 3], box_radius=5, n_trials=200, seed=rng)
         probs = estimate.probabilities
         assert np.all(np.diff(probs) <= 0)
 
     def test_subcritical_decay_rate_positive(self, rng):
         estimate = estimate_radius_tail(
-            0.3, [1, 2, 3, 4], box_radius=6, n_trials=500, rng=rng
+            0.3, [1, 2, 3, 4], box_radius=6, n_trials=500, seed=rng
         )
         assert estimate.decay_rate() > 0
 
     def test_supercritical_tail_heavier_than_subcritical(self, rng):
-        sub = estimate_radius_tail(0.3, [3], box_radius=5, n_trials=300, rng=rng)
-        sup = estimate_radius_tail(0.8, [3], box_radius=5, n_trials=300, rng=rng)
+        sub = estimate_radius_tail(0.3, [3], box_radius=5, n_trials=300, seed=rng)
+        sup = estimate_radius_tail(0.8, [3], box_radius=5, n_trials=300, seed=rng)
         assert sup.probabilities[0] > sub.probabilities[0]
 
     def test_radius_exceeding_box_rejected(self, rng):
         with pytest.raises(PercolationError):
-            estimate_radius_tail(0.4, [10], box_radius=5, n_trials=10, rng=rng)
+            estimate_radius_tail(0.4, [10], box_radius=5, n_trials=10, seed=rng)
 
     def test_invalid_probability_rejected(self, rng):
         with pytest.raises(PercolationError):
-            estimate_radius_tail(1.4, [1], box_radius=5, n_trials=10, rng=rng)
+            estimate_radius_tail(1.4, [1], box_radius=5, n_trials=10, seed=rng)
 
     def test_decay_rate_requires_nonzero_tail(self, rng):
-        estimate = estimate_radius_tail(0.01, [4, 5], box_radius=6, n_trials=50, rng=rng)
+        estimate = estimate_radius_tail(0.01, [4, 5], box_radius=6, n_trials=50, seed=rng)
         if np.count_nonzero(estimate.probabilities > 0) < 2:
             with pytest.raises(PercolationError):
                 estimate.decay_rate()
+
+    def test_integer_seed_accepted(self):
+        a = estimate_radius_tail(0.4, [1, 2], box_radius=4, n_trials=50, seed=11)
+        b = estimate_radius_tail(0.4, [1, 2], box_radius=4, n_trials=50, seed=11)
+        assert np.array_equal(a.probabilities, b.probabilities)
+
+    def test_zero_trials_report_zero_tail(self):
+        estimate = estimate_radius_tail(0.4, [1, 2], box_radius=4, n_trials=0, seed=0)
+        assert estimate.n_trials == 0
+        assert np.all(estimate.probabilities == 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p_open=st.floats(min_value=0.0, max_value=1.0),
+        box_radius=st.integers(min_value=1, max_value=5),
+        n_trials=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_batched_matches_loop_reference(self, p_open, box_radius, n_trials, seed):
+        radii = list(range(1, box_radius + 1))
+        batched = estimate_radius_tail(
+            p_open, radii, box_radius=box_radius, n_trials=n_trials, seed=seed
+        )
+        loop = _estimate_radius_tail_reference(
+            p_open, radii, box_radius=box_radius, n_trials=n_trials, seed=seed
+        )
+        assert np.array_equal(batched.probabilities, loop.probabilities)
+        assert batched.n_trials == loop.n_trials
+        assert np.array_equal(batched.radii, loop.radii)
+
+    def test_chunk_boundaries_preserve_the_stream(self, monkeypatch):
+        # The memory-bounding chunk loop must consume the RNG stream exactly
+        # like one big draw; a tiny chunk budget forces many boundaries.
+        import repro.percolation.cluster as cluster_module
+
+        monkeypatch.setattr(cluster_module, "_RADIUS_TAIL_CHUNK_CELLS", 200)
+        chunked = estimate_radius_tail(0.45, [1, 2, 3], box_radius=4, n_trials=57, seed=9)
+        loop = _estimate_radius_tail_reference(
+            0.45, [1, 2, 3], box_radius=4, n_trials=57, seed=9
+        )
+        assert np.array_equal(chunked.probabilities, loop.probabilities)
+
+
+def _first_site_centers(labels: np.ndarray) -> np.ndarray:
+    """Each cluster's first row-major site, as a (n_clusters, 2) array."""
+    n_clusters = int(labels.max()) + 1 if labels.size else 0
+    centers = np.zeros((max(n_clusters, 0), 2), dtype=np.int64)
+    seen: set[int] = set()
+    for row in range(labels.shape[0]):
+        for col in range(labels.shape[1]):
+            label = int(labels[row, col])
+            if label >= 0 and label not in seen:
+                centers[label] = (row, col)
+                seen.add(label)
+    return centers
+
+
+class TestClusterRadiiBatch:
+    """cluster_radii must agree with per-site cluster_radius loops.
+
+    ``cluster_radius`` extracts one cluster's members and reduces their
+    distances directly — an independent computation from the label-indexed
+    ``np.maximum.at`` scatter of ``cluster_radii`` — so the loop is a
+    genuine equivalence oracle for the batch.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=18),
+        n_cols=st.integers(min_value=1, max_value=18),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        periodic=st.booleans(),
+    )
+    def test_matches_per_site_loop(self, n_rows, n_cols, density, seed, periodic):
+        mask = np.random.default_rng(seed).random((n_rows, n_cols)) < density
+        labels = label_clusters(mask, periodic=periodic)
+        centers = _first_site_centers(labels)
+        batched = cluster_radii(labels, centers, periodic=periodic)
+        for label, center in enumerate(centers):
+            assert batched[label] == cluster_radius(
+                labels, tuple(center), periodic=periodic
+            )
+
+    def test_empty_labels_give_empty_radii(self):
+        labels = label_clusters(np.zeros((4, 4), dtype=bool))
+        assert cluster_radii(labels, np.zeros((0, 2), dtype=np.int64)).size == 0
+
+    def test_center_shape_validated(self):
+        labels = label_clusters(np.ones((3, 3), dtype=bool))
+        with pytest.raises(PercolationError):
+            cluster_radii(labels, np.zeros((5, 2), dtype=np.int64))
+
+    def test_non_2d_labels_rejected(self):
+        with pytest.raises(PercolationError):
+            cluster_radii(np.zeros(4, dtype=np.int64), np.zeros((1, 2)))
+
+    def test_periodic_wraps_distances(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0, 0] = True
+        mask[5, 0] = True
+        labels = label_clusters(mask, periodic=True)
+        centers = np.array([[0, 0]], dtype=np.int64)
+        assert cluster_radii(labels, centers, periodic=True)[0] == 1
+        assert cluster_radii(labels, centers, periodic=False)[0] == 5
+
+
+class TestClusterBoundingStats:
+    def test_sizes_match_cluster_sizes(self, rng):
+        mask = rng.random((14, 10)) < 0.5
+        labels = label_clusters(mask)
+        stats = cluster_bounding_stats(labels)
+        assert np.array_equal(stats.sizes, cluster_sizes(labels))
+
+    def test_bounding_boxes_cover_members(self, rng):
+        mask = rng.random((12, 12)) < 0.55
+        labels = label_clusters(mask)
+        stats = cluster_bounding_stats(labels)
+        for label in range(int(labels.max()) + 1):
+            rows, cols = np.nonzero(labels == label)
+            assert stats.min_row[label] == rows.min()
+            assert stats.max_row[label] == rows.max()
+            assert stats.min_col[label] == cols.min()
+            assert stats.max_col[label] == cols.max()
+            assert stats.heights[label] == rows.max() - rows.min() + 1
+            assert stats.widths[label] == cols.max() - cols.min() + 1
+
+    def test_empty_mask(self):
+        labels = label_clusters(np.zeros((3, 3), dtype=bool))
+        stats = cluster_bounding_stats(labels)
+        assert stats.sizes.size == 0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PercolationError):
+            cluster_bounding_stats(np.zeros(4, dtype=np.int64))
 
 
 class TestLabelingEquivalence:
