@@ -1,0 +1,103 @@
+"""Flip-loop microbenchmark: the fused round kernel in isolation.
+
+Where ``bench_ensemble_throughput.py`` measures end-to-end ``run()`` rates,
+this file times the per-round hot path alone — repeated ``step_all`` calls —
+for the fused :class:`~repro.core.ensemble.EnsembleDynamics` against the
+retained pre-fusion :class:`~repro.core.ensemble.ReferenceEnsembleDynamics`,
+across several replica counts.  It is the microscope for the PR 5 tentpole:
+regressions in the blocked-RNG draws, the batched index-set updates or the
+fused window kernel show up here first, before they wash out in end-to-end
+numbers.
+
+Both engines advance bitwise-identical dynamics (asserted by the ensemble
+test suite), so rounds/sec is a work-for-work comparison.  Quick mode trims
+the round budget only; results land in ``PERF_flip_loop.csv`` and the
+machine-readable ``BENCH_PERF_flip_loop.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import ModelConfig
+from repro.core.ensemble import EnsembleDynamics, ReferenceEnsembleDynamics
+from repro.experiments.results import ResultTable
+from repro.experiments.workloads import bench_quick_mode as quick_mode
+from repro.rng import ziggurat_exponential_tables
+
+#: Microbench floor for the fused step loop at R = 8 (kept a notch below the
+#: end-to-end 2x acceptance floor to absorb per-round timing noise).
+MIN_STEP_SPEEDUP = 1.6
+
+#: Replica counts to profile; the R = 8 row carries the assertion.
+REPLICA_COUNTS = (4, 8, 16)
+
+
+def flip_loop_parameters() -> dict[str, int]:
+    """Grid/budget parameters, honouring ``REPRO_BENCH_QUICK``."""
+    return {
+        "side": 128,
+        "horizon": 3,
+        "rounds": 400 if quick_mode() else 4000,
+    }
+
+
+def _rounds_per_second(engine, rounds: int) -> float:
+    """Time ``rounds`` consecutive ``step_all`` calls on a fresh engine."""
+    start = time.perf_counter()
+    for _ in range(rounds):
+        engine.step_all()
+    return rounds / (time.perf_counter() - start)
+
+
+def bench_flip_loop_rounds_per_second(benchmark, emit):
+    """step_all rounds/sec, fused vs reference, across replica counts."""
+    params = flip_loop_parameters()
+    config = ModelConfig.square(
+        side=params["side"], horizon=params["horizon"], tau=0.45
+    )
+    rounds = params["rounds"]
+    ziggurat_exponential_tables()  # one-time calibration outside the timing
+
+    def run() -> ResultTable:
+        table = ResultTable()
+        for n_replicas in REPLICA_COUNTS:
+            rates = {}
+            for label, engine_cls in (
+                ("reference", ReferenceEnsembleDynamics),
+                ("fused", EnsembleDynamics),
+            ):
+                best = 0.0
+                for _ in range(3 if quick_mode() else 1):
+                    engine = engine_cls(config, n_replicas=n_replicas, seed=11)
+                    best = max(best, _rounds_per_second(engine, rounds))
+                rates[label] = best
+                table.add_row(
+                    engine=label,
+                    n_replicas=n_replicas,
+                    rounds=rounds,
+                    rounds_per_second=best,
+                    flips_per_second=best * n_replicas,
+                )
+            table.add_row(
+                engine="speedup",
+                n_replicas=n_replicas,
+                rounds=rounds,
+                rounds_per_second=rates["fused"] / rates["reference"],
+                flips_per_second=rates["fused"] / rates["reference"],
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedups = {
+        row["n_replicas"]: row["rounds_per_second"]
+        for row in table.rows
+        if row["engine"] == "speedup"
+    }
+    benchmark.extra_info["quick_mode"] = quick_mode()
+    for n_replicas, speedup in speedups.items():
+        benchmark.extra_info[f"speedup_r{n_replicas}"] = float(speedup)
+    emit("PERF_flip_loop", table, benchmark)
+    assert speedups[8] >= MIN_STEP_SPEEDUP, (
+        f"fused step loop {speedups[8]:.2f}x below the {MIN_STEP_SPEEDUP}x floor"
+    )

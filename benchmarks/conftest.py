@@ -13,25 +13,32 @@ from pathlib import Path
 
 import pytest
 
+from _record import record_benchmark
 from repro.experiments.results import ResultTable
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def emit_table(name: str, table: ResultTable, benchmark=None) -> Path:
-    """Print ``table`` and write it to ``benchmarks/results/<name>.csv``.
+    """Print ``table``, write ``<name>.csv`` and record ``BENCH_<name>.json``.
 
     When a pytest-benchmark fixture is passed, a couple of headline numbers
-    are attached to its ``extra_info`` so they appear in the benchmark report.
+    are attached to its ``extra_info`` so they appear in the benchmark
+    report; whatever the benchmark has put into ``extra_info`` *before*
+    calling ``emit`` also lands in the machine-readable JSON record (see
+    ``benchmarks/_record.py``), which CI uploads as an artifact.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.csv"
     table.to_csv(path)
     print(f"\n[{name}] {len(table)} rows -> {path}")
     print(table.to_markdown(float_format=".4g"))
+    metrics = {"rows": len(table)}
     if benchmark is not None:
+        metrics.update(benchmark.extra_info)
         benchmark.extra_info["rows"] = len(table)
         benchmark.extra_info["csv"] = str(path)
+    record_benchmark(name, metrics=metrics, config={"csv": path.name})
     return path
 
 

@@ -23,6 +23,7 @@ from repro.core.neighborhood import (
     neighborhood_size,
     window_sums,
     wrapped_summed_area_table,
+    wrapped_summed_area_table_batch,
 )
 from repro.errors import AnalysisError
 from repro.utils.validation import require_spin_array
@@ -52,6 +53,29 @@ def region_scan_table(spins: np.ndarray, max_radius: Optional[int] = None) -> np
     spins = require_spin_array(spins)
     limit = _max_usable_radius(spins.shape, max_radius)
     return wrapped_summed_area_table(spins == 1, max(limit, 0))
+
+
+def region_scan_table_batch(
+    spins_stack: np.ndarray, max_radius: Optional[int] = None
+) -> np.ndarray:
+    """Scan tables for a whole ``(R, n, m)`` replica stack, built in one pass.
+
+    Slice ``r`` is bitwise identical to ``region_scan_table(spins_stack[r],
+    max_radius)`` — exact integer summed-area tables — but the torus padding
+    and the two cumulative sums run once over the stack instead of once per
+    replica, which is how
+    :func:`repro.analysis.segregation.segregation_metrics_batch` shares one
+    table build across an ensemble batch's equal-shape replicas.
+    """
+    stack = np.asarray(spins_stack)
+    if stack.ndim != 3:
+        raise AnalysisError(
+            f"spins_stack must be a (R, n, m) array, got shape {stack.shape}"
+        )
+    for replica in stack:
+        require_spin_array(replica)
+    limit = _max_usable_radius(stack.shape[1:], max_radius)
+    return wrapped_summed_area_table_batch(stack == 1, max(limit, 0))
 
 
 def _resolve_scan_table(

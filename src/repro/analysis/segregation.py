@@ -22,6 +22,7 @@ from repro.analysis.regions import (
     monochromatic_radius_map,
     paper_ratio_threshold,
     region_scan_table,
+    region_scan_table_batch,
     region_sizes_from_radii,
 )
 from repro.core.config import ModelConfig
@@ -103,20 +104,27 @@ def segregation_metrics(
     config: ModelConfig,
     max_region_radius: Optional[int] = None,
     ratio_threshold: Optional[float] = None,
+    *,
+    table: Optional[np.ndarray] = None,
 ) -> SegregationMetrics:
     """Compute the full :class:`SegregationMetrics` bundle for one configuration.
 
     ``max_region_radius`` caps the (quadratic-in-radius) region scans; the
     sweep harness sets it to a few multiples of the horizon, which is where
     all of the finite-size signal lives.  ``ratio_threshold`` defaults to the
-    paper's ``e^{-eps N}`` with the package default ``eps``.
+    paper's ``e^{-eps N}`` with the package default ``eps``.  ``table``
+    optionally supplies this configuration's precomputed
+    :func:`~repro.analysis.regions.region_scan_table` (the batch path hands
+    each replica its slice of one stack-wide build); omitted, it is built
+    here.
     """
     spins = require_spin_array(spins)
     if ratio_threshold is None:
         ratio_threshold = paper_ratio_threshold(config.neighborhood_agents)
     # The two region scans read window counts from the same limit-padded
     # summed-area table, so build it once and hand it to both.
-    table = region_scan_table(spins, max_radius=max_region_radius)
+    if table is None:
+        table = region_scan_table(spins, max_radius=max_region_radius)
     radii = monochromatic_radius_map(spins, max_radius=max_region_radius, table=table)
     almost_radii = almost_monochromatic_radius_map(
         spins, ratio_threshold, max_radius=max_region_radius, table=table
@@ -146,13 +154,15 @@ def segregation_metrics_batch(
     """Compute :func:`segregation_metrics` for a whole ``(R, n, n)`` stack.
 
     This is the measurement back end of the ensemble runner: one call maps
-    the full metrics bundle over every replica of a lockstep batch.  Each
-    replica's two region scans share one summed-area table (built once per
-    replica) and the paper's ratio threshold is resolved once for the whole
-    stack, so the bundle costs two batched scans plus the cheap scalar
-    metrics per replica.  Entry ``r`` is bitwise identical to
-    ``segregation_metrics(spins_stack[r], ...)`` — the engine-independence
-    contract the runner's regression tests lock down.
+    the full metrics bundle over every replica of a lockstep batch.  The
+    region-scan tables of *all* replicas come from one batched summed-area
+    build (:func:`~repro.analysis.regions.region_scan_table_batch` — one
+    padding and cumsum pass over the stack, each replica's two scans reading
+    its slice) and the paper's ratio threshold is resolved once for the
+    whole stack, so the bundle costs one stacked table build plus the
+    batched scans and cheap scalar metrics per replica.  Entry ``r`` is
+    bitwise identical to ``segregation_metrics(spins_stack[r], ...)`` — the
+    engine-independence contract the runner's regression tests lock down.
     """
     stack = np.asarray(spins_stack)
     if stack.ndim != 3:
@@ -161,14 +171,16 @@ def segregation_metrics_batch(
         )
     if ratio_threshold is None:
         ratio_threshold = paper_ratio_threshold(config.neighborhood_agents)
+    tables = region_scan_table_batch(stack, max_radius=max_region_radius)
     return [
         segregation_metrics(
             replica,
             config,
             max_region_radius=max_region_radius,
             ratio_threshold=ratio_threshold,
+            table=tables[index],
         )
-        for replica in stack
+        for index, replica in enumerate(stack)
     ]
 
 

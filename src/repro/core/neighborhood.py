@@ -119,6 +119,63 @@ def wrapped_summed_area_table(arr: np.ndarray, pad: int) -> np.ndarray:
     return table
 
 
+def wrapped_summed_area_table_batch(arrs: np.ndarray, pad: int) -> np.ndarray:
+    """Summed-area tables of a ``(R, n, m)`` stack, one cumsum pass for all.
+
+    Batched :func:`wrapped_summed_area_table`: slice ``r`` of the result is
+    bitwise identical to ``wrapped_summed_area_table(arrs[r], pad)`` (exact
+    integer sums), but the padding and the two cumulative sums run once over
+    the whole stack instead of once per replica.  This is what lets
+    :func:`repro.analysis.regions.region_scan_table_batch` and the ensemble
+    engine's rebuild share one table build across equal-shape replicas.
+    """
+    stack = np.asarray(arrs, dtype=np.int64)
+    if stack.ndim != 3:
+        raise ConfigurationError(
+            f"arrs must be a (R, n, m) stack, got shape {stack.shape}"
+        )
+    padded = np.pad(stack, ((0, 0), (pad, pad), (pad, pad)), mode="wrap")
+    table = np.zeros(
+        (padded.shape[0], padded.shape[1] + 1, padded.shape[2] + 1), dtype=np.int64
+    )
+    table[:, 1:, 1:] = padded.cumsum(axis=1).cumsum(axis=2)
+    return table
+
+
+def window_sums_batch(indicators: np.ndarray, radius: int) -> np.ndarray:
+    """Batched :func:`window_sums` over a ``(R, n, m)`` indicator stack.
+
+    Slice ``r`` equals ``window_sums(indicators[r], radius)`` bit for bit;
+    the summed-area tables of all replicas are built in one pass.
+    """
+    stack = np.asarray(indicators, dtype=np.int64)
+    if stack.ndim != 3:
+        raise ConfigurationError(
+            f"indicators must be a (R, n, m) stack, got shape {stack.shape}"
+        )
+    n_rows, n_cols = stack.shape[1], stack.shape[2]
+    if radius < 0:
+        raise ConfigurationError(f"radius must be non-negative, got {radius}")
+    if 2 * radius + 1 > min(n_rows, n_cols):
+        raise ConfigurationError(
+            f"window side {2 * radius + 1} exceeds grid side {min(n_rows, n_cols)}"
+        )
+    if radius == 0:
+        return stack.copy()
+    table = wrapped_summed_area_table_batch(stack, radius)
+    side = 2 * radius + 1
+    top = np.arange(n_rows)
+    left = np.arange(n_cols)
+    bottom = top + side
+    right = left + side
+    return (
+        table[:, bottom[:, None], right[None, :]]
+        - table[:, top[:, None], right[None, :]]
+        - table[:, bottom[:, None], left[None, :]]
+        + table[:, top[:, None], left[None, :]]
+    )
+
+
 def window_sums(indicator: np.ndarray, radius: int) -> np.ndarray:
     """Wrapped moving-window sums of a 2-D array over square windows.
 

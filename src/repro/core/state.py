@@ -45,7 +45,8 @@ def classify_base(
     rule itself (their cross-consistency tests lock the rest down).
     """
     happy = same >= threshold
-    flippable = (~happy) & (total - same + 1 >= threshold)
+    # ``total - same + 1 >= threshold`` rearranged to one integer compare.
+    flippable = (~happy) & (same <= total + 1 - threshold)
     return happy, flippable
 
 

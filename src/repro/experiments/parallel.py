@@ -17,6 +17,12 @@ parallel table interchangeable with the serial one:
   chunk is available, so ``progress`` fires once per cell in the same order
   as the serial runner and the resulting table is row-for-row identical to
   ``run_sweep``'s (up to wall-clock timings).
+* **Columnar result transfer** — a cell's rows share one schema (the spec
+  fixes the columns), so workers ship each cell as one packed batch: the key
+  tuple once plus per-key value columns, instead of ``n_replicates``
+  separate dicts each repeating every key string.  The parent unpacks in
+  arrival order, so the deterministic row order (and the row contents) are
+  untouched; only the pickle payload shrinks.
 
 Workers inherit nothing mutable: each one re-imports the library and receives
 pickled frozen specs, which keeps the executor oblivious to interpreter state.
@@ -51,16 +57,52 @@ def default_chunk_size(n_cells: int, workers: int) -> int:
     return max(1, n_cells // (4 * workers))
 
 
+def pack_rows(rows: list[dict[str, object]]) -> dict[str, object]:
+    """Columnar encoding of uniform-schema rows for cheap pickling.
+
+    One cell's rows always share their key set (the spec fixes the columns),
+    so the batch carries the keys once and one value column per key.  Rows
+    with diverging schemas — not produced by the runner, but tolerated for
+    robustness — fall back to the raw list untouched.
+    """
+    if not rows:
+        return {"n": 0}
+    keys = list(rows[0].keys())
+    if any(list(row.keys()) != keys for row in rows[1:]):
+        return {"rows": rows}
+    return {
+        "n": len(rows),
+        "keys": keys,
+        "columns": [[row[key] for row in rows] for key in keys],
+    }
+
+
+def unpack_rows(packed: dict[str, object]) -> list[dict[str, object]]:
+    """Inverse of :func:`pack_rows`; rebuilds the rows in their packed order."""
+    if "rows" in packed:
+        return packed["rows"]  # non-uniform fallback, shipped verbatim
+    if not packed["n"]:
+        return []
+    return [
+        dict(zip(packed["keys"], values)) for values in zip(*packed["columns"])
+    ]
+
+
 def _run_chunk(
     chunk: list[tuple[int, ExperimentSpec]], ensemble_size: Optional[int]
-) -> list[tuple[int, list[dict[str, object]]]]:
-    """Worker entry point: run a chunk of cells, return (index, rows) pairs."""
+) -> list[tuple[int, dict[str, object]]]:
+    """Worker entry point: run a chunk of cells, return (index, batch) pairs.
+
+    Each cell's rows travel as one :func:`pack_rows` columnar batch, so the
+    pickle stream carries every column name once per cell rather than once
+    per replicate row.
+    """
     # Imported lazily so the parent can pickle this module reference without
     # dragging the runner (and its numpy state) through the pickle stream.
     from repro.experiments.runner import run_experiment
 
     return [
-        (index, run_experiment(spec, ensemble_size=ensemble_size).rows)
+        (index, pack_rows(run_experiment(spec, ensemble_size=ensemble_size).rows))
         for index, spec in chunk
     ]
 
@@ -123,8 +165,8 @@ def run_sweep_parallel(
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                for index, rows in future.result():
-                    collected[index] = rows
+                for index, packed in future.result():
+                    collected[index] = unpack_rows(packed)
             # Flush every contiguous completed prefix so callers see results
             # (and progress callbacks) incrementally, in cell order.
             while next_index in collected:

@@ -86,3 +86,304 @@ class IndexSampler:
             raise IndexError(
                 f"index {index} out of range for capacity {self._capacity}"
             )
+
+
+class BatchedIndexSet:
+    """A family of randomised index sets backed by three shared arrays.
+
+    One row per set: a packed ``(n_sets, capacity)`` member array, a
+    ``(n_sets, capacity)`` position table and an ``(n_sets,)`` count vector —
+    the array-backed analogue of ``n_sets`` independent :class:`IndexSampler`
+    objects, laid out for the vectorized ensemble engine.  The swap-remove
+    algorithm (and therefore the member ordering every RNG draw depends on) is
+    exactly :class:`IndexSampler`'s, so a row evolved through the same
+    operation sequence holds the same packed layout bit for bit — the
+    equivalence the hypothesis suite in ``tests/test_utils_indexset.py`` pins
+    against the scalar reference.
+
+    Three access regimes coexist:
+
+    * **bulk build** (:meth:`fill_from_masks`) — the whole family initialised
+      from boolean membership masks in a handful of array ops, replacing
+      per-index insertion loops;
+    * **vectorized reads** (:meth:`counts`, :meth:`sample_rows`) — counts and
+      member lookups for many rows per numpy call, which is what the fused
+      flip loop consumes;
+    * **ordered updates** (:meth:`apply_ops`, :meth:`add_many`,
+      :meth:`remove_many`) — the per-flip membership deltas.  These are
+      inherently sequential *within* a row (every operation reads the count
+      and the packed tail its predecessors wrote), so they run as one tight
+      scalar loop over memoryviews of the backing arrays, which matches
+      Python-list speed while keeping the storage arrays shared with the
+      vectorized readers.
+    """
+
+    __slots__ = (
+        "_n_sets",
+        "_capacity",
+        "_members",
+        "_positions",
+        "_counts",
+        "_members_mv",
+        "_positions_mv",
+        "_counts_mv",
+    )
+
+    def __init__(self, n_sets: int, capacity: int) -> None:
+        if n_sets <= 0:
+            raise ValueError(f"n_sets must be positive, got {n_sets}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._n_sets = int(n_sets)
+        self._capacity = int(capacity)
+        self._members = np.zeros((n_sets, capacity), dtype=np.int64)
+        self._positions = np.full((n_sets, capacity), -1, dtype=np.int64)
+        self._counts = np.zeros(n_sets, dtype=np.int64)
+        # Flat scalar views for the sequential update loop; ~60% cheaper per
+        # element access than ndarray scalar indexing.
+        self._members_mv = memoryview(self._members.reshape(-1))
+        self._positions_mv = memoryview(self._positions.reshape(-1))
+        self._counts_mv = memoryview(self._counts)
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def n_sets(self) -> int:
+        """Number of rows (independent sets) in the family."""
+        return self._n_sets
+
+    @property
+    def capacity(self) -> int:
+        """Maximum element value plus one, shared by every row."""
+        return self._capacity
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-row element counts — the live array, not a copy.
+
+        Callers treat it as read-only; the engine reads it every round for
+        termination checks and sampler sizes, so handing out the live array
+        avoids a per-round allocation.
+        """
+        return self._counts
+
+    def count(self, row: int) -> int:
+        """Number of elements currently in ``row``."""
+        return self._counts_mv[row]
+
+    def counts_view(self) -> memoryview:
+        """Memoryview over the per-row counts (scalar fast-path contract).
+
+        The fused engine's scalar round loop reads counts and members
+        element-wise; these views expose the live buffers at list speed.
+        Callers must treat them as read-only.
+        """
+        return self._counts_mv
+
+    def members_view(self) -> memoryview:
+        """Flat memoryview over the packed members, ``row * capacity + k``.
+
+        Read-only companion of :meth:`counts_view`; entry ``row * capacity +
+        position`` is the member a uniform draw of ``position`` selects.
+        """
+        return self._members_mv
+
+    def contains(self, row: int, index: int) -> bool:
+        """Whether ``index`` is currently a member of ``row``."""
+        return self._positions_mv[row * self._capacity + index] >= 0
+
+    def packed_members(self, row: int) -> np.ndarray:
+        """Copy of ``row``'s packed member array in internal order.
+
+        The order is a function of the operation history (exactly
+        :class:`IndexSampler`'s), which is what the layout-equivalence tests
+        compare; use :meth:`to_array` for a canonical sorted view.
+        """
+        return self._members[row, : self._counts_mv[row]].copy()
+
+    def to_array(self, row: int) -> np.ndarray:
+        """Sorted copy of ``row``'s members."""
+        return np.sort(self.packed_members(row))
+
+    # -------------------------------------------------------------- bulk build
+
+    def clear(self) -> None:
+        """Empty every row."""
+        self._positions.fill(-1)
+        self._counts.fill(0)
+
+    def fill_from_masks(self, masks: np.ndarray) -> None:
+        """Rebuild every row from an ``(n_sets, capacity)`` boolean mask.
+
+        Equivalent to clearing and adding each row's true indices in
+        increasing order (the insertion order of the scalar engines'
+        ``recompute_all``), but fully vectorized: one ``nonzero`` plus a few
+        scatters for the whole family, with no Python-per-index work.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if masks.shape != (self._n_sets, self._capacity):
+            raise ValueError(
+                f"masks shape {masks.shape} does not match "
+                f"({self._n_sets}, {self._capacity})"
+            )
+        rows, indices = np.nonzero(masks)
+        counts = np.count_nonzero(masks, axis=1)
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        offsets = np.arange(rows.size, dtype=np.int64) - starts[rows]
+        self._positions.fill(-1)
+        self._members[rows, offsets] = indices
+        self._positions[rows, indices] = offsets
+        self._counts[:] = counts
+
+    def add_many(self, rows: np.ndarray, indices: np.ndarray) -> None:
+        """Append ``indices[k]`` to ``rows[k]``, vectorized, in array order.
+
+        Pairs must be grouped by row (all of a row's additions contiguous, in
+        their insertion order) and must not repeat an index within a row;
+        already-present elements are skipped, exactly like repeated
+        :meth:`IndexSampler.add` calls.  Appends commute with nothing reading
+        the tail, so unlike removals they vectorize without losing the
+        sequential layout.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if rows.size == 0:
+            return
+        fresh = self._positions[rows, indices] < 0
+        rows, indices = rows[fresh], indices[fresh]
+        if rows.size == 0:
+            return
+        boundaries = np.flatnonzero(np.concatenate(([True], rows[1:] != rows[:-1])))
+        group_sizes = np.diff(np.concatenate((boundaries, [rows.size])))
+        ranks = np.arange(rows.size, dtype=np.int64) - np.repeat(
+            boundaries, group_sizes
+        )
+        offsets = self._counts[rows] + ranks
+        self._members[rows, offsets] = indices
+        self._positions[rows, indices] = offsets
+        self._counts[rows[boundaries]] += group_sizes
+
+    def remove_many(self, rows: np.ndarray, indices: np.ndarray) -> None:
+        """Remove ``indices[k]`` from ``rows[k]`` in array order.
+
+        Removals are order-entangled: each swap-remove reads the packed tail
+        its predecessors may have rewritten, so the exact scalar semantics run
+        in the sequential :meth:`apply_ops` loop.  Missing elements are
+        skipped, like :meth:`IndexSampler.remove`.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        self.apply_ops(
+            rows.tolist(),
+            np.asarray(indices, dtype=np.int64).tolist(),
+            [False] * rows.size,
+        )
+
+    # ------------------------------------------------------------ ordered ops
+
+    def apply_ops(
+        self, rows: list, indices: list, member: list
+    ) -> None:
+        """Set membership of ``indices[k]`` in ``rows[k]``, strictly in order.
+
+        The engine's per-flip path: one interleaved stream of add/remove
+        decisions (``member[k]`` true adds, false removes; no-ops when the
+        membership already matches), applied in exactly the order given.  The
+        loop is scalar by necessity — operation ``k`` on a row reads state
+        written by operation ``k-1`` through the count and the packed tail —
+        but runs on memoryviews with no per-op method dispatch, which
+        profiles at list speed.
+        """
+        members_mv = self._members_mv
+        positions_mv = self._positions_mv
+        counts_mv = self._counts_mv
+        capacity = self._capacity
+        for row, index, add in zip(rows, indices, member):
+            base = row * capacity
+            position = positions_mv[base + index]
+            if add:
+                if position >= 0:
+                    continue
+                count = counts_mv[row]
+                members_mv[base + count] = index
+                positions_mv[base + index] = count
+                counts_mv[row] = count + 1
+            else:
+                if position < 0:
+                    continue
+                count = counts_mv[row] - 1
+                counts_mv[row] = count
+                last = members_mv[base + count]
+                members_mv[base + position] = last
+                positions_mv[base + last] = position
+                positions_mv[base + index] = -1
+
+    def apply_coded_ops(
+        self,
+        rows: list,
+        indices: list,
+        toggled: list,
+        members: list,
+        row_offset: int,
+    ) -> None:
+        """Paired membership updates driven by two-bit change/state codes.
+
+        The fused flip kernel's hot path: for each position ``k``, bit ``b``
+        of ``toggled[k]`` says whether the membership of ``indices[k]`` in
+        row ``rows[k] + b * row_offset`` must be set to bit ``b`` of
+        ``members[k]``.  Updates are applied in ``k`` order with bit 0 before
+        bit 1 — the same interleaving as two :meth:`apply_ops` streams zipped
+        per site — but one loop iteration handles both rows of a site, which
+        halves the per-operation dispatch cost.
+        """
+        members_mv = self._members_mv
+        positions_mv = self._positions_mv
+        counts_mv = self._counts_mv
+        capacity = self._capacity
+        offset_base = row_offset * capacity
+        for row, index, toggle, member in zip(rows, indices, toggled, members):
+            base = row * capacity
+            if toggle & 1:
+                target = base + index
+                position = positions_mv[target]
+                if member & 1:
+                    if position < 0:
+                        count = counts_mv[row]
+                        members_mv[base + count] = index
+                        positions_mv[target] = count
+                        counts_mv[row] = count + 1
+                elif position >= 0:
+                    count = counts_mv[row] - 1
+                    counts_mv[row] = count
+                    last = members_mv[base + count]
+                    members_mv[base + position] = last
+                    positions_mv[base + last] = position
+                    positions_mv[target] = -1
+            if toggle & 2:
+                pair_row = row + row_offset
+                pair_base = base + offset_base
+                target = pair_base + index
+                position = positions_mv[target]
+                if member & 2:
+                    if position < 0:
+                        count = counts_mv[pair_row]
+                        members_mv[pair_base + count] = index
+                        positions_mv[target] = count
+                        counts_mv[pair_row] = count + 1
+                elif position >= 0:
+                    count = counts_mv[pair_row] - 1
+                    counts_mv[pair_row] = count
+                    last = members_mv[pair_base + count]
+                    members_mv[pair_base + position] = last
+                    positions_mv[pair_base + last] = position
+                    positions_mv[target] = -1
+
+    # ---------------------------------------------------------------- sampling
+
+    def sample_rows(self, rows: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Members at packed positions ``draws`` of ``rows`` (vectorized).
+
+        ``draws[k]`` must lie in ``[0, count(rows[k]))``; the caller supplies
+        the uniform draws (the engine gets them from its blocked RNG streams),
+        so this is a pure gather.
+        """
+        return self._members[rows, draws]

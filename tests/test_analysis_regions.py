@@ -379,3 +379,27 @@ class TestSharedScanTable:
             monochromatic_radius_map(spins, max_radius=6, table=small)
         with pytest.raises(AnalysisError):
             almost_monochromatic_radius_map(spins, 0.1, max_radius=6, table=small)
+
+
+class TestRegionScanTableBatch:
+    def test_slices_match_per_replica_tables(self):
+        import numpy as np
+
+        from repro.analysis.regions import region_scan_table, region_scan_table_batch
+
+        rng = np.random.default_rng(3)
+        stack = np.where(rng.random((4, 18, 18)) < 0.5, 1, -1).astype(np.int8)
+        tables = region_scan_table_batch(stack, max_radius=5)
+        for replica in range(stack.shape[0]):
+            expected = region_scan_table(stack[replica], max_radius=5)
+            assert np.array_equal(tables[replica], expected)
+
+    def test_rejects_non_stack_input(self):
+        import numpy as np
+        import pytest
+
+        from repro.analysis.regions import region_scan_table_batch
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            region_scan_table_batch(np.ones((5, 5), dtype=np.int8))

@@ -320,3 +320,191 @@ class TestEnsembleTrajectory:
         assert view.times[-1] == sres.trajectory.times[-1]
         assert view.n_flips[-1] == sres.trajectory.n_flips[-1]
         assert view.energy[-1] == sres.trajectory.energy[-1]
+
+
+class TestReferenceEngineEquivalence:
+    """The retained pre-fusion engine and the fused engine are one dynamics."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_fused_matches_reference_engine(self, scheduler, tau):
+        from repro.core.ensemble import ReferenceEnsembleDynamics
+
+        config = ModelConfig.square(
+            side=16, horizon=2, tau=tau, scheduler=scheduler
+        )
+        fused = EnsembleDynamics(config, n_replicas=3, seed=99)
+        reference = ReferenceEnsembleDynamics(config, n_replicas=3, seed=99)
+        a = fused.run(max_flips=120)
+        b = reference.run(max_flips=120)
+        assert np.array_equal(a.final_spins, b.final_spins)
+        assert np.array_equal(a.n_flips, b.n_flips)
+        assert np.array_equal(a.n_steps, b.n_steps)
+        assert np.array_equal(a.final_time, b.final_time)
+        assert np.array_equal(a.terminated, b.terminated)
+
+    def test_reference_matches_always_flip_rule(self):
+        from repro.core.ensemble import ReferenceEnsembleDynamics
+
+        config = ModelConfig.square(
+            side=14, horizon=1, tau=0.4, flip_rule=FlipRule.ALWAYS
+        )
+        a = EnsembleDynamics(config, n_replicas=2, seed=4).run(max_flips=80)
+        b = ReferenceEnsembleDynamics(config, n_replicas=2, seed=4).run(
+            max_flips=80
+        )
+        assert np.array_equal(a.final_spins, b.final_spins)
+        assert np.array_equal(a.final_time, b.final_time)
+
+    def test_reference_accessors_match_fused(self):
+        from repro.core.ensemble import ReferenceEnsembleDynamics
+
+        config = ModelConfig.square(side=14, horizon=1, tau=0.55)
+        fused = EnsembleDynamics(config, n_replicas=2, seed=31)
+        reference = ReferenceEnsembleDynamics(config, n_replicas=2, seed=31)
+        fused.run(max_flips=40)
+        reference.run(max_flips=40)
+        for replica in range(2):
+            assert np.array_equal(
+                fused.happy_mask(replica), reference.happy_mask(replica)
+            )
+            assert np.array_equal(
+                fused.flippable_mask(replica), reference.flippable_mask(replica)
+            )
+            assert np.array_equal(
+                fused.unhappy_indices(replica),
+                reference.unhappy_indices(replica),
+            )
+            assert np.array_equal(
+                fused.flippable_indices(replica),
+                reference.flippable_indices(replica),
+            )
+        assert np.array_equal(fused.unhappy_counts(), reference.unhappy_counts())
+        assert np.array_equal(fused.energies(), reference.energies())
+
+
+class TestBlockedRngBoundaries:
+    """Bitwise scalar equivalence must be independent of the RNG block size.
+
+    ``rng_block_words=1`` refills on every draw (every consumption crosses a
+    block edge), small sizes hit exact-exhaustion boundaries, and runs to
+    termination always stop mid-block for the default size — the three
+    regimes the blocked-RNG design note calls out.
+    """
+
+    @pytest.mark.parametrize("block_words", [1, 2, 7, 4096])
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_block_size_never_changes_results(self, block_words, scheduler):
+        config = ModelConfig.square(
+            side=14, horizon=1, tau=0.45, scheduler=scheduler
+        )
+        ensemble = EnsembleDynamics(
+            config, n_replicas=2, seed=8, rng_block_words=block_words
+        )
+        result = ensemble.run()
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed)
+            assert np.array_equal(
+                reference.final_spins, result.final_spins[replica]
+            ), f"block_words={block_words} diverges from scalar"
+            assert reference.n_flips == result.n_flips[replica]
+            assert reference.final_time == result.final_time[replica]
+
+    def test_mid_block_termination_then_resume(self):
+        """Stopping on a budget mid-block and resuming stays stream-exact."""
+        config = ModelConfig.square(side=14, horizon=1, tau=0.45)
+        ensemble = EnsembleDynamics(
+            config, n_replicas=2, seed=12, rng_block_words=16
+        )
+        ensemble.run(max_flips=13)  # strand every replica mid-block
+        ensemble.run()
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed)
+            assert np.array_equal(
+                reference.final_spins, ensemble.replica_spins(replica)
+            )
+            assert reference.final_time == float(ensemble.times[replica])
+
+    def test_rejects_nonpositive_block_words(self):
+        config = ModelConfig.square(side=12, horizon=1, tau=0.4)
+        with pytest.raises(ValueError):
+            EnsembleDynamics(config, n_replicas=1, seed=1, rng_block_words=0)
+
+
+class TestDeferredCounters:
+    """Non-recording runs defer energy counters; reads flush exact values."""
+
+    def test_energies_after_plain_run_match_full_recompute(self):
+        config = ModelConfig.square(side=16, horizon=2, tau=0.45)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=6)
+        ensemble.run(max_flips=60)
+        assert np.array_equal(ensemble.energies(), ensemble._energies_full())
+        assert ensemble.magnetizations().shape == (3,)
+
+    def test_direct_step_all_keeps_counters_live(self):
+        config = ModelConfig.square(side=16, horizon=2, tau=0.45)
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=6)
+        for _ in range(25):
+            ensemble.step_all()
+        assert not ensemble._counters_stale
+        assert np.array_equal(ensemble.energies(), ensemble._energies_full())
+
+
+class TestDispatchRegimes:
+    """Both step_all regimes and both window-LUT layouts stay scalar-exact."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_vectorized_control_plane_matches_scalar(self, monkeypatch, scheduler):
+        """Force the >SCALAR_PATH_MAX branch (vector filtering, draws,
+        clocks, sampling) and pin it to scalar runs bitwise."""
+        from repro.rng import BlockedReplicaStreams
+
+        monkeypatch.setattr(BlockedReplicaStreams, "SCALAR_PATH_MAX", -1)
+        config = ModelConfig.square(
+            side=14, horizon=1, tau=0.45, scheduler=scheduler
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=3, seed=19)
+        result = ensemble.run(max_flips=60)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed, max_flips=60)
+            assert np.array_equal(
+                reference.final_spins, result.final_spins[replica]
+            )
+            assert reference.n_flips == result.n_flips[replica]
+            assert reference.final_time == result.final_time[replica]
+
+    def test_vectorized_discrete_refusal_gate_matches_scalar(self, monkeypatch):
+        from repro.rng import BlockedReplicaStreams
+
+        monkeypatch.setattr(BlockedReplicaStreams, "SCALAR_PATH_MAX", -1)
+        config = ModelConfig.square(
+            side=14, horizon=1, tau=0.6, scheduler=SchedulerKind.DISCRETE
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=2, seed=3)
+        result = ensemble.run(max_steps=80)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            simulation = Simulation(config, seed=seed)
+            reference = simulation.run(max_steps=80)
+            assert np.array_equal(
+                reference.final_spins, result.final_spins[replica]
+            )
+            assert reference.n_steps == result.n_steps[replica]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_row_col_lut_fallback_matches_scalar(self, monkeypatch, scheduler):
+        """Force the large-grid window-LUT fallback (two-gather path)."""
+        import repro.core.ensemble as ensemble_module
+
+        monkeypatch.setattr(ensemble_module, "_FULL_WINDOW_LUT_MAX_ENTRIES", 0)
+        config = ModelConfig.square(
+            side=14, horizon=2, tau=0.45, scheduler=scheduler
+        )
+        ensemble = EnsembleDynamics(config, n_replicas=2, seed=23)
+        assert ensemble._window_lut is None  # the fallback is actually active
+        result = ensemble.run(max_flips=60)
+        for replica, seed in enumerate(ensemble.replica_seeds):
+            reference = scalar_reference(config, seed, max_flips=60)
+            assert np.array_equal(
+                reference.final_spins, result.final_spins[replica]
+            )
+            assert reference.final_time == result.final_time[replica]

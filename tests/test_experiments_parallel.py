@@ -94,3 +94,40 @@ class TestValidationAndDefaults:
     def test_default_chunk_size_bounds(self):
         assert default_chunk_size(1, 8) == 1
         assert default_chunk_size(64, 2) == 8
+
+
+class TestPackedRowTransfer:
+    def test_pack_unpack_roundtrip(self):
+        from repro.experiments.parallel import pack_rows, unpack_rows
+
+        rows = [
+            {"a": 1, "b": 2.5, "c": "x"},
+            {"a": 3, "b": -1.0, "c": "y"},
+        ]
+        packed = pack_rows(rows)
+        assert packed["keys"] == ["a", "b", "c"]
+        assert unpack_rows(packed) == rows
+
+    def test_empty_rows(self):
+        from repro.experiments.parallel import pack_rows, unpack_rows
+
+        assert unpack_rows(pack_rows([])) == []
+
+    def test_non_uniform_rows_fall_back_verbatim(self):
+        from repro.experiments.parallel import pack_rows, unpack_rows
+
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        packed = pack_rows(rows)
+        assert "rows" in packed
+        assert unpack_rows(packed) == rows
+
+    def test_packed_payload_carries_keys_once(self):
+        import pickle
+
+        from repro.experiments.parallel import pack_rows
+
+        key = "a_rather_long_metric_column_name"
+        rows = [{key: index} for index in range(64)]
+        packed_size = len(pickle.dumps(pack_rows(rows)))
+        raw_size = len(pickle.dumps(rows))
+        assert packed_size < raw_size / 2

@@ -89,7 +89,7 @@ class TestBenchQuickMode:
         quick = module.throughput_parameters()
         monkeypatch.delenv("REPRO_BENCH_QUICK")
         full = module.throughput_parameters()
-        assert quick["max_flips"] is not None and quick["max_flips"] <= 2000
+        assert quick["max_flips"] is not None and quick["max_flips"] <= 5000
         assert full["max_flips"] is None
         assert quick["side"] == full["side"] == 128
         assert quick["n_replicas"] == full["n_replicas"] == 8

@@ -83,3 +83,158 @@ class TestChoiceWithoutReplacement:
     def test_too_large_request_rejected(self, rng):
         with pytest.raises(ValueError):
             choice_without_replacement(rng, range(5), 6)
+
+
+class TestZigguratTables:
+    def test_tables_verify_against_live_draws(self):
+        from repro.rng import _verify_ziggurat_tables, ziggurat_exponential_tables
+
+        tables = ziggurat_exponential_tables()
+        assert tables[0].shape == (256,)
+        assert tables[1].shape == (256,)
+        assert _verify_ziggurat_tables(tables)
+
+    def test_corrupted_tables_fail_verification(self):
+        from repro.rng import _verify_ziggurat_tables, ziggurat_exponential_tables
+
+        we, ke = ziggurat_exponential_tables()
+        corrupted = (we.copy(), ke.copy())
+        corrupted[1][:] = 0  # force everything onto the (wrong) slow path
+        assert not _verify_ziggurat_tables(corrupted)
+
+
+class TestPcg64StateAfter:
+    def test_matches_bit_generator_advance(self):
+        from repro.rng import pcg64_state_after
+
+        rng = np.random.default_rng(5)
+        state = rng.bit_generator.state
+        expected = np.random.Generator(np.random.PCG64())
+        expected.bit_generator.state = state
+        expected.bit_generator.advance(123)
+        advanced = pcg64_state_after(
+            state["state"]["state"], state["state"]["inc"], 123
+        )
+        assert advanced == expected.bit_generator.state["state"]["state"]
+
+
+def _interleaved_reference(seeds, script):
+    """Replay a draw script through per-replica scalar Generator calls."""
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    out = []
+    for kind, replica, high in script:
+        if kind == "exp":
+            out.append(rngs[replica].standard_exponential())
+        else:
+            out.append(int(rngs[replica].integers(0, high)))
+    return out, [rng.bit_generator.state for rng in rngs]
+
+
+class TestBlockedReplicaStreams:
+    """The blocked streams must replicate scalar Generator draws bitwise."""
+
+    SEEDS = [101, 202, 303]
+
+    def _script(self, n_steps=400, seed=0):
+        rng = np.random.default_rng(seed)
+        script = []
+        for _ in range(n_steps):
+            replica = int(rng.integers(0, len(self.SEEDS)))
+            if rng.random() < 0.6:
+                script.append(("exp", replica, 0))
+            script.append(("int", replica, int(rng.integers(1, 50_000))))
+        return script
+
+    @pytest.mark.parametrize("block_words", [1, 2, 3, 64, 4096])
+    def test_bitwise_equal_to_scalar_draws(self, block_words):
+        """Boundary block sizes: one-word blocks force a refill per draw,
+        larger ones exercise exact exhaustion and mid-block hand-offs."""
+        from repro.rng import BlockedReplicaStreams
+
+        streams = BlockedReplicaStreams(
+            [np.random.default_rng(seed) for seed in self.SEEDS],
+            block_words=block_words,
+        )
+        script = self._script()
+        expected, _ = _interleaved_reference(self.SEEDS, script)
+        for step, (kind, replica, high) in enumerate(script):
+            rows = np.array([replica])
+            if kind == "exp":
+                got = streams.standard_exponential(rows)[0]
+            else:
+                got = int(
+                    streams.bounded_integers(rows, np.array([high]))[0]
+                )
+            assert got == expected[step], (block_words, step, kind)
+
+    def test_exact_exhaustion_boundary(self):
+        """A block consumed exactly to its end refills with zero overrun."""
+        from repro.rng import BlockedReplicaStreams
+
+        streams = BlockedReplicaStreams(
+            [np.random.default_rng(1)], block_words=4
+        )
+        reference = np.random.default_rng(1)
+        rows = np.array([0])
+        # high=2**32 would leave the 32-bit path; large highs below it
+        # consume exactly one 32-bit half-word per draw -> 8 draws per block.
+        for _ in range(16):
+            got = int(streams.bounded_integers(rows, np.array([2**31]))[0])
+            assert got == int(reference.integers(0, 2**31))
+        assert streams._pos[0] in (0, 4) or streams._pos[0] < 4
+
+    def test_draw_step_matches_split_calls(self):
+        """The fused step draw equals exponential-then-integers, both regimes."""
+        from repro.rng import BlockedReplicaStreams
+
+        script_rng = np.random.default_rng(9)
+        for scalar_regime in (True, False):
+            split = BlockedReplicaStreams(
+                [np.random.default_rng(seed) for seed in self.SEEDS]
+            )
+            fused = BlockedReplicaStreams(
+                [np.random.default_rng(seed) for seed in self.SEEDS]
+            )
+            threshold = BlockedReplicaStreams.SCALAR_PATH_MAX
+            if not scalar_regime:
+                fused.SCALAR_PATH_MAX = -1  # force the vectorized branch
+            try:
+                for _ in range(200):
+                    rows = np.arange(len(self.SEEDS), dtype=np.int64)
+                    highs = script_rng.integers(1, 30_000, size=rows.size)
+                    exp_a = split.standard_exponential(rows)
+                    int_a = split.bounded_integers(rows, highs)
+                    exp_b, int_b = fused.draw_step(rows, highs, True)
+                    assert np.array_equal(exp_a, exp_b)
+                    assert np.array_equal(int_a, int_b)
+            finally:
+                fused.SCALAR_PATH_MAX = threshold
+
+    def test_high_of_one_consumes_nothing(self):
+        from repro.rng import BlockedReplicaStreams
+
+        streams = BlockedReplicaStreams([np.random.default_rng(3)])
+        reference = np.random.default_rng(3)
+        rows = np.array([0])
+        assert int(streams.bounded_integers(rows, np.array([1]))[0]) == 0
+        # The next draw still matches the scalar stream: integers(0, 1)
+        # consumed no words there either.
+        assert int(reference.integers(0, 1)) == 0
+        assert int(streams.bounded_integers(rows, np.array([1000]))[0]) == int(
+            reference.integers(0, 1000)
+        )
+
+    def test_rejects_non_pcg64_generators(self):
+        from repro.rng import BlockedReplicaStreams
+
+        bad = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(ValueError):
+            BlockedReplicaStreams([bad])
+
+    def test_rejects_bad_block_words(self):
+        from repro.rng import BlockedReplicaStreams
+
+        with pytest.raises(ValueError):
+            BlockedReplicaStreams([np.random.default_rng(0)], block_words=0)
+        with pytest.raises(ValueError):
+            BlockedReplicaStreams([])

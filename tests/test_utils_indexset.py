@@ -119,3 +119,153 @@ def test_matches_reference_set(operations):
     assert sampler.to_array().tolist() == sorted(reference)
     for index in range(20):
         assert (index in sampler) == (index in reference)
+
+
+class TestBatchedIndexSetBasics:
+    def test_validation(self):
+        from repro.utils.indexset import BatchedIndexSet
+
+        with pytest.raises(ValueError):
+            BatchedIndexSet(0, 5)
+        with pytest.raises(ValueError):
+            BatchedIndexSet(3, 0)
+        with pytest.raises(ValueError):
+            BatchedIndexSet(2, 5).fill_from_masks(np.zeros((3, 5), dtype=bool))
+
+    def test_fill_from_masks_builds_sorted_rows(self):
+        from repro.utils.indexset import BatchedIndexSet
+
+        masks = np.array(
+            [[True, False, True, True], [False, False, False, True]]
+        )
+        batched = BatchedIndexSet(2, 4)
+        batched.fill_from_masks(masks)
+        assert batched.counts.tolist() == [3, 1]
+        assert batched.packed_members(0).tolist() == [0, 2, 3]
+        assert batched.packed_members(1).tolist() == [3]
+        assert batched.contains(0, 2) and not batched.contains(1, 0)
+
+    def test_add_many_skips_present_members(self):
+        from repro.utils.indexset import BatchedIndexSet
+
+        batched = BatchedIndexSet(2, 6)
+        batched.add_many([0, 0, 1], [4, 1, 5])
+        batched.add_many([0, 0], [4, 2])  # 4 already present
+        assert batched.packed_members(0).tolist() == [4, 1, 2]
+        assert batched.packed_members(1).tolist() == [5]
+
+    def test_remove_many_and_clear(self):
+        from repro.utils.indexset import BatchedIndexSet
+
+        batched = BatchedIndexSet(1, 6)
+        batched.add_many([0, 0, 0], [1, 3, 5])
+        batched.remove_many([0, 0], [3, 0])  # 0 absent -> no-op
+        assert batched.to_array(0).tolist() == [1, 5]
+        batched.clear()
+        assert batched.counts.tolist() == [0]
+
+    def test_sample_rows_gathers_members(self):
+        from repro.utils.indexset import BatchedIndexSet
+
+        batched = BatchedIndexSet(2, 8)
+        batched.add_many([0, 0, 1, 1], [7, 2, 0, 4])
+        flats = batched.sample_rows(np.array([0, 1]), np.array([1, 0]))
+        assert flats.tolist() == [2, 0]
+
+    def test_views_expose_live_buffers(self):
+        from repro.utils.indexset import BatchedIndexSet
+
+        batched = BatchedIndexSet(1, 4)
+        batched.add_many([0], [3])
+        assert batched.counts_view()[0] == 1
+        assert batched.members_view()[0] == 3
+
+
+def _reference_sets(n_sets, capacity):
+    from repro.core.ensemble import _ReplicaIndexSet
+
+    return [_ReplicaIndexSet(capacity) for _ in range(n_sets)]
+
+
+def _assert_layouts_equal(batched, references):
+    """Packed layout (not just membership) must match the scalar reference."""
+    for row, reference in enumerate(references):
+        assert batched.count(row) == len(reference)
+        assert (
+            batched.packed_members(row).tolist()
+            == reference._members[: len(reference)]
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    initial=st.lists(
+        st.lists(st.booleans(), min_size=12, max_size=12), min_size=3, max_size=3
+    ),
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # row
+            st.integers(min_value=0, max_value=11),  # index
+            st.booleans(),  # desired membership
+        ),
+        max_size=120,
+    ),
+)
+def test_batched_matches_replica_reference_under_ordered_ops(initial, operations):
+    """BatchedIndexSet == _ReplicaIndexSet layout-for-layout: the bulk build
+    plus any ordered membership stream leave identical packed members, which
+    is exactly the property the ensemble's RNG-draw equivalence needs."""
+    from repro.utils.indexset import BatchedIndexSet
+
+    masks = np.array(initial, dtype=bool)
+    batched = BatchedIndexSet(3, 12)
+    batched.fill_from_masks(masks)
+    references = _reference_sets(3, 12)
+    for row in range(3):
+        for index in np.flatnonzero(masks[row]):
+            references[row].add(int(index))
+    _assert_layouts_equal(batched, references)
+
+    batched.apply_ops(
+        [row for row, _, _ in operations],
+        [index for _, index, _ in operations],
+        [member for _, _, member in operations],
+    )
+    for row, index, member in operations:
+        references[row].update_membership(index, member)
+    _assert_layouts_equal(batched, references)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # base row
+            st.integers(min_value=0, max_value=9),  # index
+            st.integers(min_value=1, max_value=3),  # toggled bits
+            st.integers(min_value=0, max_value=3),  # member bits
+        ),
+        max_size=100,
+    )
+)
+def test_apply_coded_ops_matches_pairwise_reference(operations):
+    """The coded-op fast path equals the scalar pair of update_membership
+    calls per site (bit 0 row first, then bit 1 row), in stream order."""
+    from repro.utils.indexset import BatchedIndexSet
+
+    n_base, capacity = 2, 10
+    batched = BatchedIndexSet(2 * n_base, capacity)
+    references = _reference_sets(2 * n_base, capacity)
+    batched.apply_coded_ops(
+        [row for row, _, _, _ in operations],
+        [index for _, index, _, _ in operations],
+        [toggled for _, _, toggled, _ in operations],
+        [member for _, _, _, member in operations],
+        n_base,
+    )
+    for row, index, toggled, member in operations:
+        if toggled & 1:
+            references[row].update_membership(index, bool(member & 1))
+        if toggled & 2:
+            references[row + n_base].update_membership(index, bool(member & 2))
+    _assert_layouts_equal(batched, references)
