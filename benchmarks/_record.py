@@ -73,8 +73,17 @@ def record_benchmark(
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     descriptor, tmp = tempfile.mkstemp(dir=RESULTS_DIR, suffix=".json")
-    with os.fdopen(descriptor, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        # A failed dump (unserialisable metric, full disk) must not leave
+        # the mkstemp file behind in benchmarks/results/.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path

@@ -96,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="replicas per vectorized lockstep batch (1 = scalar engine)",
     )
     sweep.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="artifact directory for checkpoint/resume: completed cells are "
+        "streamed to metrics.jsonl (with a provenance manifest.json) and a "
+        "rerun with the same parameters skips them, resuming a killed sweep "
+        "into an identical table",
+    )
+    sweep.add_argument(
         "--record-trajectory",
         action="store_true",
         help="record per-replica trajectories and aggregate traj_* columns",
@@ -319,7 +328,18 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         f"ensemble={args.ensemble})",
         file=out,
     )
-    rows = run_sweep(sweep, workers=args.workers, ensemble_size=args.ensemble)
+    if args.checkpoint_dir:
+        print(
+            f"Checkpointing completed cells under {args.checkpoint_dir} "
+            "(already-recorded cells will be skipped)",
+            file=out,
+        )
+    rows = run_sweep(
+        sweep,
+        workers=args.workers,
+        ensemble_size=args.ensemble,
+        checkpoint_dir=args.checkpoint_dir,
+    )
     value_keys = DEFAULT_SWEEP_VALUE_KEYS
     if args.record_trajectory:
         value_keys += ("traj_energy_gain", "traj_energy_monotone")

@@ -26,8 +26,14 @@ Three execution strategies compose freely on top of that seeding scheme:
   :func:`run_sweep_parallel` directly) shards cells across a process pool
   with chunked distribution and in-order incremental collection, yielding a
   row-for-row identical table.  Pick ``N`` as the number of physical cores
-  for compute-bound sweeps; cells are independent, so efficiency is near
-  linear once each worker gets a handful of cells.
+  for compute-bound sweeps (the default is affinity-aware,
+  :func:`default_worker_count`); cells are independent, so efficiency is
+  near linear once each worker gets a handful of cells.  Results travel
+  back through shared memory where the host supports it (pickle fallback,
+  identical rows), and ``checkpoint_dir=`` adds crash-durable
+  checkpoint/resume via :class:`SweepCheckpoint` — a killed sweep rerun
+  against the same directory skips recorded cells and reproduces the
+  uninterrupted table.
 
 The two levers multiply: ``workers=N, ensemble_size=R`` runs N cells
 concurrently, each advancing R replicas per vectorized step.
@@ -72,6 +78,7 @@ from repro.experiments.figures import (
     theorem1_scaling,
     theorem2_scaling,
 )
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.io import (
     config_from_dict,
     config_to_dict,
@@ -80,7 +87,11 @@ from repro.experiments.io import (
     save_manifest,
     save_table,
 )
-from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.parallel import (
+    SweepCellError,
+    default_worker_count,
+    run_sweep_parallel,
+)
 from repro.experiments.results import ResultTable
 from repro.experiments.runner import (
     aggregate_sweep,
@@ -88,7 +99,7 @@ from repro.experiments.runner import (
     run_replicate,
     run_sweep,
 )
-from repro.experiments.spec import ExperimentSpec, SweepSpec
+from repro.experiments.spec import ExperimentSpec, SweepSpec, spec_hash
 from repro.experiments.validation import (
     density_sweep_experiment,
     dynamics_ablation_experiment,
@@ -117,12 +128,15 @@ __all__ = [
     "Figure1Result",
     "ResultTable",
     "ScalingResult",
+    "SweepCellError",
+    "SweepCheckpoint",
     "SweepSpec",
     "aggregate_sweep",
     "bench_quick_mode",
     "config_from_dict",
     "config_to_dict",
     "default_tau_grid",
+    "default_worker_count",
     "density_ladder",
     "density_sweep_experiment",
     "dynamics_ablation_experiment",
@@ -149,6 +163,7 @@ __all__ = [
     "save_manifest",
     "save_table",
     "scaling_horizons",
+    "spec_hash",
     "sweep_config",
     "symmetry_experiment",
     "theorem1_scaling",

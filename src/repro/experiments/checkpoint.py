@@ -1,0 +1,207 @@
+"""Checkpointed sweep artifacts: a manifest plus a streamed metrics log.
+
+Every checkpointed sweep run owns an artifact directory with two files,
+following the artifact checklist the ROADMAP adopts (manifest + streamed raw
+measurements):
+
+``manifest.json``
+    Written once, before any cell runs: format tag, library/interpreter
+    versions, a snapshot of the sweep specification, and the expanded cell
+    list — each cell's index, name, seed and content hash
+    (:func:`~repro.experiments.spec.spec_hash`).  The manifest is provenance:
+    a table found later can be traced to the exact parameters and code that
+    produced it.
+
+``metrics.jsonl``
+    One JSON line per *completed* cell, appended (and flushed) the moment the
+    sweep's in-order collector flushes that cell, carrying the cell's spec
+    hash and its raw rows.  Appending line-by-line makes the log crash-safe:
+    a killed run leaves at most one torn trailing line, which the loader
+    skips.
+
+Resume is keyed purely by spec hash: :class:`SweepCheckpoint` loads every
+recorded ``(spec_hash, rows)`` pair and a rerun skips exactly the cells whose
+current hash has a record.  Because the hash pins every row-determining
+parameter (config, seeds, budgets, variant, even the cell name — it is a row
+column), a resumed table is row-for-row identical to an uninterrupted run, up
+to the wall-clock columns captured when each cell actually ran.  Changing any
+sweep parameter changes the hashes, so stale records are ignored rather than
+mixed in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+from pathlib import Path
+from typing import Optional, Union
+
+from repro._version import __version__
+from repro.errors import ExperimentError
+from repro.experiments.io import json_default
+from repro.experiments.spec import ExperimentSpec, spec_hash
+
+PathLike = Union[str, Path]
+
+#: Format tag stamped into (and required of) every checkpoint manifest.
+MANIFEST_FORMAT = "repro-sweep-checkpoint"
+MANIFEST_NAME = "manifest.json"
+METRICS_NAME = "metrics.jsonl"
+
+
+def _sweep_snapshot(sweep: object) -> object:
+    """Best-effort JSON snapshot of the sweep spec for the manifest.
+
+    Dataclass sweeps (the normal case) serialise field-for-field; anything
+    else — tests sometimes pass duck-typed sweeps — degrades to ``repr``.
+    Provenance only: resume never reads the snapshot.
+    """
+    if dataclasses.is_dataclass(sweep) and not isinstance(sweep, type):
+        return dataclasses.asdict(sweep)
+    return {"repr": repr(sweep)}
+
+
+class SweepCheckpoint:
+    """Artifact directory handle for one (possibly resumed) sweep run.
+
+    Constructing the handle prepares the directory: it creates it if needed,
+    validates or writes ``manifest.json``, and loads every completed cell
+    record from ``metrics.jsonl``.  The sweep runner then asks for
+    :meth:`resumed_rows` up front and calls :meth:`record` once per newly
+    completed cell, in cell order, as the in-order collector flushes it.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        cells: list[ExperimentSpec],
+        sweep: Optional[object] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.directory / MANIFEST_NAME
+        self.metrics_path = self.directory / METRICS_NAME
+        self.cell_hashes = [spec_hash(cell) for cell in cells]
+        self._completed: dict[str, list[dict[str, object]]] = {}
+        if self.metrics_path.exists():
+            self._load_metrics()
+        self._check_or_write_manifest(cells, sweep)
+
+    # ------------------------------------------------------------- load side
+
+    def _load_metrics(self) -> None:
+        """Parse ``metrics.jsonl``, tolerating torn lines.
+
+        A run killed mid-append leaves a line that is not valid JSON —
+        usually the trailing one, but :meth:`record` terminates an inherited
+        torn tail before appending, so a twice-interrupted log can carry an
+        invalid line mid-file.  Invalid lines are skipped individually; every
+        line that parses is a whole record (they are flushed line-atomically),
+        and a skipped cell simply reruns.
+        """
+        for line in self.metrics_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            cell_hash = record.get("spec_hash")
+            rows = record.get("rows")
+            if isinstance(cell_hash, str) and isinstance(rows, list):
+                self._completed[cell_hash] = rows
+
+    def _check_or_write_manifest(
+        self, cells: list[ExperimentSpec], sweep: Optional[object]
+    ) -> None:
+        """Validate an existing manifest's format tag, or write a fresh one."""
+        if self.manifest_path.exists():
+            try:
+                manifest = json.loads(self.manifest_path.read_text())
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"{self.manifest_path} is not valid JSON: {exc}"
+                ) from exc
+            if manifest.get("format") != MANIFEST_FORMAT:
+                raise ExperimentError(
+                    f"{self.manifest_path} is not a {MANIFEST_FORMAT} manifest "
+                    "— refusing to resume into a foreign directory"
+                )
+            return
+        import numpy
+
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": 1,
+            "library_version": __version__,
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "sweep": _sweep_snapshot(sweep) if sweep is not None else None,
+            "n_cells": len(cells),
+            "cells": [
+                {
+                    "index": index,
+                    "name": cell.name,
+                    "seed": cell.seed,
+                    "spec_hash": cell_hash,
+                }
+                for index, (cell, cell_hash) in enumerate(
+                    zip(cells, self.cell_hashes)
+                )
+            ],
+        }
+        with open(self.manifest_path, "w") as handle:
+            json.dump(manifest, handle, indent=2, default=json_default)
+            handle.write("\n")
+
+    # ------------------------------------------------------------ query side
+
+    @property
+    def n_completed(self) -> int:
+        """Number of loaded cell records (not all need match this sweep)."""
+        return len(self._completed)
+
+    def resumed_rows(self) -> dict[int, list[dict[str, object]]]:
+        """Rows of already-completed cells, keyed by this run's cell index.
+
+        A cell resumes only when its *current* spec hash has a record, so a
+        sweep whose parameters changed since the checkpoint was written
+        simply reruns every changed cell.
+        """
+        return {
+            index: self._completed[cell_hash]
+            for index, cell_hash in enumerate(self.cell_hashes)
+            if cell_hash in self._completed
+        }
+
+    # ----------------------------------------------------------- record side
+
+    def record(
+        self, index: int, cell: ExperimentSpec, rows: list[dict[str, object]]
+    ) -> None:
+        """Append one completed cell's rows to ``metrics.jsonl``.
+
+        Open-append-close per record keeps the log consistent under kills:
+        the line either lands whole or is the torn tail the loader skips.
+        A torn tail inherited from a previous kill is newline-terminated
+        first, so the new record never concatenates onto the fragment.
+        """
+        line = json.dumps(
+            {
+                "spec_hash": self.cell_hashes[index],
+                "cell_index": index,
+                "cell_name": cell.name,
+                "rows": rows,
+            },
+            separators=(",", ":"),
+            default=json_default,
+        )
+        with open(self.metrics_path, "a+b") as handle:
+            if handle.seek(0, 2) > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+        self._completed[self.cell_hashes[index]] = rows

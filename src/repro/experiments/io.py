@@ -8,6 +8,7 @@ and seed information needed to regenerate it.
 
 from __future__ import annotations
 
+import enum
 import json
 from dataclasses import asdict
 from pathlib import Path
@@ -22,13 +23,22 @@ from repro.types import FlipRule, SchedulerKind
 PathLike = Union[str, Path]
 
 
-def _json_default(value: object) -> object:
-    """JSON encoder fallback for numpy scalars and enums."""
+def json_default(value: object) -> object:
+    """JSON encoder fallback for numpy scalars and library enums.
+
+    Shared by the table/manifest writers here and the sweep checkpoint
+    stream (:mod:`repro.experiments.checkpoint`), so every artifact the
+    experiment harness persists coerces exotic values the same way.
+    """
     if hasattr(value, "item"):
         return value.item()
-    if isinstance(value, (SchedulerKind, FlipRule)):
+    if isinstance(value, enum.Enum):
         return value.value
     raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
+
+
+#: Backwards-compatible alias (the helper predates its public use).
+_json_default = json_default
 
 
 def save_table(table: ResultTable, path: PathLike) -> Path:

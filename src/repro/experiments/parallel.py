@@ -2,7 +2,7 @@
 
 :func:`run_sweep_parallel` shards the cells of a
 :class:`~repro.experiments.spec.SweepSpec` across a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Three properties make the
+:class:`concurrent.futures.ProcessPoolExecutor`.  Several properties make the
 parallel table interchangeable with the serial one:
 
 * **Deterministic seeds** — per-cell seeds are derived by
@@ -20,9 +20,27 @@ parallel table interchangeable with the serial one:
 * **Columnar result transfer** — a cell's rows share one schema (the spec
   fixes the columns), so workers ship each cell as one packed batch: the key
   tuple once plus per-key value columns, instead of ``n_replicates``
-  separate dicts each repeating every key string.  The parent unpacks in
-  arrival order, so the deterministic row order (and the row contents) are
-  untouched; only the pickle payload shrinks.
+  separate dicts each repeating every key string.  With
+  ``transfer="shm"``/``"auto"`` the packed chunk additionally bypasses the
+  executor's result queue: the worker writes it into one
+  :mod:`multiprocessing.shared_memory` segment (numeric columns as raw
+  arrays, object columns pickled — see :mod:`repro.experiments.shm`) and
+  only the segment name travels through the queue.  The classic pickled
+  transfer is retained as the fallback and the two transports produce
+  identical rows, so the parent's in-order flush is transport-oblivious.
+* **Checkpoint/resume** — with ``checkpoint_dir=`` every completed cell is
+  streamed to a ``metrics.jsonl`` record keyed by the cell's content hash
+  (:func:`~repro.experiments.spec.spec_hash`) next to a provenance
+  ``manifest.json`` (see :mod:`repro.experiments.checkpoint`).  A rerun
+  pointed at the same directory skips the recorded cells and splices their
+  rows into the table at the right positions, so a killed sweep resumes
+  into a table row-for-row identical to an uninterrupted run.
+* **Attributed failures** — a cell that raises inside a worker surfaces as
+  :class:`SweepCellError` naming the cell and its index; the parent then
+  cancels every not-yet-started chunk instead of letting the pool run to
+  completion, lets in-flight chunks finish, and flushes the completed
+  contiguous prefix (checkpointed when a ``checkpoint_dir`` is set, so the
+  work is recoverable) before re-raising.
 
 Workers inherit nothing mutable: each one re-imports the library and receives
 pickled frozen specs, which keeps the executor oblivious to interpreter state.
@@ -36,16 +54,58 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, SweepSpec
 
+#: Accepted values for ``run_sweep_parallel``'s ``transfer`` parameter.
+TRANSFER_MODES = ("auto", "shm", "pickle")
+
+
+class SweepCellError(ExperimentError):
+    """One sweep cell failed inside a worker, with the cell identified.
+
+    Carries ``cell_index`` and ``cell_name`` so a crashed sweep names the
+    offending cell instead of surfacing an anonymous pool traceback; the
+    original exception is summarised in the message (tracebacks do not
+    survive the pickle transfer back to the parent, the cause string does).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cell_index: Optional[int] = None,
+        cell_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell_index = cell_index
+        self.cell_name = cell_name
+
+    def __reduce__(self):
+        """Pickle support: rebuild with the identity attributes intact."""
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.cell_index, self.cell_name),
+        )
+
 
 def default_worker_count() -> int:
-    """Worker count used when ``workers`` is not given (all visible CPUs)."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count used when ``workers`` is not given.
+
+    Uses the CPUs this process may actually run on
+    (``os.sched_getaffinity``), not the machine-wide ``os.cpu_count`` —
+    inside containers and cgroup/affinity-limited CI runners the two differ,
+    and sizing the pool by the machine oversubscribes the quota.  Falls back
+    to ``os.cpu_count()`` where affinity masks are unavailable (macOS,
+    Windows).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 def default_chunk_size(n_cells: int, workers: int) -> int:
@@ -88,23 +148,106 @@ def unpack_rows(packed: dict[str, object]) -> list[dict[str, object]]:
     ]
 
 
-def _run_chunk(
-    chunk: list[tuple[int, ExperimentSpec]], ensemble_size: Optional[int]
-) -> list[tuple[int, dict[str, object]]]:
-    """Worker entry point: run a chunk of cells, return (index, batch) pairs.
-
-    Each cell's rows travel as one :func:`pack_rows` columnar batch, so the
-    pickle stream carries every column name once per cell rather than once
-    per replicate row.
-    """
-    # Imported lazily so the parent can pickle this module reference without
-    # dragging the runner (and its numpy state) through the pickle stream.
+def _run_cell(
+    index: int, spec: ExperimentSpec, ensemble_size: Optional[int]
+) -> list[dict[str, object]]:
+    """Run one cell, wrapping any failure with the cell's identity."""
     from repro.experiments.runner import run_experiment
 
-    return [
-        (index, pack_rows(run_experiment(spec, ensemble_size=ensemble_size).rows))
+    try:
+        return run_experiment(spec, ensemble_size=ensemble_size).rows
+    except Exception as exc:
+        raise SweepCellError(
+            f"sweep cell {index} ({spec.name!r}) failed: "
+            f"{type(exc).__name__}: {exc}",
+            cell_index=index,
+            cell_name=spec.name,
+        ) from exc
+
+
+def _run_chunk(
+    chunk: list[tuple[int, ExperimentSpec]],
+    ensemble_size: Optional[int],
+    transfer: str = "pickle",
+) -> tuple:
+    """Worker entry point: run a chunk of cells, return a tagged payload.
+
+    Each cell's rows travel as one :func:`pack_rows` columnar batch.  The
+    payload is ``("shm", name, size)`` when the chunk was written into a
+    shared-memory segment, or ``("pickle", [(index, batch), ...])`` when it
+    rides the executor's result queue — including whenever shared memory is
+    requested but unusable on this host, the retained fallback.
+    """
+    results = [
+        (index, pack_rows(_run_cell(index, spec, ensemble_size)))
         for index, spec in chunk
     ]
+    if transfer == "shm":
+        try:
+            from repro.experiments import shm as shm_transfer
+
+            name, size = shm_transfer.encode_chunk(results)
+            return ("shm", name, size)
+        except (ImportError, OSError):
+            pass
+    return ("pickle", results)
+
+
+def _payload_batches(payload: tuple) -> list[tuple[int, dict[str, object]]]:
+    """Decode a worker payload into its ``(index, packed_batch)`` pairs."""
+    if payload[0] == "shm":
+        from repro.experiments import shm as shm_transfer
+
+        return shm_transfer.decode_chunk(payload[1], payload[2])
+    return payload[1]
+
+
+def _harvest_completed(futures, collected) -> None:
+    """Move successfully finished futures' batches into ``collected``.
+
+    Called on the error path after the pool has shut down: chunks that were
+    already in flight when a sibling failed have run to completion, and their
+    rows belong to the completed prefix.  Futures that failed or were
+    cancelled stay in ``futures``; best effort — harvesting must not mask the
+    original failure.
+    """
+    for future in list(futures):
+        if not future.done() or future.cancelled():
+            continue
+        try:
+            payload = future.result()
+        except BaseException:
+            continue
+        futures.discard(future)
+        try:
+            for index, packed in _payload_batches(payload):
+                collected[index] = unpack_rows(packed)
+        except Exception:
+            continue
+
+
+def _discard_unread(futures) -> None:
+    """Release shared-memory segments held by never-consumed futures.
+
+    Called on the error path after the pool has shut down: any chunk that
+    finished but was never decoded may still own a segment, which would
+    otherwise outlive the sweep.  Best effort — cleanup must not mask the
+    original failure.
+    """
+    for future in futures:
+        if not future.done() or future.cancelled():
+            continue
+        try:
+            payload = future.result()
+        except BaseException:
+            continue
+        if payload[0] == "shm":
+            try:
+                from repro.experiments import shm as shm_transfer
+
+                shm_transfer.discard_chunk(payload[1])
+            except (ImportError, OSError):
+                pass
 
 
 def run_sweep_parallel(
@@ -113,6 +256,8 @@ def run_sweep_parallel(
     progress: Optional[Callable[[ExperimentSpec], None]] = None,
     chunk_size: Optional[int] = None,
     ensemble_size: Optional[int] = None,
+    transfer: str = "auto",
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> ResultTable:
     """Run a sweep's cells on a process pool; rows match the serial runner.
 
@@ -121,57 +266,139 @@ def run_sweep_parallel(
     sweep:
         The sweep to expand and run.
     workers:
-        Pool size; ``None`` uses every visible CPU and ``1`` runs inline
-        (no pool, useful as the deterministic baseline in tests).
+        Pool size; ``None`` uses every CPU this process may run on
+        (affinity-aware, see :func:`default_worker_count`) and ``1`` runs
+        inline (no pool, useful as the deterministic baseline in tests).
     progress:
-        Called once per cell, in cell order, as results are collected.
+        Called once per cell, in cell order, as results are collected —
+        including for cells resumed from a checkpoint.
     chunk_size:
         Contiguous cells per worker task; defaults to
-        :func:`default_chunk_size`.
+        :func:`default_chunk_size` over the cells still to run.
     ensemble_size:
         When > 1, workers run each cell's replicates through the vectorized
         :class:`~repro.core.ensemble.EnsembleDynamics` engine in batches of
         this size.
+    transfer:
+        Result transport: ``"shm"`` ships packed chunks through shared
+        memory, ``"pickle"`` through the executor's result queue, and
+        ``"auto"`` (default) picks shared memory when the host supports it.
+        Both transports produce identical rows.
+    checkpoint_dir:
+        Artifact directory for checkpoint/resume
+        (:class:`~repro.experiments.checkpoint.SweepCheckpoint`).  Completed
+        cells are streamed to ``metrics.jsonl`` as they flush; cells whose
+        spec hash already has a record are skipped and their recorded rows
+        spliced in, so a killed sweep resumes into an identical table.
     """
     if workers is not None and workers <= 0:
         raise ExperimentError(f"workers must be positive, got {workers}")
     if chunk_size is not None and chunk_size <= 0:
         raise ExperimentError(f"chunk_size must be positive, got {chunk_size}")
+    if transfer not in TRANSFER_MODES:
+        raise ExperimentError(
+            f"transfer must be one of {TRANSFER_MODES}, got {transfer!r}"
+        )
     cells = list(sweep.cells())
+
+    checkpoint = None
+    resumed: dict[int, list[dict[str, object]]] = {}
+    if checkpoint_dir is not None:
+        from repro.experiments.checkpoint import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(checkpoint_dir, cells, sweep=sweep)
+        resumed = checkpoint.resumed_rows()
+    resumed_indices = set(resumed)
+    pending_cells = [
+        (index, cell)
+        for index, cell in enumerate(cells)
+        if index not in resumed_indices
+    ]
+
     workers = workers if workers is not None else default_worker_count()
-    workers = min(workers, len(cells)) or 1
+    workers = min(workers, len(pending_cells)) or 1
 
     table = ResultTable()
     if workers == 1:
-        from repro.experiments.runner import run_experiment
-
-        for cell in cells:
-            table.extend(run_experiment(cell, ensemble_size=ensemble_size).rows)
+        for index, cell in enumerate(cells):
+            if index in resumed_indices:
+                rows = resumed[index]
+            else:
+                rows = _run_cell(index, cell, ensemble_size)
+                if checkpoint is not None:
+                    checkpoint.record(index, cell, rows)
+            table.extend(rows)
             if progress is not None:
                 progress(cell)
         return table
 
-    if chunk_size is None:
-        chunk_size = default_chunk_size(len(cells), workers)
-    indexed = list(enumerate(cells))
-    chunks = [indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)]
+    if transfer in ("shm", "auto"):
+        from repro.experiments import shm as shm_transfer
 
-    collected: dict[int, list[dict[str, object]]] = {}
+        # The availability probe runs before the pool forks on purpose: it
+        # starts the parent's multiprocessing resource tracker, which the
+        # workers then inherit, so worker-side segment registrations and the
+        # parent's unlinks reach the same tracker (no spurious leak warnings
+        # at worker shutdown).  Hosts without usable shared memory fall back
+        # to the retained pickle transfer.
+        transfer = "shm" if shm_transfer.shm_available() else "pickle"
+
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(pending_cells), workers)
+    chunks = [
+        pending_cells[i : i + chunk_size]
+        for i in range(0, len(pending_cells), chunk_size)
+    ]
+
+    collected: dict[int, list[dict[str, object]]] = dict(resumed)
     next_index = 0
+
+    def flush_prefix() -> None:
+        """Flush every contiguous completed prefix, in cell order.
+
+        Newly completed cells are checkpointed as they flush (resumed cells
+        already have their record); ``progress`` fires for both, preserving
+        the serial runner's once-per-cell in-order contract.
+        """
+        nonlocal next_index
+        while next_index in collected:
+            rows = collected.pop(next_index)
+            if checkpoint is not None and next_index not in resumed_indices:
+                checkpoint.record(next_index, cells[next_index], rows)
+            table.extend(rows)
+            if progress is not None:
+                progress(cells[next_index])
+            next_index += 1
+
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {
-            pool.submit(_run_chunk, chunk, ensemble_size) for chunk in chunks
+        unconsumed = {
+            pool.submit(_run_chunk, chunk, ensemble_size, transfer)
+            for chunk in chunks
         }
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                for index, packed in future.result():
-                    collected[index] = unpack_rows(packed)
-            # Flush every contiguous completed prefix so callers see results
-            # (and progress callbacks) incrementally, in cell order.
-            while next_index in collected:
-                table.extend(collected.pop(next_index))
-                if progress is not None:
-                    progress(cells[next_index])
-                next_index += 1
+        pending = set(unconsumed)
+        try:
+            flush_prefix()  # a resumed prefix is available immediately
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    payload = future.result()
+                    unconsumed.discard(future)
+                    for index, packed in _payload_batches(payload):
+                        collected[index] = unpack_rows(packed)
+                flush_prefix()
+        except BaseException:
+            # A failing cell must not discard finished work or leave the
+            # rest of the sweep running: cancel queued chunks (the shutdown
+            # waits for in-flight ones to finish), harvest their results,
+            # flush the completed contiguous prefix (recoverable via
+            # checkpoint/resume), and release unread shared-memory segments
+            # before re-raising the attributed error.
+            pool.shutdown(cancel_futures=True)
+            try:
+                _harvest_completed(unconsumed, collected)
+                flush_prefix()
+            except Exception:
+                pass  # never mask the original failure with flush errors
+            _discard_unread(unconsumed)
+            raise
     return table

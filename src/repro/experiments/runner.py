@@ -228,6 +228,7 @@ def run_sweep(
     progress: Optional[Callable[[ExperimentSpec], None]] = None,
     workers: Optional[int] = None,
     ensemble_size: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> ResultTable:
     """Run every cell of a sweep and concatenate the replicate rows.
 
@@ -237,13 +238,20 @@ def run_sweep(
     :func:`repro.experiments.parallel.run_sweep_parallel`, which shards cells
     across a process pool while preserving row order; ``ensemble_size``
     selects the vectorized replicate engine in either mode.
+    ``checkpoint_dir`` (any worker count, including serial) streams completed
+    cells to a resumable artifact directory and skips cells a previous run
+    already recorded — see :mod:`repro.experiments.checkpoint`.
     """
-    if workers is not None and workers > 1:
+    if (workers is not None and workers > 1) or checkpoint_dir is not None:
         # Imported here: parallel builds on this module's cell runner.
         from repro.experiments.parallel import run_sweep_parallel
 
         return run_sweep_parallel(
-            sweep, workers=workers, progress=progress, ensemble_size=ensemble_size
+            sweep,
+            workers=workers if workers is not None else 1,
+            progress=progress,
+            ensemble_size=ensemble_size,
+            checkpoint_dir=checkpoint_dir,
         )
     table = ResultTable()
     for cell in sweep.cells():

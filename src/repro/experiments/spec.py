@@ -18,6 +18,8 @@ cell.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
@@ -154,3 +156,50 @@ class SweepSpec:
         horizons = len(self.horizons) or 1
         densities = len(self.densities) or 1
         return taus * horizons * densities
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> dict[str, object]:
+    """A JSON-friendly dict capturing everything that determines a cell's rows.
+
+    The fingerprint covers the model configuration, replicate count, seeds,
+    budgets, measurement knobs and the variant rule — and the cell *name*,
+    because the name is itself a row column (``experiment``), so two cells
+    must only be treated as interchangeable when their rows would be
+    identical byte for byte.  Wall-clock timings are the only row content not
+    pinned by the fingerprint.
+    """
+    # Imported here: ``io`` depends on results/config only, so the import is
+    # acyclic, but keeping it out of module scope keeps spec import-light.
+    from repro.experiments.io import config_to_dict
+
+    return {
+        "name": spec.name,
+        "config": config_to_dict(spec.config),
+        "n_replicates": spec.n_replicates,
+        "seed": spec.seed,
+        "max_flips": spec.max_flips,
+        "max_steps": spec.max_steps,
+        "max_region_radius": spec.max_region_radius,
+        "record_trajectory": spec.record_trajectory,
+        "record_every": spec.record_every,
+        "variant": {
+            "kind": spec.variant.kind.value,
+            "tau_high": spec.variant.tau_high,
+            "tau_minus": spec.variant.tau_minus,
+        },
+    }
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """Stable content hash of one experiment cell (hex SHA-256).
+
+    Checkpointed sweeps key completed cells by this hash
+    (:mod:`repro.experiments.checkpoint`): a resumed run reuses a recorded
+    cell only when the hash matches, so edits to any row-determining
+    parameter — tau grid, seeds, budgets, variant — invalidate stale records
+    automatically instead of silently mixing tables.
+    """
+    payload = json.dumps(
+        spec_fingerprint(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,82 @@
+"""Tests for the benchmark record writer in ``benchmarks/_record.py``."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def record_module():
+    """The ``benchmarks/_record.py`` module, loaded from its file path."""
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "_record.py"
+    spec = importlib.util.spec_from_file_location("bench_record", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def results_dir(record_module, tmp_path, monkeypatch):
+    """Redirect the module's results directory into the test's tmp dir."""
+    monkeypatch.setattr(record_module, "RESULTS_DIR", tmp_path)
+    return tmp_path
+
+
+class TestRecordBenchmark:
+    def test_writes_named_record(self, record_module, results_dir):
+        path = record_module.record_benchmark(
+            "unit_smoke",
+            metrics={"speedup": 2.5},
+            config={"side": 64},
+            quick_mode=True,
+        )
+        assert path == results_dir / "BENCH_unit_smoke.json"
+        record = json.loads(path.read_text())
+        assert record["name"] == "unit_smoke"
+        assert record["metrics"] == {"speedup": 2.5}
+        assert record["config"] == {"side": 64}
+        assert record["quick_mode"] is True
+        assert record["python"] and record["numpy"]
+
+    def test_no_temp_files_after_success(self, record_module, results_dir):
+        record_module.record_benchmark("clean", metrics={}, quick_mode=True)
+        assert [entry.name for entry in results_dir.iterdir()] == [
+            "BENCH_clean.json"
+        ]
+
+    def test_failed_dump_unlinks_temp_file(
+        self, record_module, results_dir, monkeypatch
+    ):
+        def exploding_dump(*args, **kwargs):
+            raise ValueError("simulated serialization failure")
+
+        monkeypatch.setattr(record_module.json, "dump", exploding_dump)
+        with pytest.raises(ValueError):
+            record_module.record_benchmark("torn", metrics={}, quick_mode=True)
+        assert list(results_dir.iterdir()) == []  # no mkstemp leftovers
+
+    def test_write_after_failure_still_succeeds(
+        self, record_module, results_dir, monkeypatch
+    ):
+        real_dump = record_module.json.dump
+        calls = {"n": 0}
+
+        def flaky_dump(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("simulated full disk")
+            return real_dump(*args, **kwargs)
+
+        monkeypatch.setattr(record_module.json, "dump", flaky_dump)
+        with pytest.raises(OSError):
+            record_module.record_benchmark("retry", metrics={}, quick_mode=True)
+        path = record_module.record_benchmark(
+            "retry", metrics={"ok": 1}, quick_mode=True
+        )
+        record = json.loads(path.read_text())
+        assert record["metrics"] == {"ok": 1}
+        assert [entry.name for entry in results_dir.iterdir()] == [
+            "BENCH_retry.json"
+        ]

@@ -1,13 +1,22 @@
 """Determinism and equivalence tests for the parallel sweep runner."""
 
+import json
+import os
+import pickle
+
 import pytest
 
 from repro.core.config import ModelConfig
 from repro.errors import ExperimentError
+from repro.experiments import shm
 from repro.experiments.parallel import (
+    SweepCellError,
+    _run_chunk,
     default_chunk_size,
     default_worker_count,
+    pack_rows,
     run_sweep_parallel,
+    unpack_rows,
 )
 from repro.experiments.runner import run_experiment, run_sweep
 from repro.experiments.spec import ExperimentSpec, SweepSpec
@@ -122,12 +131,169 @@ class TestPackedRowTransfer:
         assert unpack_rows(packed) == rows
 
     def test_packed_payload_carries_keys_once(self):
-        import pickle
-
-        from repro.experiments.parallel import pack_rows
-
         key = "a_rather_long_metric_column_name"
         rows = [{key: index} for index in range(64)]
         packed_size = len(pickle.dumps(pack_rows(rows)))
         raw_size = len(pickle.dumps(rows))
         assert packed_size < raw_size / 2
+
+
+class TestWorkerCount:
+    """``default_worker_count`` must respect cgroup/affinity limits."""
+
+    def test_uses_scheduler_affinity_when_available(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False)
+        assert default_worker_count() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_worker_count() == 5
+
+    def test_falls_back_to_cpu_count_on_os_error(self, monkeypatch):
+        def unavailable(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", unavailable, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert default_worker_count() == 2
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_worker_count() == 1
+
+
+def _poisoned_sweep(sweep: SweepSpec, poison_index: int):
+    """The sweep's cells with one cell made to fail inside the runner.
+
+    ``record_every=0`` passes the frozen spec through pickling untouched but
+    raises ``StateError`` the moment the replicate's run starts — a genuine
+    in-worker failure, not a construction-time one.
+    """
+    cells = list(sweep.cells())
+    object.__setattr__(cells[poison_index], "record_every", 0)
+
+    class _CellListSweep:
+        def cells(self):
+            return iter(cells)
+
+    return _CellListSweep()
+
+
+class TestWorkerFailure:
+    def test_failure_names_cell_and_index(self, small_sweep):
+        poisoned = _poisoned_sweep(small_sweep, poison_index=2)
+        expected_name = list(small_sweep.cells())[2].name
+        with pytest.raises(SweepCellError) as excinfo:
+            run_sweep_parallel(poisoned, workers=2, chunk_size=1)
+        assert excinfo.value.cell_index == 2
+        assert excinfo.value.cell_name == expected_name
+        assert expected_name in str(excinfo.value)
+        assert "StateError" in str(excinfo.value)
+
+    def test_failure_wrapped_on_inline_path_too(self, small_sweep):
+        poisoned = _poisoned_sweep(small_sweep, poison_index=0)
+        with pytest.raises(SweepCellError) as excinfo:
+            run_sweep_parallel(poisoned, workers=1)
+        assert excinfo.value.cell_index == 0
+
+    def test_error_survives_pickling_with_identity(self):
+        error = SweepCellError("cell 3 failed", cell_index=3, cell_name="cell-3")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SweepCellError)
+        assert str(clone) == "cell 3 failed"
+        assert clone.cell_index == 3
+        assert clone.cell_name == "cell-3"
+
+    def test_completed_prefix_is_checkpointed_before_reraise(
+        self, small_sweep, tmp_path
+    ):
+        poisoned = _poisoned_sweep(small_sweep, poison_index=2)
+        with pytest.raises(SweepCellError):
+            run_sweep_parallel(
+                poisoned, workers=2, chunk_size=1, checkpoint_dir=tmp_path
+            )
+        recorded = [
+            json.loads(line)["cell_index"]
+            for line in (tmp_path / "metrics.jsonl").read_text().splitlines()
+        ]
+        assert recorded == [0, 1]
+
+    def test_crashed_sweep_resumes_into_identical_table(
+        self, small_sweep, tmp_path
+    ):
+        poisoned = _poisoned_sweep(small_sweep, poison_index=2)
+        with pytest.raises(SweepCellError):
+            run_sweep_parallel(
+                poisoned, workers=2, chunk_size=1, checkpoint_dir=tmp_path
+            )
+        resumed = run_sweep_parallel(
+            small_sweep, workers=2, checkpoint_dir=tmp_path
+        )
+        assert comparable_rows(resumed) == comparable_rows(run_sweep(small_sweep))
+
+
+class TestSharedMemoryCodec:
+    def test_raw_column_tags(self):
+        assert shm._raw_column_tag([True, False]) == "bool"
+        assert shm._raw_column_tag([1, -2, 3]) == "int64"
+        assert shm._raw_column_tag([0.5, -1.25]) == "float64"
+        assert shm._raw_column_tag([1, 2.5]) is None  # mixed
+        assert shm._raw_column_tag([True, 1]) is None  # bool is not int here
+        assert shm._raw_column_tag(["a", "b"]) is None
+        assert shm._raw_column_tag([2**63, 0]) is None  # overflows int64
+        assert shm._raw_column_tag([]) is None
+
+    @pytest.mark.skipif(not shm.shm_available(), reason="no usable shared memory")
+    def test_roundtrip_preserves_values_and_types(self):
+        rows = [
+            {"name": "cell-a", "seed": 7, "rate": 0.1, "ok": True},
+            {"name": "cell-b", "seed": -(2**40), "rate": -3.5, "ok": False},
+        ]
+        batches = [
+            (4, pack_rows(rows)),
+            (5, pack_rows([])),
+            (6, {"rows": [{"a": 1}, {"b": 2}]}),  # non-uniform fallback
+        ]
+        name, size = shm.encode_chunk(batches)
+        decoded = dict(shm.decode_chunk(name, size))
+        out = unpack_rows(decoded[4])
+        assert out == rows
+        for row in out:
+            assert type(row["seed"]) is int
+            assert type(row["rate"]) is float
+            assert type(row["ok"]) is bool
+            assert type(row["name"]) is str
+        assert unpack_rows(decoded[5]) == []
+        assert unpack_rows(decoded[6]) == [{"a": 1}, {"b": 2}]
+
+    @pytest.mark.skipif(not shm.shm_available(), reason="no usable shared memory")
+    def test_worker_entry_point_uses_shared_memory(self, small_sweep):
+        chunk = list(enumerate(small_sweep.cells()))[:1]
+        payload = _run_chunk(chunk, None, transfer="shm")
+        assert payload[0] == "shm"
+        via_shm = dict(shm.decode_chunk(payload[1], payload[2]))
+        via_pickle = dict(_run_chunk(chunk, None, transfer="pickle")[1])
+        strip = lambda packed: [
+            {k: v for k, v in row.items() if k != "wall_clock_seconds"}
+            for row in unpack_rows(packed)
+        ]
+        assert strip(via_shm[0]) == strip(via_pickle[0])
+
+    def test_discard_unknown_segment_is_silent(self):
+        shm.discard_chunk("psm_no_such_segment_abcdef")
+
+
+class TestTransferEquivalence:
+    """Both transports (and auto) must produce bitwise-identical tables."""
+
+    @pytest.mark.parametrize("transfer", ["shm", "pickle", "auto"])
+    def test_transfer_matches_serial(self, small_sweep, transfer):
+        serial = run_sweep(small_sweep)
+        parallel = run_sweep_parallel(small_sweep, workers=2, transfer=transfer)
+        assert comparable_rows(parallel) == comparable_rows(serial)
+
+    def test_invalid_transfer_rejected(self, small_sweep):
+        with pytest.raises(ExperimentError):
+            run_sweep_parallel(small_sweep, workers=2, transfer="carrier-pigeon")

@@ -194,6 +194,16 @@ class TestGoldenRows:
         table = run_sweep(self._sweep(), **run_kwargs)
         assert self._normalized_rows(table) == golden
 
+    def test_shared_memory_transfer_matches_capture(self):
+        from repro.experiments import shm
+        from repro.experiments.parallel import run_sweep_parallel
+
+        if not shm.shm_available():
+            pytest.skip("no usable shared memory on this host")
+        golden = json.loads(self.GOLDEN_PATH.read_text())
+        table = run_sweep_parallel(self._sweep(), workers=2, transfer="shm")
+        assert self._normalized_rows(table) == golden
+
 
 class TestVariantCells:
     """Variant cells produce engine-independent rows across all three paths."""
