@@ -23,6 +23,7 @@ The module is usable both as ``python -m repro ...`` and through the
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -105,6 +106,29 @@ def build_parser() -> argparse.ArgumentParser:
         "into an identical table",
     )
     sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="times a failed cell is retried (with seeded exponential "
+        "backoff) before --on-error settles it",
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell deadline in seconds; a chunk past its deadline marks "
+        "the worker pool hung, which is killed and respawned with only "
+        "unfinished cells rescheduled",
+    )
+    sweep.add_argument(
+        "--on-error",
+        choices=("raise", "retry", "skip"),
+        default="raise",
+        help="policy for cells that fail: abort the sweep (raise, default), "
+        "retry up to --retries then abort (retry), or retry then quarantine "
+        "the cell as a structured failure record and finish the rest (skip)",
+    )
+    sweep.add_argument(
         "--record-trajectory",
         action="store_true",
         help="record per-replica trajectories and aggregate traj_* columns",
@@ -117,6 +141,25 @@ def build_parser() -> argparse.ArgumentParser:
         "lockstep rounds for --ensemble > 1)",
     )
     _add_variant_arguments(sweep)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="audit or repair a sweep checkpoint store"
+    )
+    checkpoint_sub = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    verify = checkpoint_sub.add_parser(
+        "verify",
+        help="audit a checkpoint directory and print a JSON report "
+        "(exit 1 when problems are found)",
+    )
+    verify.add_argument("directory", type=str)
+    repair = checkpoint_sub.add_parser(
+        "repair",
+        help="truncate metrics.jsonl to its longest valid prefix "
+        "(atomic; dropped cells simply rerun on resume)",
+    )
+    repair.add_argument("directory", type=str)
     return parser
 
 
@@ -339,7 +382,22 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         workers=args.workers,
         ensemble_size=args.ensemble,
         checkpoint_dir=args.checkpoint_dir,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        on_error=args.on_error,
     )
+    if rows.failures:
+        print(
+            f"WARNING: {len(rows.failures)} cell(s) quarantined after "
+            "exhausting retries:",
+            file=out,
+        )
+        for failure in rows.failures:
+            print(
+                f"  cell {failure['cell_index']} ({failure['cell_name']}): "
+                f"{failure['error']} after {failure['attempts']} attempt(s)",
+                file=out,
+            )
     value_keys = DEFAULT_SWEEP_VALUE_KEYS
     if args.record_trajectory:
         value_keys += ("traj_energy_gain", "traj_energy_monotone")
@@ -348,6 +406,25 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
     if args.csv:
         aggregated.to_csv(args.csv)
         print(f"wrote {args.csv}", file=out)
+    return 0
+
+
+def _command_checkpoint(args: argparse.Namespace, out) -> int:
+    """Audit (``verify``) or truncate-repair (``repair``) a checkpoint store.
+
+    Both subcommands print the machine-readable report as indented JSON.
+    ``verify`` exits 1 when any problem was found — scriptable as a health
+    check — while ``repair`` exits 0 whenever the store ends up resumable
+    (the report's ``repair`` section states what was cut).
+    """
+    from repro.experiments.checkpoint import repair_store, verify_store
+
+    if args.checkpoint_command == "verify":
+        report = verify_store(args.directory)
+        print(json.dumps(report, indent=2), file=out)
+        return 0 if report["ok"] else 1
+    report = repair_store(args.directory)
+    print(json.dumps(report, indent=2), file=out)
     return 0
 
 
@@ -363,6 +440,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_simulate(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "checkpoint":
+        return _command_checkpoint(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

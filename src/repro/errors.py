@@ -48,3 +48,23 @@ class PercolationError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failure (empty sweep, inconsistent replicates)."""
+
+
+class SweepDegradationWarning(UserWarning):
+    """The sweep supervisor degraded gracefully instead of failing.
+
+    Emitted once per degradation step — a hung worker pool killed and
+    respawned, the shared-memory transport demoted to pickle after repeated
+    failures, or the respawn budget exhausted and the sweep finished
+    serially — so a long run leaves an auditable trail explaining why it ran
+    slower than configured instead of dying.
+    """
+
+
+class CheckpointWarning(UserWarning):
+    """A checkpoint store was readable but not pristine.
+
+    Emitted when the metrics log loader drops a torn, unparseable or
+    CRC-mismatched line, naming the file, line number and byte count, so an
+    operator can tell a clean resume from a lossy one.
+    """

@@ -78,7 +78,12 @@ from repro.experiments.figures import (
     theorem1_scaling,
     theorem2_scaling,
 )
-from repro.experiments.checkpoint import SweepCheckpoint
+from repro.experiments.checkpoint import (
+    SweepCheckpoint,
+    repair_store,
+    verify_store,
+)
+from repro.experiments.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.experiments.io import (
     config_from_dict,
     config_to_dict,
@@ -92,6 +97,7 @@ from repro.experiments.parallel import (
     default_worker_count,
     run_sweep_parallel,
 )
+from repro.experiments.shm import segment_ledger
 from repro.experiments.results import ResultTable
 from repro.experiments.runner import (
     aggregate_sweep,
@@ -125,7 +131,10 @@ from repro.experiments.workloads import (
 
 __all__ = [
     "ExperimentSpec",
+    "FaultPlan",
+    "FaultSpec",
     "Figure1Result",
+    "InjectedFault",
     "ResultTable",
     "ScalingResult",
     "SweepCellError",
@@ -156,6 +165,7 @@ __all__ = [
     "percolation_substrate_experiment",
     "proposition1_experiment",
     "radical_expansion_experiment",
+    "repair_store",
     "run_experiment",
     "run_replicate",
     "run_sweep",
@@ -163,6 +173,7 @@ __all__ = [
     "save_manifest",
     "save_table",
     "scaling_horizons",
+    "segment_ledger",
     "spec_hash",
     "sweep_config",
     "symmetry_experiment",
@@ -170,4 +181,5 @@ __all__ = [
     "theorem1_taus",
     "theorem2_scaling",
     "theorem2_taus",
+    "verify_store",
 ]

@@ -17,7 +17,13 @@ measurements):
     sweep's in-order collector flushes that cell, carrying the cell's spec
     hash and its raw rows.  Appending line-by-line makes the log crash-safe:
     a killed run leaves at most one torn trailing line, which the loader
-    skips.
+    skips.  Since store format v2 every line is *self-verifying*: it ends
+    with a ``crc32`` field computed over the rest of the record, so a line
+    that parses but was bit-flipped on disk (or hand-edited) is detected and
+    dropped rather than resumed from.  Quarantined cells (``on_error="skip"``
+    exhausting its retries) are recorded too, as lines carrying a
+    ``failure`` object instead of ``rows`` — provenance for the operator;
+    resume reruns those cells.
 
 Resume is keyed purely by spec hash: :class:`SweepCheckpoint` loads every
 recorded ``(spec_hash, rows)`` pair and a rerun skips exactly the cells whose
@@ -27,18 +33,30 @@ column), a resumed table is row-for-row identical to an uninterrupted run, up
 to the wall-clock columns captured when each cell actually ran.  Changing any
 sweep parameter changes the hashes, so stale records are ignored rather than
 mixed in.
+
+The module-level :func:`verify_store` / :func:`repair_store` audit a store
+without constructing a sweep: verify classifies every line (valid, legacy
+pre-CRC, torn tail, corrupt, CRC mismatch, duplicate, orphan) against the
+manifest and returns a machine-readable report; repair atomically rewrites
+``metrics.jsonl`` down to its longest valid prefix so a damaged store
+becomes resumable again with zero risk of resuming from corrupt rows.  Both
+are exposed as ``repro checkpoint verify|repair`` CLI subcommands.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
+import tempfile
+import warnings
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
 from repro._version import __version__
-from repro.errors import ExperimentError
+from repro.errors import CheckpointWarning, ExperimentError
 from repro.experiments.io import json_default
 from repro.experiments.spec import ExperimentSpec, spec_hash
 
@@ -48,6 +66,52 @@ PathLike = Union[str, Path]
 MANIFEST_FORMAT = "repro-sweep-checkpoint"
 MANIFEST_NAME = "manifest.json"
 METRICS_NAME = "metrics.jsonl"
+
+#: Store format version stamped into new manifests.  Version 2 added the
+#: per-line ``crc32`` field; version-1 lines (no CRC) are still loaded.
+STORE_VERSION = 2
+
+
+def _canonical_payload(record: dict) -> dict:
+    """``record`` with every exotic value coerced as the writer would coerce it.
+
+    A JSON round-trip through the shared ``json_default`` hook turns numpy
+    scalars/enums into the plain values a later reader will parse, so the
+    CRC computed over the canonical form verifies bytes the reader can
+    actually reproduce.
+    """
+    return json.loads(
+        json.dumps(record, separators=(",", ":"), default=json_default)
+    )
+
+
+def encode_record_line(record: dict) -> bytes:
+    """Serialise one metrics record as a self-verifying JSONL line.
+
+    The ``crc32`` field is appended *last*, computed over the compact
+    serialisation of everything before it; :func:`verify_record_crc` checks
+    it by re-serialising the parsed record minus the field.  Both sides use
+    ``json.dumps`` with the same separators, and dict order survives the
+    round-trip, so the check is byte-exact.
+    """
+    payload = _canonical_payload(record)
+    body = json.dumps(payload, separators=(",", ":"))
+    payload["crc32"] = zlib.crc32(body.encode("utf-8"))
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def verify_record_crc(record: dict) -> Optional[bool]:
+    """CRC verdict for a parsed record: ``True``/``False``, ``None`` if legacy.
+
+    ``None`` means the record predates store format v2 and carries no
+    ``crc32`` field — acceptable, but reported by :func:`verify_store`.
+    """
+    if "crc32" not in record:
+        return None
+    crc = record["crc32"]
+    rest = {key: value for key, value in record.items() if key != "crc32"}
+    body = json.dumps(rest, separators=(",", ":"))
+    return isinstance(crc, int) and zlib.crc32(body.encode("utf-8")) == crc
 
 
 def _sweep_snapshot(sweep: object) -> object:
@@ -84,6 +148,7 @@ class SweepCheckpoint:
         self.metrics_path = self.directory / METRICS_NAME
         self.cell_hashes = [spec_hash(cell) for cell in cells]
         self._completed: dict[str, list[dict[str, object]]] = {}
+        self._failures: dict[str, dict[str, object]] = {}
         if self.metrics_path.exists():
             self._load_metrics()
         self._check_or_write_manifest(cells, sweep)
@@ -96,22 +161,44 @@ class SweepCheckpoint:
         A run killed mid-append leaves a line that is not valid JSON —
         usually the trailing one, but :meth:`record` terminates an inherited
         torn tail before appending, so a twice-interrupted log can carry an
-        invalid line mid-file.  Invalid lines are skipped individually; every
-        line that parses is a whole record (they are flushed line-atomically),
-        and a skipped cell simply reruns.
+        invalid line mid-file.  Invalid or CRC-mismatched lines are skipped
+        individually *with a* :class:`~repro.errors.CheckpointWarning`
+        *naming the file, line number and byte count dropped* — a lossy
+        resume must be distinguishable from a clean one; every line that
+        parses and verifies is a whole record (they are flushed
+        line-atomically), and a skipped cell simply reruns.
         """
-        for line in self.metrics_path.read_text().splitlines():
+        for number, line in enumerate(
+            self.metrics_path.read_text().splitlines(), start=1
+        ):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except ValueError:
+                self._warn_dropped(number, line, "not valid JSON (torn line?)")
+                continue
+            if verify_record_crc(record) is False:
+                self._warn_dropped(number, line, "CRC32 mismatch (corrupt)")
                 continue
             cell_hash = record.get("spec_hash")
             rows = record.get("rows")
+            failure = record.get("failure")
             if isinstance(cell_hash, str) and isinstance(rows, list):
                 self._completed[cell_hash] = rows
+            elif isinstance(cell_hash, str) and isinstance(failure, dict):
+                self._failures[cell_hash] = failure
+
+    def _warn_dropped(self, number: int, line: str, reason: str) -> None:
+        """Warn that one metrics line was dropped, with its identity."""
+        warnings.warn(
+            f"{self.metrics_path}: dropping line {number} "
+            f"({len(line.encode('utf-8'))} bytes): {reason}; "
+            "the affected cell will rerun on resume",
+            CheckpointWarning,
+            stacklevel=3,
+        )
 
     def _check_or_write_manifest(
         self, cells: list[ExperimentSpec], sweep: Optional[object]
@@ -134,7 +221,7 @@ class SweepCheckpoint:
 
         manifest = {
             "format": MANIFEST_FORMAT,
-            "version": 1,
+            "version": STORE_VERSION,
             "library_version": __version__,
             "python": platform.python_version(),
             "numpy": numpy.__version__,
@@ -176,7 +263,33 @@ class SweepCheckpoint:
             if cell_hash in self._completed
         }
 
+    def recorded_failures(self) -> dict[int, dict[str, object]]:
+        """Quarantined-cell failure records, keyed by this run's cell index.
+
+        Informational: a failure record never satisfies resume — the cell
+        reruns and gets another chance — but the operator can see what went
+        wrong on the previous run without scraping logs.
+        """
+        return {
+            index: self._failures[cell_hash]
+            for index, cell_hash in enumerate(self.cell_hashes)
+            if cell_hash in self._failures and cell_hash not in self._completed
+        }
+
     # ----------------------------------------------------------- record side
+
+    def encoded_record(
+        self, index: int, cell: ExperimentSpec, rows: list[dict[str, object]]
+    ) -> bytes:
+        """The exact self-verifying line :meth:`record` would append."""
+        return encode_record_line(
+            {
+                "spec_hash": self.cell_hashes[index],
+                "cell_index": index,
+                "cell_name": cell.name,
+                "rows": rows,
+            }
+        )
 
     def record(
         self, index: int, cell: ExperimentSpec, rows: list[dict[str, object]]
@@ -188,20 +301,265 @@ class SweepCheckpoint:
         A torn tail inherited from a previous kill is newline-terminated
         first, so the new record never concatenates onto the fragment.
         """
-        line = json.dumps(
-            {
-                "spec_hash": self.cell_hashes[index],
-                "cell_index": index,
-                "cell_name": cell.name,
-                "rows": rows,
-            },
-            separators=(",", ":"),
-            default=json_default,
+        self._append_line(self.encoded_record(index, cell, rows))
+        self._completed[self.cell_hashes[index]] = rows
+
+    def record_failure(
+        self, index: int, cell: ExperimentSpec, failure: dict[str, object]
+    ) -> None:
+        """Append a quarantined cell's structured failure record.
+
+        The record carries the cell's identity, the attempt count and the
+        worker-side traceback string, so a long unattended sweep leaves an
+        auditable account of what it skipped.  Failure records never satisfy
+        resume — the cell reruns next time.
+        """
+        self._append_line(
+            encode_record_line(
+                {
+                    "spec_hash": self.cell_hashes[index],
+                    "cell_index": index,
+                    "cell_name": cell.name,
+                    "failure": failure,
+                }
+            )
         )
+        self._failures[self.cell_hashes[index]] = dict(failure)
+
+    def _append_line(self, line: bytes) -> None:
+        """Append one encoded line, newline-terminating any inherited tail."""
         with open(self.metrics_path, "a+b") as handle:
             if handle.seek(0, 2) > 0:
                 handle.seek(-1, 2)
                 if handle.read(1) != b"\n":
                     handle.write(b"\n")
-            handle.write(line.encode("utf-8") + b"\n")
-        self._completed[self.cell_hashes[index]] = rows
+            handle.write(line)
+
+
+# ----------------------------------------------------------------- audit side
+
+
+def _classify_lines(metrics_bytes: bytes, manifest_hashes: Optional[set]):
+    """Classify every ``metrics.jsonl`` line; yield ``(problems, prefix_end)``.
+
+    Walks the raw bytes so byte offsets are exact.  Returns the problem list
+    and the byte offset of the end of the longest *prefix* of fully valid
+    lines — the truncation point :func:`repair_store` uses.  A line is valid
+    when it parses, its CRC matches (legacy no-CRC lines are reported but
+    count as valid — they predate format v2), it carries a usable payload,
+    and its hash is neither a duplicate nor (when a manifest is readable) an
+    orphan.  Duplicates and orphans end the valid prefix too: resuming past
+    them is well-defined for the loader, but a repaired store should be
+    exactly reproducible from the manifest, so repair cuts conservatively.
+    """
+    problems: list[dict[str, object]] = []
+    counts = {"total": 0, "valid": 0, "legacy_no_crc": 0}
+    prefix_end = 0
+    prefix_intact = True
+    seen_hashes: set[str] = set()
+    offset = 0
+    while offset < len(metrics_bytes):
+        newline = metrics_bytes.find(b"\n", offset)
+        torn_tail = newline < 0
+        end = len(metrics_bytes) if torn_tail else newline + 1
+        raw = metrics_bytes[offset : len(metrics_bytes) if torn_tail else newline]
+        line_number = counts["total"] + 1
+        counts["total"] += 1
+        problem: Optional[dict[str, object]] = None
+        if not raw.strip():
+            # Blank separator (a terminated torn fragment); harmless.
+            counts["total"] -= 1
+            if prefix_intact:
+                prefix_end = end
+            offset = end
+            continue
+        try:
+            record = json.loads(raw.decode("utf-8", errors="replace"))
+            if not isinstance(record, dict):
+                raise ValueError("not a JSON object")
+        except ValueError:
+            kind = "torn-tail" if torn_tail else "corrupt-line"
+            problem = {"kind": kind, "line": line_number, "bytes": len(raw)}
+        else:
+            crc_ok = verify_record_crc(record)
+            cell_hash = record.get("spec_hash")
+            if torn_tail:
+                # Parses but was never newline-terminated: the append was
+                # cut between the payload write and the newline flush.
+                problem = {
+                    "kind": "torn-tail",
+                    "line": line_number,
+                    "bytes": len(raw),
+                }
+            elif crc_ok is False:
+                problem = {
+                    "kind": "crc-mismatch",
+                    "line": line_number,
+                    "bytes": len(raw),
+                }
+            elif not isinstance(cell_hash, str) or not (
+                isinstance(record.get("rows"), list)
+                or isinstance(record.get("failure"), dict)
+            ):
+                problem = {
+                    "kind": "malformed-record",
+                    "line": line_number,
+                    "bytes": len(raw),
+                }
+            elif cell_hash in seen_hashes:
+                problem = {
+                    "kind": "duplicate-record",
+                    "line": line_number,
+                    "bytes": len(raw),
+                    "spec_hash": cell_hash,
+                }
+            elif manifest_hashes is not None and cell_hash not in manifest_hashes:
+                problem = {
+                    "kind": "orphan-record",
+                    "line": line_number,
+                    "bytes": len(raw),
+                    "spec_hash": cell_hash,
+                }
+            else:
+                counts["valid"] += 1
+                if crc_ok is None:
+                    counts["legacy_no_crc"] += 1
+                seen_hashes.add(cell_hash)
+        if problem is not None:
+            problems.append(problem)
+            prefix_intact = False
+        elif prefix_intact:
+            prefix_end = end
+        offset = end
+    return problems, counts, prefix_end
+
+
+def _audit_manifest(directory: Path) -> tuple[dict, Optional[set]]:
+    """Manifest portion of a store audit: report dict + the cell hash set."""
+    manifest_path = directory / MANIFEST_NAME
+    report: dict[str, object] = {
+        "present": manifest_path.exists(),
+        "valid": False,
+        "n_cells": None,
+        "problems": [],
+    }
+    if not report["present"]:
+        report["problems"].append({"kind": "manifest-missing"})
+        return report, None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        report["problems"].append(
+            {"kind": "manifest-corrupt", "detail": str(exc)}
+        )
+        return report, None
+    if manifest.get("format") != MANIFEST_FORMAT:
+        report["problems"].append(
+            {"kind": "manifest-foreign", "detail": str(manifest.get("format"))}
+        )
+        return report, None
+    cells = manifest.get("cells")
+    n_cells = manifest.get("n_cells")
+    hashes: Optional[set] = None
+    if isinstance(cells, list):
+        hashes = {
+            entry.get("spec_hash")
+            for entry in cells
+            if isinstance(entry, dict) and isinstance(entry.get("spec_hash"), str)
+        }
+        if len(hashes) != len(cells):
+            report["problems"].append(
+                {
+                    "kind": "manifest-drift",
+                    "detail": "duplicate or missing spec hashes in cell list",
+                }
+            )
+        if isinstance(n_cells, int) and n_cells != len(cells):
+            report["problems"].append(
+                {
+                    "kind": "manifest-drift",
+                    "detail": f"n_cells={n_cells} but cell list has {len(cells)}",
+                }
+            )
+    report["valid"] = not report["problems"]
+    report["n_cells"] = n_cells if isinstance(n_cells, int) else None
+    return report, hashes
+
+
+def verify_store(directory: PathLike) -> dict[str, object]:
+    """Audit a checkpoint directory; return a machine-readable report.
+
+    The report carries ``ok`` (no problems at all), a ``manifest`` section,
+    per-line ``records`` counts, the full ``problems`` list (each problem a
+    dict with a ``kind`` — ``torn-tail``, ``corrupt-line``, ``crc-mismatch``,
+    ``malformed-record``, ``duplicate-record``, ``orphan-record``,
+    ``manifest-*`` — plus line number and byte count where applicable) and
+    ``valid_prefix_bytes``, the truncation point :func:`repair_store` would
+    cut at.  Read-only: verification never modifies the store.
+    """
+    directory = Path(directory)
+    manifest_report, manifest_hashes = _audit_manifest(directory)
+    metrics_path = directory / METRICS_NAME
+    counts = {"total": 0, "valid": 0, "legacy_no_crc": 0}
+    problems: list[dict[str, object]] = []
+    prefix_end = 0
+    metrics_present = metrics_path.exists()
+    if metrics_present:
+        problems, counts, prefix_end = _classify_lines(
+            metrics_path.read_bytes(), manifest_hashes
+        )
+    all_problems = list(manifest_report["problems"]) + problems
+    return {
+        "directory": str(directory),
+        "ok": not all_problems,
+        "manifest": {
+            key: manifest_report[key] for key in ("present", "valid", "n_cells")
+        },
+        "records": {
+            "metrics_present": metrics_present,
+            "total": counts["total"],
+            "valid": counts["valid"],
+            "legacy_no_crc": counts["legacy_no_crc"],
+        },
+        "problems": all_problems,
+        "valid_prefix_bytes": prefix_end,
+    }
+
+
+def repair_store(directory: PathLike) -> dict[str, object]:
+    """Truncate ``metrics.jsonl`` to its longest valid prefix, atomically.
+
+    Returns the :func:`verify_store` report of the *pre-repair* state
+    extended with a ``repair`` section stating what was done.  The rewrite
+    goes through a temp file + ``os.replace``, so a crash mid-repair leaves
+    either the original or the repaired file, never a hybrid.  Records after
+    the first invalid line are dropped even if individually valid — their
+    cells simply rerun on resume — so the repaired store is always an exact
+    prefix of a legitimate run and resume stays row-for-row identical.
+    Manifest problems are reported but not repaired (the manifest is
+    provenance; fabricating one would defeat its purpose).
+    """
+    directory = Path(directory)
+    report = verify_store(directory)
+    metrics_path = directory / METRICS_NAME
+    repair: dict[str, object] = {"performed": False, "bytes_dropped": 0}
+    line_problems = [p for p in report["problems"] if "line" in p]
+    if metrics_path.exists() and line_problems:
+        data = metrics_path.read_bytes()
+        keep = report["valid_prefix_bytes"]
+        descriptor, tmp = tempfile.mkstemp(dir=directory, suffix=".jsonl")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data[:keep])
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, metrics_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        repair = {"performed": True, "bytes_dropped": len(data) - keep}
+    report["repair"] = repair
+    return report

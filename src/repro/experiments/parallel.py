@@ -1,4 +1,4 @@
-"""Process-pool sweep execution.
+"""Process-pool sweep execution with a fault-tolerant supervisor.
 
 :func:`run_sweep_parallel` shards the cells of a
 :class:`~repro.experiments.spec.SweepSpec` across a
@@ -8,10 +8,11 @@ parallel table interchangeable with the serial one:
 * **Deterministic seeds** — per-cell seeds are derived by
   :meth:`SweepSpec.cells` from the sweep seed and the cell index, and
   per-replicate seeds from the cell seed, so no seed depends on which worker
-  runs a cell or when.
+  runs a cell or when — nor on how many times a cell was attempted.
 * **Chunked distribution** — cells are submitted in contiguous chunks (a few
   per worker) to amortise pickling and process start-up over many small
-  cells.
+  cells; retried cells are resubmitted as single-cell chunks so a retry's
+  blast radius and deadline are exactly one cell.
 * **In-order incremental collection** — finished chunks are buffered and
   flushed to the output table in cell order as soon as the next contiguous
   chunk is available, so ``progress`` fires once per cell in the same order
@@ -29,18 +30,44 @@ parallel table interchangeable with the serial one:
   transfer is retained as the fallback and the two transports produce
   identical rows, so the parent's in-order flush is transport-oblivious.
 * **Checkpoint/resume** — with ``checkpoint_dir=`` every completed cell is
-  streamed to a ``metrics.jsonl`` record keyed by the cell's content hash
-  (:func:`~repro.experiments.spec.spec_hash`) next to a provenance
-  ``manifest.json`` (see :mod:`repro.experiments.checkpoint`).  A rerun
-  pointed at the same directory skips the recorded cells and splices their
-  rows into the table at the right positions, so a killed sweep resumes
-  into a table row-for-row identical to an uninterrupted run.
+  streamed to a self-verifying ``metrics.jsonl`` record keyed by the cell's
+  content hash (:func:`~repro.experiments.spec.spec_hash`) next to a
+  provenance ``manifest.json`` (see :mod:`repro.experiments.checkpoint`).
+  A rerun pointed at the same directory skips the recorded cells and
+  splices their rows into the table at the right positions, so a killed
+  sweep resumes into a table row-for-row identical to an uninterrupted run.
+
+On top of that substrate sits the **fault-tolerance layer**, built for
+hours-long checkpointed sweeps where crashes, hangs and torn stores are the
+common case:
+
 * **Attributed failures** — a cell that raises inside a worker surfaces as
-  :class:`SweepCellError` naming the cell and its index; the parent then
-  cancels every not-yet-started chunk instead of letting the pool run to
-  completion, lets in-flight chunks finish, and flushes the completed
-  contiguous prefix (checkpointed when a ``checkpoint_dir`` is set, so the
-  work is recoverable) before re-raising.
+  :class:`SweepCellError` naming the cell, its index and the worker-side
+  traceback (carried across the pickle boundary).
+* **Retry with seeded backoff** — with ``on_error="retry"``/``"skip"``,
+  failed cells are retried up to ``retries`` times; each retry waits an
+  exponentially growing delay with jitter drawn deterministically from the
+  sweep seed and the cell's failure count, so two runs of the same faulty
+  sweep behave identically.  Retried rows are bitwise identical to
+  first-try rows because seeds never depend on the attempt.
+* **Quarantine** — ``on_error="skip"`` turns cells that exhaust their
+  retries into structured failure records (index, name, attempts,
+  traceback) on the result table's ``failures`` list and in the checkpoint,
+  while the rest of the sweep completes.
+* **Hang detection** — with ``cell_timeout=``, every in-flight chunk has a
+  deadline (``cell_timeout`` × cells in the chunk).  A chunk past its
+  deadline marks the pool hung: the supervisor kills the worker processes,
+  respawns the pool, reschedules only unfinished cells, and counts the hang
+  as a failure of the hung chunk's cells.
+* **Graceful degradation** — a ``BrokenProcessPool`` or repeated
+  shared-memory decode failure demotes the transfer to pickle, and each
+  pool kill/breakage consumes one unit of ``respawn_budget``; past the
+  budget the sweep *finishes serially in the parent* instead of dying.
+  Every demotion emits a :class:`~repro.errors.SweepDegradationWarning`, so
+  the run leaves a trail explaining why it ran slower than configured.
+* **Deterministic fault injection** — every failure mode above is
+  reproducible via :class:`~repro.experiments.faults.FaultPlan`, threaded
+  into the worker entry points behind a zero-overhead ``None`` check.
 
 Workers inherit nothing mutable: each one re-imports the library and receives
 pickled frozen specs, which keeps the executor oblivious to interpreter state.
@@ -53,25 +80,38 @@ variant engine exactly as the serial runner would.
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import shutil
+import tempfile
+import time
+import traceback as traceback_module
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Optional, Union
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepDegradationWarning
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, SweepSpec
 
 #: Accepted values for ``run_sweep_parallel``'s ``transfer`` parameter.
 TRANSFER_MODES = ("auto", "shm", "pickle")
 
+#: Accepted values for ``run_sweep_parallel``'s ``on_error`` parameter.
+ON_ERROR_MODES = ("raise", "retry", "skip")
+
+#: Shared-memory decode failures tolerated before demoting to pickle.
+SHM_DEMOTE_AFTER = 2
+
 
 class SweepCellError(ExperimentError):
     """One sweep cell failed inside a worker, with the cell identified.
 
-    Carries ``cell_index`` and ``cell_name`` so a crashed sweep names the
-    offending cell instead of surfacing an anonymous pool traceback; the
-    original exception is summarised in the message (tracebacks do not
-    survive the pickle transfer back to the parent, the cause string does).
+    Carries ``cell_index``, ``cell_name`` and ``traceback_text`` — the
+    worker-side traceback formatted to a string, since live traceback
+    objects do not survive the pickle transfer back to the parent — so a
+    crashed sweep names the offending cell *and* shows where it died
+    instead of surfacing an anonymous pool traceback.
     """
 
     def __init__(
@@ -79,16 +119,30 @@ class SweepCellError(ExperimentError):
         message: str,
         cell_index: Optional[int] = None,
         cell_name: Optional[str] = None,
+        traceback_text: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.cell_index = cell_index
         self.cell_name = cell_name
+        self.traceback_text = traceback_text
+
+    def __str__(self) -> str:
+        """The message, with the worker-side traceback appended when known."""
+        base = super().__str__()
+        if self.traceback_text:
+            return f"{base}\n--- worker traceback ---\n{self.traceback_text}"
+        return base
 
     def __reduce__(self):
-        """Pickle support: rebuild with the identity attributes intact."""
+        """Pickle support: rebuild with identity and traceback intact."""
         return (
             type(self),
-            (self.args[0] if self.args else "", self.cell_index, self.cell_name),
+            (
+                self.args[0] if self.args else "",
+                self.cell_index,
+                self.cell_name,
+                self.traceback_text,
+            ),
         )
 
 
@@ -115,6 +169,27 @@ def default_chunk_size(n_cells: int, workers: int) -> int:
     one keeps single-cell sweeps valid.
     """
     return max(1, n_cells // (4 * workers))
+
+
+def backoff_delay(
+    sweep_seed: int, cell_index: int, failure_count: int, base: float
+) -> float:
+    """Seconds to wait before resubmitting a cell after its n-th failure.
+
+    Exponential in the failure count with multiplicative jitter in
+    ``[0.5, 1.0)``, drawn from a generator seeded by ``(sweep_seed,
+    cell_index, failure_count)`` — so the whole retry schedule is a pure
+    function of the sweep seed, and two runs of the same faulty sweep wait
+    identically.  A non-positive ``base`` disables waiting entirely.
+    """
+    if base <= 0.0 or failure_count <= 0:
+        return 0.0
+    import numpy as np
+
+    jitter = np.random.default_rng(
+        [abs(int(sweep_seed)), int(cell_index), int(failure_count)]
+    ).random()
+    return base * (2.0 ** (failure_count - 1)) * (0.5 + 0.5 * float(jitter))
 
 
 def pack_rows(rows: list[dict[str, object]]) -> dict[str, object]:
@@ -148,20 +223,60 @@ def unpack_rows(packed: dict[str, object]) -> list[dict[str, object]]:
     ]
 
 
+def _touch_breadcrumb(directory: str, index: int, attempt: int, stage: str) -> None:
+    """Drop a ``<index>.<attempt>.<stage>`` marker file, best effort.
+
+    Breadcrumbs are the supervisor's write-ahead log of worker activity:
+    ``started`` lands just before a cell executes, ``done`` just after.  When
+    the pool breaks (a worker was SIGKILLed or died), the parent reads them
+    to attribute the breakage precisely — a cell that *started but never
+    finished* was running when the worker died and is charged a failure,
+    while cells that never started (or finished but lost their rows with the
+    dead worker) are rescheduled for free.
+    """
+    try:
+        with open(os.path.join(directory, f"{index}.{attempt}.{stage}"), "w"):
+            pass
+    except OSError:
+        pass  # attribution degrades to free rescheduling, never to a crash
+
+
 def _run_cell(
-    index: int, spec: ExperimentSpec, ensemble_size: Optional[int]
+    index: int,
+    spec: ExperimentSpec,
+    ensemble_size: Optional[int],
+    fault_plan=None,
+    attempt: int = 0,
+    breadcrumb_dir: Optional[str] = None,
 ) -> list[dict[str, object]]:
-    """Run one cell, wrapping any failure with the cell's identity."""
+    """Run one cell, wrapping any failure with the cell's identity.
+
+    ``fault_plan``/``attempt`` is the zero-overhead injection hook: the
+    production path pays one ``None`` check, and injected faults raise or
+    stall *inside* the ``try`` so they surface exactly like organic ones —
+    wrapped in :class:`SweepCellError` with the formatted traceback attached.
+    ``breadcrumb_dir`` (pool runs only) receives the started/done markers
+    the supervisor uses to attribute worker deaths (see
+    :func:`_touch_breadcrumb`).
+    """
     from repro.experiments.runner import run_experiment
 
     try:
-        return run_experiment(spec, ensemble_size=ensemble_size).rows
+        if breadcrumb_dir is not None:
+            _touch_breadcrumb(breadcrumb_dir, index, attempt, "started")
+        if fault_plan is not None:
+            fault_plan.fire_in_cell(index, attempt)
+        rows = run_experiment(spec, ensemble_size=ensemble_size).rows
+        if breadcrumb_dir is not None:
+            _touch_breadcrumb(breadcrumb_dir, index, attempt, "done")
+        return rows
     except Exception as exc:
         raise SweepCellError(
             f"sweep cell {index} ({spec.name!r}) failed: "
             f"{type(exc).__name__}: {exc}",
             cell_index=index,
             cell_name=spec.name,
+            traceback_text=traceback_module.format_exc(),
         ) from exc
 
 
@@ -169,6 +284,9 @@ def _run_chunk(
     chunk: list[tuple[int, ExperimentSpec]],
     ensemble_size: Optional[int],
     transfer: str = "pickle",
+    fault_plan=None,
+    attempts: Optional[list[int]] = None,
+    breadcrumb_dir: Optional[str] = None,
 ) -> tuple:
     """Worker entry point: run a chunk of cells, return a tagged payload.
 
@@ -177,20 +295,45 @@ def _run_chunk(
     shared-memory segment, or ``("pickle", [(index, batch), ...])`` when it
     rides the executor's result queue — including whenever shared memory is
     requested but unusable on this host, the retained fallback.
+    ``attempts`` aligns with ``chunk`` and carries each cell's execution
+    count for deterministic fault keying; omitted means first attempts.
     """
+    if attempts is None:
+        attempts = [0] * len(chunk)
     results = [
-        (index, pack_rows(_run_cell(index, spec, ensemble_size)))
-        for index, spec in chunk
+        (
+            index,
+            pack_rows(
+                _run_cell(
+                    index, spec, ensemble_size, fault_plan, attempt, breadcrumb_dir
+                )
+            ),
+        )
+        for (index, spec), attempt in zip(chunk, attempts)
     ]
     if transfer == "shm":
         try:
             from repro.experiments import shm as shm_transfer
 
             name, size = shm_transfer.encode_chunk(results)
+            if fault_plan is not None and fault_plan.corrupts_chunk(
+                [index for index, _ in chunk], attempts
+            ):
+                from repro.experiments import faults as faults_module
+
+                faults_module.corrupt_segment(name, size)
             return ("shm", name, size)
         except (ImportError, OSError):
             pass
     return ("pickle", results)
+
+
+def _register_payload(payload: tuple) -> None:
+    """Track a shared-memory payload's segment in the leak ledger."""
+    if payload[0] == "shm":
+        from repro.experiments import shm as shm_transfer
+
+        shm_transfer.segment_ledger().track(payload[1])
 
 
 def _payload_batches(payload: tuple) -> list[tuple[int, dict[str, object]]]:
@@ -219,6 +362,7 @@ def _harvest_completed(futures, collected) -> None:
         except BaseException:
             continue
         futures.discard(future)
+        _register_payload(payload)
         try:
             for index, packed in _payload_batches(payload):
                 collected[index] = unpack_rows(packed)
@@ -245,9 +389,547 @@ def _discard_unread(futures) -> None:
             try:
                 from repro.experiments import shm as shm_transfer
 
+                shm_transfer.segment_ledger().track(payload[1])
                 shm_transfer.discard_chunk(payload[1])
             except (ImportError, OSError):
                 pass
+
+
+def _degradation_warning(message: str) -> None:
+    """Emit one entry of the supervisor's degradation warning trail."""
+    warnings.warn(message, SweepDegradationWarning, stacklevel=3)
+
+
+class _InflightChunk:
+    """Bookkeeping for one submitted chunk: cells, attempts and deadline."""
+
+    __slots__ = ("indices", "attempts", "deadline")
+
+    def __init__(
+        self,
+        indices: list[int],
+        attempts: list[int],
+        deadline: Optional[float],
+    ) -> None:
+        self.indices = indices
+        self.attempts = attempts
+        self.deadline = deadline
+
+
+class _SweepSupervisor:
+    """State machine running one sweep's cells to completion under faults.
+
+    Owns the retry/backoff bookkeeping shared by the pool path and the
+    serial paths: ``attempts`` counts executions started per cell (the fault
+    plan's key and the worker's ``attempt`` argument), ``failures`` counts
+    failures per cell against the ``retries`` budget, ``collected`` buffers
+    finished rows until the in-order flush, and ``quarantined`` holds the
+    structured failure records of cells given up on under
+    ``on_error="skip"``.
+    """
+
+    def __init__(
+        self,
+        cells: list[ExperimentSpec],
+        resumed: dict[int, list[dict[str, object]]],
+        checkpoint,
+        progress,
+        ensemble_size: Optional[int],
+        transfer: str,
+        retries: int,
+        backoff: float,
+        cell_timeout: Optional[float],
+        on_error: str,
+        respawn_budget: int,
+        fault_plan,
+        sweep_seed: int,
+        workers: int,
+        chunk_size: Optional[int],
+    ) -> None:
+        self.cells = cells
+        self.resumed_indices = set(resumed)
+        self.checkpoint = checkpoint
+        self.progress = progress
+        self.ensemble_size = ensemble_size
+        self.transfer = transfer
+        self.retries = retries
+        self.backoff = backoff
+        self.cell_timeout = cell_timeout
+        self.on_error = on_error
+        self.respawn_budget = respawn_budget
+        self.fault_plan = fault_plan
+        self.sweep_seed = sweep_seed
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.attempts: dict[int, int] = {}
+        self.failures: dict[int, int] = {}
+        self.collected: dict[int, list[dict[str, object]]] = dict(resumed)
+        self.quarantined: dict[int, dict[str, object]] = {}
+        self.unfinished: set[int] = {
+            index
+            for index in range(len(cells))
+            if index not in self.resumed_indices
+        }
+        self.table = ResultTable()
+        self.next_index = 0
+        self.respawns = 0
+        self.shm_failures = 0
+        #: Futures whose payloads were never consumed (abort-path cleanup).
+        self.unconsumed: set[Future] = set()
+        #: Worker-activity marker directory, created by :meth:`run_pool`.
+        self.breadcrumb_dir: Optional[str] = None
+
+    # ------------------------------------------------------------- flushing
+
+    def flush_prefix(self) -> None:
+        """Flush every contiguous completed prefix, in cell order.
+
+        Newly completed cells are checkpointed as they flush (resumed cells
+        already have their record); quarantined cells contribute their
+        failure record to the table and the checkpoint instead of rows.
+        ``progress`` fires for every flushed cell — completed, resumed or
+        quarantined — preserving the once-per-cell in-order contract.
+        """
+        while True:
+            index = self.next_index
+            if index in self.collected:
+                rows = self.collected.pop(index)
+                if self.checkpoint is not None and index not in self.resumed_indices:
+                    self._record_rows(index, rows)
+                self.table.extend(rows)
+            elif index in self.quarantined:
+                failure = self.quarantined[index]
+                if self.checkpoint is not None:
+                    self.checkpoint.record_failure(
+                        index, self.cells[index], failure
+                    )
+                self.table.failures.append(failure)
+            else:
+                return
+            if self.progress is not None:
+                self.progress(self.cells[index])
+            self.next_index += 1
+
+    def _record_rows(self, index: int, rows: list[dict[str, object]]) -> None:
+        """Checkpoint one cell's rows, honouring any ``torn-record`` fault."""
+        torn = (
+            self.fault_plan.torn_record_fault(index)
+            if self.fault_plan is not None
+            else None
+        )
+        if torn is None:
+            self.checkpoint.record(index, self.cells[index], rows)
+        else:
+            from repro.experiments import faults as faults_module
+
+            faults_module.write_torn_record(
+                self.checkpoint, index, self.cells[index], rows, torn
+            )
+
+    # ------------------------------------------------------- failure logic
+
+    def _mark_collected(self, index: int, rows: list[dict[str, object]]) -> None:
+        """Record a cell as successfully finished."""
+        self.collected[index] = rows
+        self.unfinished.discard(index)
+
+    def _quarantine(self, index: int, message: str, traceback_text) -> None:
+        """Convert an exhausted cell into a structured failure record."""
+        self.quarantined[index] = {
+            "cell_index": index,
+            "cell_name": self.cells[index].name,
+            "attempts": self.attempts.get(index, 0),
+            "error": message,
+            "traceback": traceback_text,
+        }
+        self.unfinished.discard(index)
+
+    def _count_failure(
+        self, index: int, error: SweepCellError
+    ) -> Optional[float]:
+        """Register one failure of ``index``; return the retry delay.
+
+        Raises ``error`` when the policy says the sweep must abort
+        (``on_error="raise"``, or retries exhausted under ``"retry"``);
+        returns ``None`` when the cell was quarantined instead; otherwise
+        the seeded backoff delay to apply before resubmission.
+        """
+        self.failures[index] = self.failures.get(index, 0) + 1
+        if self.on_error == "raise":
+            raise error
+        if self.failures[index] > self.retries:
+            if self.on_error == "skip":
+                self._quarantine(index, str(error.args[0] if error.args else error), error.traceback_text)
+                return None
+            raise error
+        return backoff_delay(
+            self.sweep_seed, index, self.failures[index], self.backoff
+        )
+
+    # -------------------------------------------------------- serial paths
+
+    def run_cell_with_retries(self, index: int) -> None:
+        """Run one cell inline, retrying per policy, until settled.
+
+        Used by the ``workers=1`` path and by the post-degradation serial
+        fallback.  Hang faults stall inline for their programmed duration —
+        there is no supervising process left to kill them — so serial
+        execution trades hang detection for survival, which the degradation
+        warning states.
+        """
+        cell = self.cells[index]
+        while True:
+            attempt = self.attempts.get(index, 0)
+            self.attempts[index] = attempt + 1
+            try:
+                rows = _run_cell(
+                    index, cell, self.ensemble_size, self.fault_plan, attempt
+                )
+            except SweepCellError as exc:
+                delay = self._count_failure(index, exc)
+                if delay is None:
+                    return
+                if delay > 0.0:
+                    time.sleep(delay)
+                continue
+            self._mark_collected(index, rows)
+            return
+
+    def run_serial(self) -> None:
+        """Run every unfinished cell inline, flushing in order."""
+        for index in sorted(self.unfinished):
+            self.run_cell_with_retries(index)
+            self.flush_prefix()
+        self.flush_prefix()
+
+    # ---------------------------------------------------------- pool path
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        """A fresh worker pool sized like the original."""
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcibly terminate a pool whose workers cannot be trusted.
+
+        SIGKILLs the worker processes first (a hung worker ignores softer
+        signals by definition), then shuts the executor down without
+        waiting; the short join reaps the corpses so crash tests do not
+        accumulate zombies.
+        """
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=2.0)
+
+    def _submit(
+        self, pool: ProcessPoolExecutor, inflight, indices: list[int]
+    ) -> None:
+        """Submit one chunk of cell indices to the pool."""
+        chunk = [(index, self.cells[index]) for index in indices]
+        attempts = []
+        for index in indices:
+            attempts.append(self.attempts.get(index, 0))
+            self.attempts[index] = attempts[-1] + 1
+        future = pool.submit(
+            _run_chunk,
+            chunk,
+            self.ensemble_size,
+            self.transfer,
+            self.fault_plan,
+            attempts,
+            self.breadcrumb_dir,
+        )
+        deadline = None
+        if self.cell_timeout is not None:
+            deadline = time.monotonic() + self.cell_timeout * len(indices)
+        inflight[future] = _InflightChunk(indices, attempts, deadline)
+        self.unconsumed.add(future)
+
+    def _reschedule(self, ready, indices, delay: float = 0.0) -> None:
+        """Queue unfinished cells for resubmission as single-cell chunks."""
+        due = time.monotonic() + delay
+        for index in indices:
+            if index in self.unfinished:
+                ready.append((due, [index]))
+
+    def _consume_payload(self, ready, payload, info) -> None:
+        """Decode one successful payload; collect rows or handle transport loss."""
+        _register_payload(payload)
+        try:
+            batches = _payload_batches(payload)
+        except Exception as exc:
+            self._on_decode_failure(ready, info, exc)
+            return
+        for index, packed in batches:
+            self._mark_collected(index, unpack_rows(packed))
+
+    def _on_cell_failure(self, ready, info, error: SweepCellError) -> None:
+        """One chunk raised: retry/quarantine the named cell, requeue the rest."""
+        failing = error.cell_index
+        if failing is None or failing not in info.indices:
+            failing = info.indices[0]
+        siblings = [index for index in info.indices if index != failing]
+        self._reschedule(ready, siblings)
+        delay = self._count_failure(failing, error)  # may raise (abort)
+        if delay is not None:
+            self._reschedule(ready, [failing], delay)
+
+    def _on_decode_failure(self, ready, info, exc: Exception) -> None:
+        """A chunk's shm payload would not decode: count, maybe demote, retry."""
+        self.shm_failures += 1
+        _degradation_warning(
+            f"shared-memory payload of cells {info.indices} failed to decode "
+            f"({type(exc).__name__}: {exc}); rescheduling "
+            f"({self.shm_failures} decode failure(s) so far)"
+        )
+        if self.shm_failures >= SHM_DEMOTE_AFTER and self.transfer == "shm":
+            self.transfer = "pickle"
+            _degradation_warning(
+                f"demoting result transfer to pickle after {self.shm_failures} "
+                "shared-memory decode failures"
+            )
+        for index in info.indices:
+            if index not in self.unfinished:
+                continue
+            error = SweepCellError(
+                f"sweep cell {index} ({self.cells[index].name!r}) lost to a "
+                f"shared-memory decode failure: {type(exc).__name__}: {exc}",
+                cell_index=index,
+                cell_name=self.cells[index].name,
+                traceback_text=traceback_module.format_exc(),
+            )
+            delay = self._count_failure(index, error)  # may raise (abort)
+            if delay is not None:
+                self._reschedule(ready, [index], delay)
+
+    def _spend_respawn(self, reason: str) -> bool:
+        """Consume one respawn; return ``False`` when the budget is exhausted."""
+        self.respawns += 1
+        if self.respawns > self.respawn_budget:
+            _degradation_warning(
+                f"{reason}; respawn budget ({self.respawn_budget}) exhausted — "
+                "finishing the remaining cells serially in the parent"
+            )
+            return False
+        _degradation_warning(
+            f"{reason}; respawning the worker pool "
+            f"(respawn {self.respawns}/{self.respawn_budget})"
+        )
+        return True
+
+    def _breadcrumb(self, index: int, attempt: int, stage: str) -> bool:
+        """Whether the worker dropped the given marker for ``(index, attempt)``."""
+        if self.breadcrumb_dir is None:
+            return False
+        return os.path.exists(
+            os.path.join(self.breadcrumb_dir, f"{index}.{attempt}.{stage}")
+        )
+
+    def _charge_breakage(self, ready, info) -> None:
+        """Attribute a pool breakage to the cells that were mid-execution.
+
+        Reads the chunk's breadcrumbs: a cell that *started but never
+        finished* its submitted attempt was running when the worker died and
+        is charged a failure (retry/quarantine/abort per policy).  Cells
+        that never started, or that finished but lost their rows with the
+        dead worker, are rescheduled with nothing charged — they are
+        victims, not suspects.
+        """
+        for index, attempt in zip(list(info.indices), info.attempts):
+            if index not in self.unfinished:
+                continue
+            suspect = self._breadcrumb(index, attempt, "started") and not (
+                self._breadcrumb(index, attempt, "done")
+            )
+            if not suspect:
+                self._reschedule(ready, [index])
+                continue
+            error = SweepCellError(
+                f"sweep cell {index} ({self.cells[index].name!r}) was "
+                "running when the worker pool broke (worker killed or "
+                "crashed hard)",
+                cell_index=index,
+                cell_name=self.cells[index].name,
+            )
+            delay = self._count_failure(index, error)  # may raise (abort)
+            if delay is not None:
+                self._reschedule(ready, [index], delay)
+
+    def _drain_inflight(
+        self, ready, inflight, hung: set, charge_breakage: bool = False
+    ) -> None:
+        """Settle every in-flight chunk around a pool kill.
+
+        Chunks that finished successfully are harvested; hung chunks count a
+        failure against each of their unfinished cells (retry/quarantine/
+        abort per policy); with ``charge_breakage`` the remaining chunks go
+        through breadcrumb attribution (:meth:`_charge_breakage`); otherwise
+        — victims of our own kill — they are rescheduled immediately with no
+        failure charged.
+        """
+        for future, info in list(inflight.items()):
+            payload = None
+            if future.done() and not future.cancelled() and future not in hung:
+                try:
+                    payload = future.result()
+                except BaseException:
+                    payload = None
+            if payload is not None:
+                self.unconsumed.discard(future)
+                self._consume_payload(ready, payload, info)
+            elif future in hung:
+                self.unconsumed.discard(future)
+                for index in list(info.indices):
+                    if index not in self.unfinished:
+                        continue
+                    error = SweepCellError(
+                        f"sweep cell {index} ({self.cells[index].name!r}) "
+                        f"hung: chunk exceeded its deadline of "
+                        f"{self.cell_timeout}s per cell",
+                        cell_index=index,
+                        cell_name=self.cells[index].name,
+                    )
+                    delay = self._count_failure(index, error)  # may raise
+                    if delay is not None:
+                        self._reschedule(ready, [index], delay)
+            elif charge_breakage:
+                self.unconsumed.discard(future)
+                self._charge_breakage(ready, info)
+            else:
+                self.unconsumed.discard(future)
+                self._reschedule(ready, info.indices)
+        inflight.clear()
+
+    def _next_timeout(self, ready, inflight) -> Optional[float]:
+        """Seconds until the next deadline or backoff expiry, if any."""
+        marks = [entry[0] for entry in ready]
+        marks.extend(
+            info.deadline
+            for info in inflight.values()
+            if info.deadline is not None
+        )
+        if not marks:
+            return None
+        return max(0.0, min(marks) - time.monotonic())
+
+    def run_pool(self) -> bool:
+        """Drive the pool until done or degraded; ``True`` means finished.
+
+        Returns ``False`` when the respawn budget ran out and the remaining
+        cells should be finished serially by the caller.  Aborting policies
+        re-raise out of here after the same harvest/flush/cleanup sequence
+        the pre-supervisor error path performed, so completed work is never
+        discarded.
+        """
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = default_chunk_size(len(self.unfinished), self.workers)
+        pending = sorted(self.unfinished)
+        ready: list[tuple[float, list[int]]] = [
+            (0.0, pending[i : i + chunk_size])
+            for i in range(0, len(pending), chunk_size)
+        ]
+        inflight: dict[Future, _InflightChunk] = {}
+        self.breadcrumb_dir = tempfile.mkdtemp(prefix="repro-sweep-breadcrumbs-")
+        pool = self._new_pool()
+        try:
+            self.flush_prefix()  # a resumed prefix is available immediately
+            while ready or inflight:
+                now = time.monotonic()
+                for entry in [e for e in ready if e[0] <= now]:
+                    ready.remove(entry)
+                    indices = [i for i in entry[1] if i in self.unfinished]
+                    if indices:
+                        self._submit(pool, inflight, indices)
+                if not inflight:
+                    if ready:
+                        time.sleep(
+                            max(0.0, min(e[0] for e in ready) - time.monotonic())
+                        )
+                    continue
+                done, _ = wait(
+                    set(inflight),
+                    timeout=self._next_timeout(ready, inflight),
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = False
+                for future in done:
+                    info = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except SweepCellError as exc:
+                        self.unconsumed.discard(future)
+                        self._on_cell_failure(ready, info, exc)
+                        continue
+                    except BrokenProcessPool:
+                        inflight[future] = info  # handled wholesale below
+                        pool_broken = True
+                        break
+                    self.unconsumed.discard(future)
+                    self._consume_payload(ready, payload, info)
+                if pool_broken:
+                    self._drain_inflight(
+                        ready, inflight, hung=set(), charge_breakage=True
+                    )
+                    self._kill_pool(pool)
+                    if self.transfer == "shm":
+                        self.transfer = "pickle"
+                        _degradation_warning(
+                            "demoting result transfer to pickle after the "
+                            "process pool broke (worker died mid-chunk)"
+                        )
+                    if not self._spend_respawn("worker pool broke"):
+                        return False
+                    pool = self._new_pool()
+                    self.flush_prefix()
+                    continue
+                self.flush_prefix()
+                if self.cell_timeout is not None and inflight:
+                    cutoff = time.monotonic()
+                    hung = {
+                        future
+                        for future, info in inflight.items()
+                        if info.deadline is not None
+                        and info.deadline <= cutoff
+                        and not future.done()
+                    }
+                    if hung:
+                        self._kill_pool(pool)
+                        self._drain_inflight(ready, inflight, hung)
+                        self.flush_prefix()
+                        if not self._spend_respawn(
+                            f"killed hung worker pool ({len(hung)} chunk(s) "
+                            "past deadline)"
+                        ):
+                            return False
+                        pool = self._new_pool()
+            self.flush_prefix()
+            pool.shutdown()
+            return True
+        except BaseException:
+            # A failing cell must not discard finished work or leave the
+            # rest of the sweep running: cancel queued chunks (the shutdown
+            # waits for in-flight ones to finish), harvest their results,
+            # flush the completed contiguous prefix (recoverable via
+            # checkpoint/resume), and release unread shared-memory segments
+            # before re-raising the attributed error.
+            pool.shutdown(cancel_futures=True)
+            try:
+                _harvest_completed(self.unconsumed, self.collected)
+                for index in list(self.collected):
+                    self.unfinished.discard(index)
+                self.flush_prefix()
+            except Exception:
+                pass  # never mask the original failure with flush errors
+            _discard_unread(self.unconsumed)
+            raise
+        finally:
+            shutil.rmtree(self.breadcrumb_dir, ignore_errors=True)
+            self.breadcrumb_dir = None
 
 
 def run_sweep_parallel(
@@ -258,6 +940,12 @@ def run_sweep_parallel(
     ensemble_size: Optional[int] = None,
     transfer: str = "auto",
     checkpoint_dir: Optional[Union[str, Path]] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    cell_timeout: Optional[float] = None,
+    on_error: str = "raise",
+    respawn_budget: int = 2,
+    fault_plan=None,
 ) -> ResultTable:
     """Run a sweep's cells on a process pool; rows match the serial runner.
 
@@ -271,7 +959,8 @@ def run_sweep_parallel(
         inline (no pool, useful as the deterministic baseline in tests).
     progress:
         Called once per cell, in cell order, as results are collected —
-        including for cells resumed from a checkpoint.
+        including for cells resumed from a checkpoint and for quarantined
+        cells.
     chunk_size:
         Contiguous cells per worker task; defaults to
         :func:`default_chunk_size` over the cells still to run.
@@ -283,13 +972,44 @@ def run_sweep_parallel(
         Result transport: ``"shm"`` ships packed chunks through shared
         memory, ``"pickle"`` through the executor's result queue, and
         ``"auto"`` (default) picks shared memory when the host supports it.
-        Both transports produce identical rows.
+        Both transports produce identical rows.  Repeated shared-memory
+        decode failures or a broken pool demote the transport to pickle for
+        the rest of the run, with a warning.
     checkpoint_dir:
         Artifact directory for checkpoint/resume
         (:class:`~repro.experiments.checkpoint.SweepCheckpoint`).  Completed
         cells are streamed to ``metrics.jsonl`` as they flush; cells whose
         spec hash already has a record are skipped and their recorded rows
         spliced in, so a killed sweep resumes into an identical table.
+    retries:
+        How many times a failed cell is retried (with seeded exponential
+        backoff, see :func:`backoff_delay`) before the ``on_error`` policy
+        settles it.  Ignored under ``on_error="raise"``, which aborts on the
+        first failure.
+    backoff:
+        Base delay in seconds of the retry backoff schedule; ``0`` retries
+        immediately.
+    cell_timeout:
+        Per-cell deadline in seconds.  A chunk that exceeds
+        ``cell_timeout * len(chunk)`` marks the pool hung: the supervisor
+        kills and respawns the pool, reschedules only unfinished cells, and
+        counts the hang as a failure of the hung chunk's cells.  ``None``
+        (default) disables hang detection.
+    on_error:
+        ``"raise"`` (default) aborts the sweep on the first cell failure,
+        exactly like the pre-supervisor behaviour; ``"retry"`` retries up
+        to ``retries`` times and aborts only when a cell exhausts them;
+        ``"skip"`` also retries, but quarantines exhausted cells as
+        structured failure records (on ``result.failures`` and in the
+        checkpoint) and lets the rest of the sweep complete.
+    respawn_budget:
+        Pool kills/breakages tolerated before giving up on process
+        parallelism: past the budget the remaining cells run serially in
+        the parent (with a warning) instead of the sweep dying.
+    fault_plan:
+        A :class:`~repro.experiments.faults.FaultPlan` for deterministic
+        fault injection (tests and chaos benches); ``None`` — the default —
+        is the zero-overhead production path.
     """
     if workers is not None and workers <= 0:
         raise ExperimentError(f"workers must be positive, got {workers}")
@@ -298,6 +1018,20 @@ def run_sweep_parallel(
     if transfer not in TRANSFER_MODES:
         raise ExperimentError(
             f"transfer must be one of {TRANSFER_MODES}, got {transfer!r}"
+        )
+    if on_error not in ON_ERROR_MODES:
+        raise ExperimentError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
+    if retries < 0:
+        raise ExperimentError(f"retries must be non-negative, got {retries}")
+    if respawn_budget < 0:
+        raise ExperimentError(
+            f"respawn_budget must be non-negative, got {respawn_budget}"
+        )
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ExperimentError(
+            f"cell_timeout must be positive, got {cell_timeout}"
         )
     cells = list(sweep.cells())
 
@@ -308,31 +1042,11 @@ def run_sweep_parallel(
 
         checkpoint = SweepCheckpoint(checkpoint_dir, cells, sweep=sweep)
         resumed = checkpoint.resumed_rows()
-    resumed_indices = set(resumed)
-    pending_cells = [
-        (index, cell)
-        for index, cell in enumerate(cells)
-        if index not in resumed_indices
-    ]
 
     workers = workers if workers is not None else default_worker_count()
-    workers = min(workers, len(pending_cells)) or 1
+    workers = min(workers, len(cells) - len(resumed)) or 1
 
-    table = ResultTable()
-    if workers == 1:
-        for index, cell in enumerate(cells):
-            if index in resumed_indices:
-                rows = resumed[index]
-            else:
-                rows = _run_cell(index, cell, ensemble_size)
-                if checkpoint is not None:
-                    checkpoint.record(index, cell, rows)
-            table.extend(rows)
-            if progress is not None:
-                progress(cell)
-        return table
-
-    if transfer in ("shm", "auto"):
+    if transfer in ("shm", "auto") and workers > 1:
         from repro.experiments import shm as shm_transfer
 
         # The availability probe runs before the pool forks on purpose: it
@@ -343,62 +1057,26 @@ def run_sweep_parallel(
         # to the retained pickle transfer.
         transfer = "shm" if shm_transfer.shm_available() else "pickle"
 
-    if chunk_size is None:
-        chunk_size = default_chunk_size(len(pending_cells), workers)
-    chunks = [
-        pending_cells[i : i + chunk_size]
-        for i in range(0, len(pending_cells), chunk_size)
-    ]
-
-    collected: dict[int, list[dict[str, object]]] = dict(resumed)
-    next_index = 0
-
-    def flush_prefix() -> None:
-        """Flush every contiguous completed prefix, in cell order.
-
-        Newly completed cells are checkpointed as they flush (resumed cells
-        already have their record); ``progress`` fires for both, preserving
-        the serial runner's once-per-cell in-order contract.
-        """
-        nonlocal next_index
-        while next_index in collected:
-            rows = collected.pop(next_index)
-            if checkpoint is not None and next_index not in resumed_indices:
-                checkpoint.record(next_index, cells[next_index], rows)
-            table.extend(rows)
-            if progress is not None:
-                progress(cells[next_index])
-            next_index += 1
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        unconsumed = {
-            pool.submit(_run_chunk, chunk, ensemble_size, transfer)
-            for chunk in chunks
-        }
-        pending = set(unconsumed)
-        try:
-            flush_prefix()  # a resumed prefix is available immediately
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    payload = future.result()
-                    unconsumed.discard(future)
-                    for index, packed in _payload_batches(payload):
-                        collected[index] = unpack_rows(packed)
-                flush_prefix()
-        except BaseException:
-            # A failing cell must not discard finished work or leave the
-            # rest of the sweep running: cancel queued chunks (the shutdown
-            # waits for in-flight ones to finish), harvest their results,
-            # flush the completed contiguous prefix (recoverable via
-            # checkpoint/resume), and release unread shared-memory segments
-            # before re-raising the attributed error.
-            pool.shutdown(cancel_futures=True)
-            try:
-                _harvest_completed(unconsumed, collected)
-                flush_prefix()
-            except Exception:
-                pass  # never mask the original failure with flush errors
-            _discard_unread(unconsumed)
-            raise
-    return table
+    supervisor = _SweepSupervisor(
+        cells=cells,
+        resumed=resumed,
+        checkpoint=checkpoint,
+        progress=progress,
+        ensemble_size=ensemble_size,
+        transfer=transfer,
+        retries=retries,
+        backoff=backoff,
+        cell_timeout=cell_timeout,
+        on_error=on_error,
+        respawn_budget=respawn_budget,
+        fault_plan=fault_plan,
+        sweep_seed=int(getattr(sweep, "seed", 0) or 0),
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    if workers == 1:
+        supervisor.run_serial()
+        return supervisor.table
+    if not supervisor.run_pool():
+        supervisor.run_serial()
+    return supervisor.table

@@ -25,6 +25,11 @@ class ResultTable:
 
     def __init__(self, rows: Optional[Iterable[Mapping[str, object]]] = None) -> None:
         self._rows: list[Row] = [dict(row) for row in rows] if rows else []
+        #: Structured failure records of quarantined sweep cells
+        #: (``on_error="skip"``): dicts carrying ``cell_index``,
+        #: ``cell_name``, ``attempts``, ``error`` and ``traceback``.  Empty
+        #: for fault-free runs and for non-sweep tables.
+        self.failures: list[Row] = []
 
     # ---------------------------------------------------------------- basics
 

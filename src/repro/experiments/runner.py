@@ -229,6 +229,9 @@ def run_sweep(
     workers: Optional[int] = None,
     ensemble_size: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    retries: int = 0,
+    cell_timeout: Optional[float] = None,
+    on_error: str = "raise",
 ) -> ResultTable:
     """Run every cell of a sweep and concatenate the replicate rows.
 
@@ -241,8 +244,13 @@ def run_sweep(
     ``checkpoint_dir`` (any worker count, including serial) streams completed
     cells to a resumable artifact directory and skips cells a previous run
     already recorded — see :mod:`repro.experiments.checkpoint`.
+    ``retries`` / ``cell_timeout`` / ``on_error`` configure the
+    fault-tolerant supervisor (retry with seeded backoff, hang detection,
+    quarantine — see :func:`~repro.experiments.parallel.run_sweep_parallel`);
+    any non-default value also routes through the supervised path.
     """
-    if (workers is not None and workers > 1) or checkpoint_dir is not None:
+    supervised = retries != 0 or cell_timeout is not None or on_error != "raise"
+    if (workers is not None and workers > 1) or checkpoint_dir is not None or supervised:
         # Imported here: parallel builds on this module's cell runner.
         from repro.experiments.parallel import run_sweep_parallel
 
@@ -252,6 +260,9 @@ def run_sweep(
             progress=progress,
             ensemble_size=ensemble_size,
             checkpoint_dir=checkpoint_dir,
+            retries=retries,
+            cell_timeout=cell_timeout,
+            on_error=on_error,
         )
     table = ResultTable()
     for cell in sweep.cells():

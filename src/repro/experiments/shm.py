@@ -34,8 +34,71 @@ from typing import Optional
 
 import numpy as np
 
+from repro.errors import ExperimentError
+
 #: 64-bit signed range check for raw-int64 column encoding.
 _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+class SegmentLedger:
+    """Parent-side accounting of worker-produced shared-memory segments.
+
+    Workers create segments; the parent unlinks them — a split that used to
+    rely on every error path's discard loop being exhaustive.  The ledger
+    makes both failure modes of that split *loud*: a segment name is
+    :meth:`track`-ed the moment its payload reaches the parent, marked
+    released when :func:`decode_chunk` / :func:`discard_chunk` unlink it,
+    and
+
+    * a second release of the same name raises :class:`ExperimentError`
+      (double free), and
+    * :meth:`pending` exposes every tracked-but-never-released name, so
+      tests assert leak-freedom exactly (``pending() == []``) instead of
+      hoping ``/dev/shm`` looks clean.
+
+    Names recycled by the OS across sweeps are handled by :meth:`track`
+    overwriting the old state.  The ledger is per-process bookkeeping, not
+    a lock-protected registry: the sweep parent consumes payloads from one
+    thread.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[str, str] = {}
+
+    def track(self, name: str) -> None:
+        """Register a segment name received from a worker payload."""
+        self._states[name] = "pending"
+
+    def check_not_released(self, name: str) -> None:
+        """Raise loudly if ``name`` was already unlinked through the ledger."""
+        if self._states.get(name) == "released":
+            raise ExperimentError(
+                f"shared-memory segment {name!r} was already released "
+                "(double free)"
+            )
+
+    def mark_released(self, name: str) -> None:
+        """Record that ``name`` was unlinked (idempotence is an error)."""
+        self.check_not_released(name)
+        self._states[name] = "released"
+
+    def pending(self) -> list[str]:
+        """Tracked segment names that were never released — i.e. leaks."""
+        return [
+            name for name, state in self._states.items() if state == "pending"
+        ]
+
+    def reset(self) -> None:
+        """Forget all state (test isolation)."""
+        self._states.clear()
+
+
+_LEDGER = SegmentLedger()
+
+
+def segment_ledger() -> SegmentLedger:
+    """The process-wide :class:`SegmentLedger` instance."""
+    return _LEDGER
 
 #: Little-endian dtypes used for raw columns, keyed by a short tag.
 _RAW_DTYPES = {
@@ -164,12 +227,14 @@ def decode_chunk(name: str, size: int) -> list[tuple[int, dict[str, object]]]:
     """
     from multiprocessing import shared_memory
 
+    _LEDGER.check_not_released(name)
     segment = shared_memory.SharedMemory(name=name)
     try:
         buffer = bytes(segment.buf[:size])
     finally:
         segment.close()
         segment.unlink()
+        _LEDGER.mark_released(name)
     (directory_size,) = struct.unpack("<Q", buffer[:8])
     directory = pickle.loads(buffer[8 : 8 + directory_size])
     offsets = []
@@ -206,12 +271,19 @@ def decode_chunk(name: str, size: int) -> list[tuple[int, dict[str, object]]]:
 
 
 def discard_chunk(name: str) -> None:
-    """Unlink a segment without decoding it (error-path cleanup)."""
+    """Unlink a segment without decoding it (error-path cleanup).
+
+    A name the ledger already saw released raises loudly (double free); a
+    name that simply does not exist (never created, or cleaned by the OS)
+    stays silent, since discarding is best-effort cleanup.
+    """
     from multiprocessing import shared_memory
 
+    _LEDGER.check_not_released(name)
     try:
         segment = shared_memory.SharedMemory(name=name)
     except (OSError, FileNotFoundError):
         return
     segment.close()
     segment.unlink()
+    _LEDGER.mark_released(name)

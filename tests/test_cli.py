@@ -320,3 +320,93 @@ class TestSweepVariants:
     def test_unknown_variant_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--variant", "sideways"])
+
+
+class TestCheckpointCommand:
+    """``repro checkpoint verify|repair`` audit and repair sweep stores."""
+
+    def _make_store(self, tmp_path):
+        from repro.core.config import ModelConfig
+        from repro.experiments.parallel import run_sweep_parallel
+        from repro.experiments.spec import SweepSpec
+
+        sweep = SweepSpec(
+            name="cli-store",
+            base_config=ModelConfig.square(side=10, horizon=1, tau=0.3),
+            taus=[0.3, 0.4],
+            n_replicates=1,
+            seed=5,
+        )
+        directory = tmp_path / "store"
+        run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        return directory
+
+    def test_verify_healthy_store_exits_zero_with_json_report(self, tmp_path):
+        import json
+
+        directory = self._make_store(tmp_path)
+        code, output = run_cli(["checkpoint", "verify", str(directory)])
+        assert code == 0
+        report = json.loads(output)
+        assert report["ok"] is True
+        assert report["records"]["valid"] == 2
+
+    def test_verify_damaged_store_exits_one(self, tmp_path):
+        import json
+
+        directory = self._make_store(tmp_path)
+        metrics = directory / "metrics.jsonl"
+        metrics.write_bytes(metrics.read_bytes()[:-20])  # torn tail
+        code, output = run_cli(["checkpoint", "verify", str(directory)])
+        assert code == 1
+        report = json.loads(output)
+        assert report["ok"] is False
+        assert [p["kind"] for p in report["problems"]] == ["torn-tail"]
+
+    def test_repair_truncates_and_reports(self, tmp_path):
+        import json
+
+        directory = self._make_store(tmp_path)
+        metrics = directory / "metrics.jsonl"
+        metrics.write_bytes(metrics.read_bytes()[:-20])
+        code, output = run_cli(["checkpoint", "repair", str(directory)])
+        assert code == 0
+        report = json.loads(output)
+        assert report["repair"]["performed"] is True
+        assert report["repair"]["bytes_dropped"] > 0
+        code, _ = run_cli(["checkpoint", "verify", str(directory)])
+        assert code == 0
+
+    def test_checkpoint_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["checkpoint"])
+
+
+class TestSweepSupervisorFlags:
+    """--retries / --cell-timeout / --on-error reach the supervisor."""
+
+    BASE_ARGS = [
+        "sweep",
+        "--taus",
+        "0.35",
+        "--replicates",
+        "1",
+        "--side",
+        "10",
+        "--horizon",
+        "1",
+    ]
+
+    def test_supervised_flags_accepted_and_sweep_runs(self):
+        code, output = run_cli(
+            self.BASE_ARGS
+            + ["--retries", "2", "--on-error", "skip", "--cell-timeout", "120"]
+        )
+        assert code == 0
+        assert "tau" in output
+
+    def test_invalid_on_error_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                self.BASE_ARGS + ["--on-error", "explode"]
+            )

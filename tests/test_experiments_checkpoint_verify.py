@@ -1,0 +1,355 @@
+"""Self-verifying store tests: CRC records, verify/repair, SIGKILL matrix.
+
+Covers the store-format-v2 guarantees: every ``metrics.jsonl`` line carries a
+``crc32`` over the rest of the record; :func:`verify_store` classifies every
+way a store can rot (torn tail, corrupt line, CRC mismatch, duplicates,
+orphans, manifest drift) into a machine-readable report; and
+:func:`repair_store` atomically truncates to the longest valid prefix so the
+store is resumable again.  The SIGKILL matrix at the bottom kills real
+checkpointed sweep processes at fault-plan-chosen points and asserts the
+resumed table is bitwise identical to an uninterrupted run.
+"""
+
+import json
+import subprocess
+import sys
+import warnings
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.errors import CheckpointWarning
+from repro.experiments.checkpoint import (
+    SweepCheckpoint,
+    encode_record_line,
+    repair_store,
+    verify_record_crc,
+    verify_store,
+)
+from repro.experiments.faults import FaultPlan
+from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.spec import SweepSpec
+
+TIMING_COLUMNS = {"wall_clock_seconds"}
+
+
+def comparable_rows(table):
+    """The table's rows with the timing columns stripped."""
+    return [
+        {key: value for key, value in row.items() if key not in TIMING_COLUMNS}
+        for row in table.rows
+    ]
+
+
+def make_sweep() -> SweepSpec:
+    """The four-cell sweep used across this module (also by subprocesses)."""
+    base = ModelConfig.square(side=10, horizon=1, tau=0.3)
+    return SweepSpec(
+        name="verify-unit",
+        base_config=base,
+        taus=[0.3, 0.35, 0.4, 0.45],
+        n_replicates=2,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def sweep() -> SweepSpec:
+    """Fixture wrapper around :func:`make_sweep`."""
+    return make_sweep()
+
+
+@pytest.fixture
+def store(tmp_path, sweep):
+    """A completed, healthy checkpoint store for the sweep."""
+    directory = tmp_path / "store"
+    run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+    return directory
+
+
+class TestRecordCrc:
+    def test_round_trip_verifies(self):
+        line = encode_record_line({"spec_hash": "abc", "rows": [{"x": 1.5}]})
+        record = json.loads(line)
+        assert verify_record_crc(record) is True
+
+    def test_crc_is_last_key_and_over_the_rest(self):
+        line = encode_record_line({"spec_hash": "abc", "rows": []})
+        record = json.loads(line)
+        assert list(record)[-1] == "crc32"
+        body = json.dumps(
+            {k: v for k, v in record.items() if k != "crc32"},
+            separators=(",", ":"),
+        )
+        assert record["crc32"] == zlib.crc32(body.encode("utf-8"))
+
+    def test_bit_flip_is_detected(self):
+        line = encode_record_line({"spec_hash": "abc", "rows": [{"x": 1.5}]})
+        tampered = json.loads(line.replace(b"1.5", b"2.5"))
+        assert verify_record_crc(tampered) is False
+
+    def test_legacy_record_without_crc_is_indeterminate(self):
+        assert verify_record_crc({"spec_hash": "abc", "rows": []}) is None
+
+    def test_written_records_carry_valid_crc(self, store):
+        for line in (store / "metrics.jsonl").read_bytes().splitlines():
+            assert verify_record_crc(json.loads(line)) is True
+
+
+class TestLoaderWarnings:
+    def test_dropped_line_warning_names_file_line_and_bytes(self, store, sweep):
+        metrics = store / "metrics.jsonl"
+        lines = metrics.read_bytes().splitlines(keepends=True)
+        # Tear line 2 mid-record; the terminated fragment keeps line 3 intact
+        # (the double-interrupt shape record() leaves after re-terminating).
+        lines[1] = lines[1][:25] + b"\n"
+        metrics.write_bytes(b"".join(lines))
+        with pytest.warns(CheckpointWarning) as caught:
+            SweepCheckpoint(store, list(sweep.cells()), sweep=sweep)
+        message = str(caught[0].message)
+        assert str(metrics) in message
+        assert "line 2" in message
+        assert "25 bytes" in message
+
+    def test_crc_mismatch_warns_and_cell_reruns(self, store, sweep):
+        metrics = store / "metrics.jsonl"
+        data = metrics.read_bytes()
+        # Flip a digit inside the first record's payload, keeping valid JSON.
+        tampered = data.replace(b'"replicate":0', b'"replicate":9', 1)
+        assert tampered != data
+        metrics.write_bytes(tampered)
+        with pytest.warns(CheckpointWarning, match="CRC32 mismatch"):
+            checkpoint = SweepCheckpoint(store, list(sweep.cells()), sweep=sweep)
+        assert len(checkpoint.resumed_rows()) == 3  # the tampered cell dropped
+
+
+class TestVerifyStore:
+    def test_healthy_store_is_ok(self, store):
+        report = verify_store(store)
+        assert report["ok"] is True
+        assert report["problems"] == []
+        assert report["records"]["total"] == 4
+        assert report["records"]["valid"] == 4
+        assert report["manifest"]["present"] is True
+        size = (store / "metrics.jsonl").stat().st_size
+        assert report["valid_prefix_bytes"] == size
+
+    def test_torn_tail_flagged(self, store):
+        metrics = store / "metrics.jsonl"
+        data = metrics.read_bytes()
+        metrics.write_bytes(data[:-30])  # cut the final record mid-line
+        report = verify_store(store)
+        assert report["ok"] is False
+        kinds = [p["kind"] for p in report["problems"]]
+        assert kinds == ["torn-tail"]
+        # Everything before the tear is still a valid, resumable prefix.
+        assert report["valid_prefix_bytes"] == len(
+            b"".join(data.splitlines(keepends=True)[:3])
+        )
+
+    def test_crc_mismatch_flagged_with_line_number(self, store):
+        metrics = store / "metrics.jsonl"
+        data = metrics.read_bytes()
+        metrics.write_bytes(data.replace(b'"replicate":0', b'"replicate":9', 2))
+        report = verify_store(store)
+        kinds = [p["kind"] for p in report["problems"]]
+        assert "crc-mismatch" in kinds
+        assert all(isinstance(p["line"], int) for p in report["problems"])
+
+    def test_duplicate_record_flagged(self, store):
+        metrics = store / "metrics.jsonl"
+        lines = metrics.read_bytes().splitlines(keepends=True)
+        metrics.write_bytes(b"".join(lines + [lines[0]]))
+        report = verify_store(store)
+        assert [p["kind"] for p in report["problems"]] == ["duplicate-record"]
+        assert report["problems"][0]["line"] == 5
+
+    def test_orphan_record_flagged(self, store):
+        metrics = store / "metrics.jsonl"
+        orphan = encode_record_line(
+            {"spec_hash": "not-in-this-manifest", "rows": []}
+        )
+        with open(metrics, "ab") as handle:
+            handle.write(orphan)
+        report = verify_store(store)
+        assert [p["kind"] for p in report["problems"]] == ["orphan-record"]
+
+    def test_missing_manifest_flagged(self, store):
+        (store / "manifest.json").unlink()
+        report = verify_store(store)
+        assert report["manifest"]["present"] is False
+        assert "manifest-missing" in [p["kind"] for p in report["problems"]]
+
+    def test_foreign_manifest_flagged(self, store):
+        (store / "manifest.json").write_text(json.dumps({"format": "other"}))
+        report = verify_store(store)
+        assert "manifest-foreign" in [p["kind"] for p in report["problems"]]
+
+    def test_manifest_drift_flagged(self, store):
+        manifest_path = store / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["n_cells"] = 99  # no longer matches the cell list
+        manifest_path.write_text(json.dumps(manifest))
+        report = verify_store(store)
+        assert "manifest-drift" in [p["kind"] for p in report["problems"]]
+
+    def test_empty_directory_reports_missing_pieces(self, tmp_path):
+        report = verify_store(tmp_path / "nothing")
+        assert report["ok"] is False
+        assert report["records"]["metrics_present"] is False
+
+
+class TestRepairStore:
+    def test_repair_truncates_to_valid_prefix_and_resumes(
+        self, store, sweep
+    ):
+        uninterrupted = run_sweep_parallel(sweep, workers=1)
+        metrics = store / "metrics.jsonl"
+        data = metrics.read_bytes()
+        metrics.write_bytes(data[:-30])  # torn tail
+        report = repair_store(store)
+        assert report["repair"]["performed"] is True
+        assert report["repair"]["bytes_dropped"] > 0
+        assert verify_store(store)["ok"] is True
+        # The repaired store resumes into the exact uninterrupted table.
+        resumed = run_sweep_parallel(sweep, workers=1, checkpoint_dir=store)
+        assert comparable_rows(resumed) == comparable_rows(uninterrupted)
+
+    def test_repair_of_healthy_store_is_a_no_op(self, store):
+        before = (store / "metrics.jsonl").read_bytes()
+        report = repair_store(store)
+        assert report["repair"]["performed"] is False
+        assert (store / "metrics.jsonl").read_bytes() == before
+
+    def test_repair_cuts_at_first_corrupt_line(self, store, sweep):
+        metrics = store / "metrics.jsonl"
+        lines = metrics.read_bytes().splitlines(keepends=True)
+        lines[1] = b"\xff\xfe garbage \xff\xfe\n"
+        metrics.write_bytes(b"".join(lines))
+        repair_store(store)
+        kept = metrics.read_bytes()
+        assert kept == lines[0]
+        # Cells 1..3 rerun; the resumed table is still complete and correct.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = run_sweep_parallel(sweep, workers=1, checkpoint_dir=store)
+        assert comparable_rows(resumed) == comparable_rows(
+            run_sweep_parallel(sweep, workers=1)
+        )
+
+
+class TestTornRecordFault:
+    def test_torn_record_detected_and_repaired(self, tmp_path, sweep):
+        directory = tmp_path / "torn"
+        uninterrupted = run_sweep_parallel(sweep, workers=1)
+        run_sweep_parallel(
+            sweep,
+            workers=1,
+            checkpoint_dir=directory,
+            fault_plan=FaultPlan().torn_record(2, keep_bytes=30),
+        )
+        report = verify_store(directory)
+        assert report["ok"] is False
+        # The torn fragment was newline-terminated by the next append, so it
+        # shows up as a corrupt line mid-file (exactly the double-kill shape).
+        assert "corrupt-line" in [p["kind"] for p in report["problems"]]
+        repair_store(directory)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = run_sweep_parallel(
+                sweep, workers=1, checkpoint_dir=directory
+            )
+        assert comparable_rows(resumed) == comparable_rows(uninterrupted)
+        assert verify_store(directory)["ok"] is True
+
+
+def run_killed_sweep(directory: Path, plan_code: str) -> int:
+    """Run the module sweep in a subprocess that a fault plan will SIGKILL."""
+    script = (
+        "import sys, warnings; sys.path.insert(0, 'src'); sys.path.insert(0, 'tests')\n"
+        "warnings.simplefilter('ignore')\n"
+        "from repro.experiments.faults import FaultPlan\n"
+        "from repro.experiments.parallel import run_sweep_parallel\n"
+        "from test_experiments_checkpoint_verify import make_sweep\n"
+        f"plan = {plan_code}\n"
+        f"run_sweep_parallel(make_sweep(), workers=1, checkpoint_dir={str(directory)!r}, fault_plan=plan)\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        cwd=Path(__file__).resolve().parent.parent,
+        timeout=240,
+        capture_output=True,
+    )
+    return result.returncode
+
+
+class TestSigkillMatrix:
+    """Kill real checkpointed sweeps at chosen points; resume must be exact.
+
+    The matrix covers the three distinct on-disk states a kill can leave:
+    before any record (manifest written, metrics empty or absent), between
+    two records (a clean prefix), and mid-record (a torn line).  In every
+    case a rerun against the directory must produce a table bitwise
+    identical to an uninterrupted run.
+    """
+
+    @pytest.fixture
+    def uninterrupted(self, sweep):
+        """Rows of the never-killed reference run."""
+        return comparable_rows(run_sweep_parallel(sweep, workers=1))
+
+    def test_killed_before_first_record(self, tmp_path, sweep, uninterrupted):
+        directory = tmp_path / "kill-first"
+        code = run_killed_sweep(directory, "FaultPlan().kill(0)")
+        assert code != 0  # SIGKILL: no Python exit path
+        assert (directory / "manifest.json").exists()
+        assert not (directory / "metrics.jsonl").exists()
+        resumed = run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        assert comparable_rows(resumed) == uninterrupted
+
+    def test_killed_mid_sweep_resumes_prefix(
+        self, tmp_path, sweep, uninterrupted
+    ):
+        directory = tmp_path / "kill-mid"
+        code = run_killed_sweep(directory, "FaultPlan().kill(2)")
+        assert code != 0
+        recorded = [
+            json.loads(line)["cell_index"]
+            for line in (directory / "metrics.jsonl").read_bytes().splitlines()
+        ]
+        assert recorded == [0, 1]  # the completed prefix survived the kill
+        assert verify_store(directory)["ok"] is True
+        resumed = run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        assert comparable_rows(resumed) == uninterrupted
+
+    def test_killed_mid_record_write(self, tmp_path, sweep, uninterrupted):
+        directory = tmp_path / "kill-torn"
+        code = run_killed_sweep(
+            directory, "FaultPlan().torn_record(1, keep_bytes=40, kill=True)"
+        )
+        assert code != 0
+        report = verify_store(directory)
+        assert report["ok"] is False
+        assert [p["kind"] for p in report["problems"]] == ["torn-tail"]
+        # Resume straight through the torn tail: the loader skips it (with a
+        # warning) and the affected cell reruns.
+        with pytest.warns(CheckpointWarning):
+            resumed = run_sweep_parallel(
+                sweep, workers=1, checkpoint_dir=directory
+            )
+        assert comparable_rows(resumed) == uninterrupted
+
+    def test_killed_mid_record_then_repair_then_resume(
+        self, tmp_path, sweep, uninterrupted
+    ):
+        directory = tmp_path / "kill-torn-repair"
+        run_killed_sweep(
+            directory, "FaultPlan().torn_record(1, keep_bytes=40, kill=True)"
+        )
+        report = repair_store(directory)
+        assert report["repair"]["performed"] is True
+        assert verify_store(directory)["ok"] is True
+        resumed = run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        assert comparable_rows(resumed) == uninterrupted

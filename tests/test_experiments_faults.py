@@ -1,0 +1,454 @@
+"""Fault-injection tests for the sweep supervisor.
+
+Every :class:`~repro.experiments.faults.FaultPlan` fault kind is exercised
+both ways: under ``on_error="retry"`` the sweep must converge to rows
+bitwise identical to the fault-free run (timings aside), and under
+``on_error="skip"`` the faulty cell must end up quarantined — with its
+identity, attempt count and worker traceback — while every other cell
+completes.  The degradation ladder (pool respawn, shm→pickle demotion,
+serial fallback) and the seeded backoff schedule are pinned here too.
+"""
+
+import time
+import warnings
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    SweepDegradationWarning,
+)
+from repro.experiments import shm
+from repro.experiments.faults import (
+    CELL_FAULT_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.experiments.parallel import (
+    SweepCellError,
+    backoff_delay,
+    run_sweep_parallel,
+)
+from repro.experiments.spec import SweepSpec
+
+#: Timings differ between runs by construction; everything else must match.
+TIMING_COLUMNS = {"wall_clock_seconds"}
+
+
+def comparable_rows(table):
+    """The table's rows with the timing columns stripped."""
+    return [
+        {key: value for key, value in row.items() if key not in TIMING_COLUMNS}
+        for row in table.rows
+    ]
+
+
+@pytest.fixture
+def sweep() -> SweepSpec:
+    """Four small cells — enough for chunking, quick enough for chaos."""
+    base = ModelConfig.square(side=10, horizon=1, tau=0.3)
+    return SweepSpec(
+        name="faults-unit",
+        base_config=base,
+        taus=[0.3, 0.35, 0.4, 0.45],
+        n_replicates=2,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def baseline(sweep):
+    """Fault-free serial rows every recovery test must reproduce."""
+    return comparable_rows(run_sweep_parallel(sweep, workers=1))
+
+
+def quiet_sweep(*args, **kwargs):
+    """Run a sweep with degradation warnings silenced (they are expected)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SweepDegradationWarning)
+        return run_sweep_parallel(*args, **kwargs)
+
+
+class TestFaultPlanConstruction:
+    def test_builders_accumulate_specs(self):
+        plan = FaultPlan().crash(0).hang(1, seconds=2.0).corrupt_shm(2)
+        assert [spec.kind for spec in plan.faults] == [
+            "crash",
+            "hang",
+            "corrupt-shm",
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("segfault", 0)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("crash", -1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("crash", 0, attempts=0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("hang", 0, hang_seconds=0.0)
+
+    def test_attempt_window_is_finite(self):
+        spec = FaultSpec("crash", 3, attempts=2)
+        assert spec.fires(3, 0) and spec.fires(3, 1)
+        assert not spec.fires(3, 2)
+        assert not spec.fires(2, 0)
+
+    def test_plan_survives_pickling(self):
+        import pickle
+
+        plan = FaultPlan().crash(1, attempts=2).torn_record(3, keep_bytes=10)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_every_kind_has_coverage_here(self):
+        # Guard: a new fault kind must come with tests in this module.
+        assert set(FAULT_KINDS) == {
+            "crash",
+            "memory-error",
+            "hang",
+            "kill",
+            "corrupt-shm",
+            "torn-record",
+        }
+        assert set(CELL_FAULT_KINDS) <= set(FAULT_KINDS)
+
+
+class TestCrashFault:
+    def test_retry_recovers_identical_rows_inline(self, sweep, baseline):
+        table = run_sweep_parallel(
+            sweep,
+            workers=1,
+            fault_plan=FaultPlan().crash(1),
+            retries=2,
+            on_error="retry",
+            backoff=0.0,
+        )
+        assert comparable_rows(table) == baseline
+        assert table.failures == []
+
+    def test_retry_recovers_identical_rows_pool(self, sweep, baseline):
+        table = run_sweep_parallel(
+            sweep,
+            workers=2,
+            fault_plan=FaultPlan().crash(1),
+            retries=2,
+            on_error="retry",
+            backoff=0.0,
+            transfer="pickle",
+        )
+        assert comparable_rows(table) == baseline
+
+    def test_skip_quarantines_with_identity_and_traceback(self, sweep, baseline):
+        table = run_sweep_parallel(
+            sweep,
+            workers=2,
+            fault_plan=FaultPlan().crash(2, attempts=9),
+            retries=1,
+            on_error="skip",
+            backoff=0.0,
+            transfer="pickle",
+        )
+        cells = list(sweep.cells())
+        assert [f["cell_index"] for f in table.failures] == [2]
+        failure = table.failures[0]
+        assert failure["cell_name"] == cells[2].name
+        assert failure["attempts"] == 2  # initial run + one retry
+        assert "InjectedFault" in failure["traceback"]
+        # Every other cell completed: the quarantined cell's rows are the
+        # only ones missing, in place.
+        expected = [
+            row for row in baseline if row["experiment"] != cells[2].name
+        ]
+        assert comparable_rows(table) == expected
+
+    def test_raise_policy_aborts_on_first_failure(self, sweep):
+        with pytest.raises(SweepCellError) as excinfo:
+            run_sweep_parallel(
+                sweep,
+                workers=1,
+                fault_plan=FaultPlan().crash(2),
+                on_error="raise",
+            )
+        assert excinfo.value.cell_index == 2
+        assert "InjectedFault" in str(excinfo.value)
+
+    def test_retry_policy_raises_after_exhaustion(self, sweep):
+        with pytest.raises(SweepCellError):
+            run_sweep_parallel(
+                sweep,
+                workers=1,
+                fault_plan=FaultPlan().crash(2, attempts=9),
+                retries=2,
+                on_error="retry",
+                backoff=0.0,
+            )
+
+
+class TestMemoryErrorFault:
+    def test_retry_recovers_identical_rows(self, sweep, baseline):
+        table = run_sweep_parallel(
+            sweep,
+            workers=2,
+            fault_plan=FaultPlan().memory_error(1),
+            retries=1,
+            on_error="retry",
+            backoff=0.0,
+            transfer="pickle",
+        )
+        assert comparable_rows(table) == baseline
+
+    def test_skip_quarantines_memory_error(self, sweep):
+        table = run_sweep_parallel(
+            sweep,
+            workers=1,
+            fault_plan=FaultPlan().memory_error(0, attempts=9),
+            retries=0,
+            on_error="skip",
+            backoff=0.0,
+        )
+        assert [f["cell_index"] for f in table.failures] == [0]
+        assert "MemoryError" in table.failures[0]["traceback"]
+
+
+class TestHangFault:
+    def test_hang_detected_killed_and_retried(self, sweep, baseline):
+        start = time.monotonic()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table = run_sweep_parallel(
+                sweep,
+                workers=2,
+                fault_plan=FaultPlan().hang(1, seconds=60.0),
+                cell_timeout=2.0,
+                retries=2,
+                on_error="retry",
+                backoff=0.0,
+                transfer="pickle",
+                chunk_size=1,
+            )
+        # Recovery must come from the deadline, not from waiting out the hang.
+        assert time.monotonic() - start < 30.0
+        assert comparable_rows(table) == baseline
+        messages = [str(w.message) for w in caught]
+        assert any("hung" in m and "respawning" in m for m in messages)
+
+    def test_hang_quarantined_under_skip(self, sweep):
+        table = quiet_sweep(
+            sweep,
+            workers=2,
+            fault_plan=FaultPlan().hang(1, seconds=60.0, attempts=9),
+            cell_timeout=1.0,
+            retries=0,
+            on_error="skip",
+            backoff=0.0,
+            transfer="pickle",
+            chunk_size=1,
+        )
+        assert [f["cell_index"] for f in table.failures] == [1]
+        assert "hung" in table.failures[0]["error"]
+        assert len(table) == 6  # three surviving cells x two replicates
+
+
+class TestKillFault:
+    def test_worker_kill_respawns_and_recovers(self, sweep, baseline):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table = run_sweep_parallel(
+                sweep,
+                workers=2,
+                fault_plan=FaultPlan().kill(1),
+                retries=1,
+                on_error="retry",
+                backoff=0.0,
+                transfer="pickle",
+                chunk_size=1,
+            )
+        assert comparable_rows(table) == baseline
+        messages = [str(w.message) for w in caught]
+        assert any("respawning" in m for m in messages)
+
+    def test_kill_attributed_to_running_cell_and_quarantined(self):
+        # One chunk of two cells run sequentially by one worker: cell 0
+        # finishes (breadcrumb: done), cell 1 SIGKILLs the worker mid-run
+        # (breadcrumb: started, no done).  The supervisor must charge cell 1
+        # only, and cell 0 — whose rows died with the worker — reruns free.
+        base = ModelConfig.square(side=10, horizon=1, tau=0.3)
+        two = SweepSpec(
+            name="kill-pair",
+            base_config=base,
+            taus=[0.3, 0.35],
+            n_replicates=2,
+            seed=7,
+        )
+        expected = comparable_rows(run_sweep_parallel(two, workers=1))
+        table = quiet_sweep(
+            two,
+            workers=2,
+            fault_plan=FaultPlan().kill(1, attempts=99),
+            retries=0,
+            on_error="skip",
+            backoff=0.0,
+            transfer="pickle",
+            chunk_size=2,
+        )
+        assert [f["cell_index"] for f in table.failures] == [1]
+        assert "pool broke" in table.failures[0]["error"]
+        assert comparable_rows(table) == expected[:2]
+
+
+class TestCorruptShmFault:
+    def test_decode_failure_retried_to_identical_rows(self, sweep, baseline):
+        table = quiet_sweep(
+            sweep,
+            workers=2,
+            fault_plan=FaultPlan().corrupt_shm(0),
+            retries=2,
+            on_error="retry",
+            backoff=0.0,
+            transfer="shm",
+            chunk_size=2,
+        )
+        assert comparable_rows(table) == baseline
+        assert shm.segment_ledger().pending() == []
+
+    def test_persistent_corruption_quarantines(self, sweep):
+        table = quiet_sweep(
+            sweep,
+            workers=2,
+            fault_plan=FaultPlan().corrupt_shm(1, attempts=99),
+            retries=1,
+            on_error="skip",
+            backoff=0.0,
+            transfer="shm",
+            chunk_size=1,
+        )
+        assert [f["cell_index"] for f in table.failures] == [1]
+        assert "decode" in table.failures[0]["error"]
+        assert len(table) == 6
+
+    def test_repeated_failures_demote_transfer_to_pickle(self, sweep, baseline):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table = run_sweep_parallel(
+                sweep,
+                workers=2,
+                fault_plan=FaultPlan().corrupt_shm(0, attempts=99),
+                retries=5,
+                on_error="retry",
+                backoff=0.0,
+                transfer="shm",
+                chunk_size=1,
+            )
+        # After demotion the chunk rides pickle, the fault no longer applies
+        # (it only corrupts shm segments) and the sweep completes fully.
+        assert comparable_rows(table) == baseline
+        messages = [str(w.message) for w in caught]
+        assert any("demoting result transfer to pickle" in m for m in messages)
+
+
+class TestSerialFallback:
+    def test_respawn_budget_exhaustion_finishes_serially(self, sweep, baseline):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table = run_sweep_parallel(
+                sweep,
+                workers=2,
+                fault_plan=FaultPlan().kill(0, attempts=2).kill(3, attempts=2),
+                retries=3,
+                on_error="retry",
+                backoff=0.0,
+                respawn_budget=1,
+                transfer="pickle",
+                chunk_size=1,
+            )
+        assert comparable_rows(table) == baseline
+        messages = [str(w.message) for w in caught]
+        assert any("respawn budget" in m and "serially" in m for m in messages)
+
+
+class TestBackoffSchedule:
+    def test_backoff_is_deterministic_in_its_inputs(self):
+        assert backoff_delay(7, 3, 1, 0.05) == backoff_delay(7, 3, 1, 0.05)
+        assert backoff_delay(7, 3, 1, 0.05) != backoff_delay(8, 3, 1, 0.05)
+        assert backoff_delay(7, 3, 1, 0.05) != backoff_delay(7, 4, 1, 0.05)
+
+    def test_backoff_grows_exponentially_with_jitter_bounds(self):
+        for failures in (1, 2, 3, 4):
+            delay = backoff_delay(7, 3, failures, 0.05)
+            scale = 0.05 * 2.0 ** (failures - 1)
+            assert 0.5 * scale <= delay < scale
+
+    def test_zero_base_disables_waiting(self):
+        assert backoff_delay(7, 3, 5, 0.0) == 0.0
+        assert backoff_delay(7, 3, 0, 0.05) == 0.0
+
+
+class TestSegmentLedger:
+    def test_double_free_raises(self):
+        ledger = shm.SegmentLedger()
+        ledger.track("psm_test_segment")
+        ledger.mark_released("psm_test_segment")
+        with pytest.raises(ExperimentError, match="double free"):
+            ledger.mark_released("psm_test_segment")
+
+    def test_pending_reports_leaks(self):
+        ledger = shm.SegmentLedger()
+        ledger.track("psm_a")
+        ledger.track("psm_b")
+        ledger.mark_released("psm_a")
+        assert ledger.pending() == ["psm_b"]
+
+    def test_recycled_name_is_trackable_again(self):
+        ledger = shm.SegmentLedger()
+        ledger.track("psm_a")
+        ledger.mark_released("psm_a")
+        ledger.track("psm_a")  # the OS recycled the name for a new segment
+        ledger.mark_released("psm_a")
+
+    def test_fault_free_shm_sweep_leaves_no_pending_segments(self, sweep):
+        table = run_sweep_parallel(sweep, workers=2, transfer="shm")
+        assert len(table) == 8
+        assert shm.segment_ledger().pending() == []
+
+
+class TestSupervisorParameterValidation:
+    def test_bad_on_error_rejected(self, sweep):
+        with pytest.raises(ExperimentError, match="on_error"):
+            run_sweep_parallel(sweep, workers=1, on_error="explode")
+
+    def test_negative_retries_rejected(self, sweep):
+        with pytest.raises(ExperimentError, match="retries"):
+            run_sweep_parallel(sweep, workers=1, retries=-1)
+
+    def test_nonpositive_cell_timeout_rejected(self, sweep):
+        with pytest.raises(ExperimentError, match="cell_timeout"):
+            run_sweep_parallel(sweep, workers=1, cell_timeout=0.0)
+
+    def test_negative_respawn_budget_rejected(self, sweep):
+        with pytest.raises(ExperimentError, match="respawn_budget"):
+            run_sweep_parallel(sweep, workers=1, respawn_budget=-1)
+
+
+class TestSweepCellErrorTraceback:
+    def test_traceback_survives_pickling(self):
+        import pickle
+
+        error = SweepCellError(
+            "cell 3 failed",
+            cell_index=3,
+            cell_name="cell-3",
+            traceback_text="Traceback (most recent call last):\n  boom\n",
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.traceback_text == error.traceback_text
+        assert "boom" in str(clone)
+
+    def test_str_without_traceback_is_plain_message(self):
+        error = SweepCellError("cell 3 failed", cell_index=3)
+        assert str(error) == "cell 3 failed"

@@ -204,6 +204,27 @@ class TestGoldenRows:
         table = run_sweep_parallel(self._sweep(), workers=2, transfer="shm")
         assert self._normalized_rows(table) == golden
 
+    def test_retried_rows_match_capture_bitwise(self):
+        # Supervised retry must not perturb a single bit of the output:
+        # per-cell seeds never depend on the attempt, so a sweep that
+        # crashed and retried converges to exactly the golden rows.
+        from repro.experiments.faults import FaultPlan
+        from repro.experiments.parallel import run_sweep_parallel
+
+        golden = json.loads(self.GOLDEN_PATH.read_text())
+        table = run_sweep_parallel(
+            self._sweep(),
+            workers=2,
+            fault_plan=FaultPlan().crash(0).memory_error(1, attempts=2),
+            retries=2,
+            on_error="retry",
+            backoff=0.0,
+            transfer="pickle",
+            chunk_size=1,
+        )
+        assert table.failures == []
+        assert self._normalized_rows(table) == golden
+
 
 class TestVariantCells:
     """Variant cells produce engine-independent rows across all three paths."""
