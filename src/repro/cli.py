@@ -116,9 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cell-timeout",
         type=float,
         default=None,
-        help="per-cell deadline in seconds; a chunk past its deadline marks "
-        "the worker pool hung, which is killed and respawned with only "
-        "unfinished cells rescheduled",
+        help="per-cell deadline in seconds; a chunk executing past its "
+        "deadline marks the worker pool hung, which is killed and respawned "
+        "with only unfinished cells rescheduled (requires --workers > 1: "
+        "serial runs have no supervising pool and warn that the deadline "
+        "is inert)",
     )
     sweep.add_argument(
         "--on-error",

@@ -351,12 +351,21 @@ def _classify_lines(metrics_bytes: bytes, manifest_hashes: Optional[set]):
     orphan.  Duplicates and orphans end the valid prefix too: resuming past
     them is well-defined for the loader, but a repaired store should be
     exactly reproducible from the manifest, so repair cuts conservatively.
+
+    Duplicate means *any record after a rows record* for the same hash: a
+    completed cell is skipped on resume, so nothing legitimate ever appends
+    behind its rows.  Failure records, by contrast, are designed to be
+    superseded — ``on_error="skip"`` quarantines a cell, a resumed run
+    reruns it and appends its rows (or fails again and appends another
+    failure record) under the same hash — so rows-after-failure and
+    failure-after-failure are the healthy quarantine-then-resume flow, not
+    damage.
     """
     problems: list[dict[str, object]] = []
     counts = {"total": 0, "valid": 0, "legacy_no_crc": 0}
     prefix_end = 0
     prefix_intact = True
-    seen_hashes: set[str] = set()
+    seen_rows_hashes: set[str] = set()
     offset = 0
     while offset < len(metrics_bytes):
         newline = metrics_bytes.find(b"\n", offset)
@@ -406,7 +415,7 @@ def _classify_lines(metrics_bytes: bytes, manifest_hashes: Optional[set]):
                     "line": line_number,
                     "bytes": len(raw),
                 }
-            elif cell_hash in seen_hashes:
+            elif cell_hash in seen_rows_hashes:
                 problem = {
                     "kind": "duplicate-record",
                     "line": line_number,
@@ -424,7 +433,8 @@ def _classify_lines(metrics_bytes: bytes, manifest_hashes: Optional[set]):
                 counts["valid"] += 1
                 if crc_ok is None:
                     counts["legacy_no_crc"] += 1
-                seen_hashes.add(cell_hash)
+                if isinstance(record.get("rows"), list):
+                    seen_rows_hashes.add(cell_hash)
         if problem is not None:
             problems.append(problem)
             prefix_intact = False

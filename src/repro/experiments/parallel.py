@@ -55,10 +55,13 @@ common case:
   traceback) on the result table's ``failures`` list and in the checkpoint,
   while the rest of the sweep completes.
 * **Hang detection** — with ``cell_timeout=``, every in-flight chunk has a
-  deadline (``cell_timeout`` × cells in the chunk).  A chunk past its
-  deadline marks the pool hung: the supervisor kills the worker processes,
-  respawns the pool, reschedules only unfinished cells, and counts the hang
-  as a failure of the hung chunk's cells.
+  deadline (``cell_timeout`` × cells in the chunk) whose clock starts when
+  the chunk *begins executing* — observed via the worker's ``started``
+  breadcrumb — not when it was submitted, so chunks queued behind others
+  never accrue deadline time they cannot spend.  A chunk past its deadline
+  marks the pool hung: the supervisor kills the worker processes, respawns
+  the pool, reschedules only unfinished cells, and counts the hang as a
+  failure of the hung chunk's cells.
 * **Graceful degradation** — a ``BrokenProcessPool`` or repeated
   shared-memory decode failure demotes the transfer to pickle, and each
   pool kill/breakage consumes one unit of ``respawn_budget``; past the
@@ -401,19 +404,21 @@ def _degradation_warning(message: str) -> None:
 
 
 class _InflightChunk:
-    """Bookkeeping for one submitted chunk: cells, attempts and deadline."""
+    """Bookkeeping for one submitted chunk: cells, attempts and deadline.
+
+    ``deadline`` starts ``None`` and is armed by
+    :meth:`_SweepSupervisor._arm_deadlines` when the supervisor first
+    observes the chunk's ``started`` breadcrumb — the chunk may sit queued
+    behind others for arbitrarily long before a worker picks it up, and
+    queue time must not count against its deadline.
+    """
 
     __slots__ = ("indices", "attempts", "deadline")
 
-    def __init__(
-        self,
-        indices: list[int],
-        attempts: list[int],
-        deadline: Optional[float],
-    ) -> None:
+    def __init__(self, indices: list[int], attempts: list[int]) -> None:
         self.indices = indices
         self.attempts = attempts
-        self.deadline = deadline
+        self.deadline: Optional[float] = None
 
 
 class _SweepSupervisor:
@@ -643,10 +648,7 @@ class _SweepSupervisor:
             attempts,
             self.breadcrumb_dir,
         )
-        deadline = None
-        if self.cell_timeout is not None:
-            deadline = time.monotonic() + self.cell_timeout * len(indices)
-        inflight[future] = _InflightChunk(indices, attempts, deadline)
+        inflight[future] = _InflightChunk(indices, attempts)
         self.unconsumed.add(future)
 
     def _reschedule(self, ready, indices, delay: float = 0.0) -> None:
@@ -729,6 +731,26 @@ class _SweepSupervisor:
             os.path.join(self.breadcrumb_dir, f"{index}.{attempt}.{stage}")
         )
 
+    def _arm_deadlines(self, inflight) -> None:
+        """Start the deadline clock of every chunk observed executing.
+
+        ``run_pool`` submits all ready chunks to the executor up front (~4
+        waves per worker), so a chunk can wait in the executor's queue for
+        several multiples of its own runtime; charging that wait against the
+        deadline would mark perfectly healthy chunks hung.  The clock
+        therefore starts only when the chunk's first cell drops its
+        ``started`` breadcrumb.  Arming happens at observation time — at
+        most one poll interval (see :meth:`_next_timeout`) after the actual
+        start — so the deadline errs slightly lenient, never falsely early.
+        """
+        if self.cell_timeout is None:
+            return
+        now = time.monotonic()
+        for future, info in inflight.items():
+            if info.deadline is None and not future.done():
+                if self._breadcrumb(info.indices[0], info.attempts[0], "started"):
+                    info.deadline = now + self.cell_timeout * len(info.indices)
+
     def _charge_breakage(self, ready, info) -> None:
         """Attribute a pool breakage to the cells that were mid-execution.
 
@@ -764,25 +786,32 @@ class _SweepSupervisor:
     ) -> None:
         """Settle every in-flight chunk around a pool kill.
 
-        Chunks that finished successfully are harvested; hung chunks count a
-        failure against each of their unfinished cells (retry/quarantine/
-        abort per policy); with ``charge_breakage`` the remaining chunks go
-        through breadcrumb attribution (:meth:`_charge_breakage`); otherwise
-        — victims of our own kill — they are rescheduled immediately with no
-        failure charged.
+        Chunks that finished successfully are harvested; a chunk that
+        completed with a genuine :class:`SweepCellError` just before the
+        kill is charged like any main-loop failure (retry budget consumed,
+        abort policies abort now rather than after a wasted rerun); hung
+        chunks count a failure against each of their unfinished cells
+        (retry/quarantine/abort per policy); with ``charge_breakage`` the
+        remaining chunks go through breadcrumb attribution
+        (:meth:`_charge_breakage`); otherwise — victims of our own kill —
+        they are rescheduled immediately with no failure charged.
         """
         for future, info in list(inflight.items()):
+            self.unconsumed.discard(future)
             payload = None
+            cell_error: Optional[SweepCellError] = None
             if future.done() and not future.cancelled() and future not in hung:
                 try:
                     payload = future.result()
+                except SweepCellError as exc:
+                    cell_error = exc
                 except BaseException:
                     payload = None
             if payload is not None:
-                self.unconsumed.discard(future)
                 self._consume_payload(ready, payload, info)
+            elif cell_error is not None:
+                self._on_cell_failure(ready, info, cell_error)  # may raise
             elif future in hung:
-                self.unconsumed.discard(future)
                 for index in list(info.indices):
                     if index not in self.unfinished:
                         continue
@@ -797,21 +826,30 @@ class _SweepSupervisor:
                     if delay is not None:
                         self._reschedule(ready, [index], delay)
             elif charge_breakage:
-                self.unconsumed.discard(future)
                 self._charge_breakage(ready, info)
             else:
-                self.unconsumed.discard(future)
                 self._reschedule(ready, info.indices)
         inflight.clear()
 
     def _next_timeout(self, ready, inflight) -> Optional[float]:
-        """Seconds until the next deadline or backoff expiry, if any."""
+        """Seconds until the next deadline, backoff expiry or arming poll.
+
+        While hang detection is on and some in-flight chunk has no deadline
+        yet (its ``started`` breadcrumb has not been observed), the wait is
+        capped at a short poll interval so the supervisor wakes to arm the
+        clock — otherwise a worker that hangs on its very first cell would
+        leave the parent blocked in ``wait()`` forever.
+        """
         marks = [entry[0] for entry in ready]
-        marks.extend(
-            info.deadline
-            for info in inflight.values()
-            if info.deadline is not None
-        )
+        unarmed = False
+        for info in inflight.values():
+            if info.deadline is not None:
+                marks.append(info.deadline)
+            elif self.cell_timeout is not None:
+                unarmed = True
+        if unarmed:
+            poll = max(0.02, min(self.cell_timeout / 4.0, 0.25))
+            marks.append(time.monotonic() + poll)
         if not marks:
             return None
         return max(0.0, min(marks) - time.monotonic())
@@ -889,6 +927,7 @@ class _SweepSupervisor:
                     continue
                 self.flush_prefix()
                 if self.cell_timeout is not None and inflight:
+                    self._arm_deadlines(inflight)
                     cutoff = time.monotonic()
                     hung = {
                         future
@@ -990,11 +1029,16 @@ def run_sweep_parallel(
         Base delay in seconds of the retry backoff schedule; ``0`` retries
         immediately.
     cell_timeout:
-        Per-cell deadline in seconds.  A chunk that exceeds
-        ``cell_timeout * len(chunk)`` marks the pool hung: the supervisor
+        Per-cell deadline in seconds.  A chunk that spends more than
+        ``cell_timeout * len(chunk)`` *executing* (the clock starts when a
+        worker picks the chunk up, not when it was submitted, so queue time
+        behind other chunks is free) marks the pool hung: the supervisor
         kills and respawns the pool, reschedules only unfinished cells, and
         counts the hang as a failure of the hung chunk's cells.  ``None``
-        (default) disables hang detection.
+        (default) disables hang detection.  Hang detection needs a worker
+        pool to supervise: with ``workers=1`` (and on the post-degradation
+        serial fallback) the setting is inert and a
+        :class:`~repro.errors.SweepDegradationWarning` says so.
     on_error:
         ``"raise"`` (default) aborts the sweep on the first cell failure,
         exactly like the pre-supervisor behaviour; ``"retry"`` retries up
@@ -1075,6 +1119,13 @@ def run_sweep_parallel(
         chunk_size=chunk_size,
     )
     if workers == 1:
+        if cell_timeout is not None and supervisor.unfinished:
+            _degradation_warning(
+                "cell_timeout is set but execution is serial (workers=1): "
+                "hang detection needs a worker pool to kill and respawn, so "
+                "a hung cell will stall the sweep — use workers > 1 for "
+                "hang protection"
+            )
         supervisor.run_serial()
         return supervisor.table
     if not supervisor.run_pool():

@@ -166,6 +166,64 @@ class TestVerifyStore:
         assert [p["kind"] for p in report["problems"]] == ["duplicate-record"]
         assert report["problems"][0]["line"] == 5
 
+    def test_quarantine_then_resume_verifies_clean(self, tmp_path, sweep):
+        # The code's own skip-then-resume flow: on_error="skip" quarantines
+        # a cell as a failure record, the resumed run reruns it and appends
+        # its rows under the same spec hash.  A rows record superseding a
+        # failure record is by design — verify must not flag it (and repair
+        # must not truncate completed work behind it).
+        directory = tmp_path / "quarantine"
+        run_sweep_parallel(
+            sweep,
+            workers=1,
+            checkpoint_dir=directory,
+            fault_plan=FaultPlan().crash(1),
+            on_error="skip",
+            backoff=0.0,
+        )
+        assert verify_store(directory)["ok"] is True
+        table = run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        assert table.failures == []
+        report = verify_store(directory)
+        assert report["ok"] is True
+        assert report["problems"] == []
+        assert report["records"]["valid"] == 5  # 4 rows + superseded failure
+        assert repair_store(directory)["repair"]["performed"] is False
+
+    def test_repeated_failure_records_are_not_duplicates(self, tmp_path, sweep):
+        # A quarantined cell that fails again on the next resume appends a
+        # second failure record for the same hash — still the healthy flow.
+        directory = tmp_path / "requarantine"
+        for _ in range(2):
+            run_sweep_parallel(
+                sweep,
+                workers=1,
+                checkpoint_dir=directory,
+                fault_plan=FaultPlan().crash(1, attempts=99),
+                on_error="skip",
+                backoff=0.0,
+            )
+        report = verify_store(directory)
+        assert report["ok"] is True
+        assert report["records"]["valid"] == 5  # 3 rows + 2 failure records
+
+    def test_failure_after_rows_is_flagged_duplicate(self, store):
+        # The inverse never happens legitimately: a completed cell is
+        # skipped on resume, so nothing appends behind its rows record.
+        first = json.loads(
+            (store / "metrics.jsonl").read_bytes().splitlines()[0]
+        )
+        stray = encode_record_line(
+            {
+                "spec_hash": first["spec_hash"],
+                "failure": {"error": "stray", "attempts": 1},
+            }
+        )
+        with open(store / "metrics.jsonl", "ab") as handle:
+            handle.write(stray)
+        report = verify_store(store)
+        assert [p["kind"] for p in report["problems"]] == ["duplicate-record"]
+
     def test_orphan_record_flagged(self, store):
         metrics = store / "metrics.jsonl"
         orphan = encode_record_line(

@@ -238,6 +238,37 @@ class TestHangFault:
         messages = [str(w.message) for w in caught]
         assert any("hung" in m and "respawning" in m for m in messages)
 
+    def test_queue_time_does_not_count_against_deadline(self, sweep, baseline):
+        # run_pool submits every ready chunk up front, so with two workers
+        # and four single-cell chunks the second wave waits roughly a full
+        # chunk runtime in the executor queue before a worker picks it up.
+        # The deadline clock must start at execution (the worker's started
+        # breadcrumb), not at submission: here each cell *executes* for
+        # ~1.5s against a 2.5s deadline, but submission-relative clocks
+        # would see ~3s for the second wave and falsely kill the pool —
+        # which under on_error="raise" aborts the healthy sweep.
+        slow = FaultPlan()
+        for index in range(4):
+            slow = slow.hang(index, seconds=1.5, attempts=99)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SweepDegradationWarning)
+            table = run_sweep_parallel(
+                sweep,
+                workers=2,
+                fault_plan=slow,
+                cell_timeout=2.5,
+                on_error="raise",
+                transfer="pickle",
+                chunk_size=1,
+            )
+        assert comparable_rows(table) == baseline
+
+    def test_serial_execution_warns_that_cell_timeout_is_inert(self, sweep):
+        # workers=1 runs inline: there is no supervising pool to kill, so
+        # hang detection silently cannot happen — the user must be told.
+        with pytest.warns(SweepDegradationWarning, match="serial"):
+            run_sweep_parallel(sweep, workers=1, cell_timeout=30.0)
+
     def test_hang_quarantined_under_skip(self, sweep):
         table = quiet_sweep(
             sweep,
@@ -253,6 +284,85 @@ class TestHangFault:
         assert [f["cell_index"] for f in table.failures] == [1]
         assert "hung" in table.failures[0]["error"]
         assert len(table) == 6  # three surviving cells x two replicates
+
+
+def make_supervisor(sweep, **overrides):
+    """A bare supervisor over the fixture sweep's cells, for unit tests."""
+    from repro.experiments.parallel import _SweepSupervisor
+
+    settings = dict(
+        cells=list(sweep.cells()),
+        resumed={},
+        checkpoint=None,
+        progress=None,
+        ensemble_size=None,
+        transfer="pickle",
+        retries=0,
+        backoff=0.0,
+        cell_timeout=None,
+        on_error="skip",
+        respawn_budget=2,
+        fault_plan=None,
+        sweep_seed=7,
+        workers=2,
+        chunk_size=1,
+    )
+    settings.update(overrides)
+    return _SweepSupervisor(**settings)
+
+
+def failed_chunk_future(index: int, name: str):
+    """A settled future/chunk pair carrying a genuine cell failure."""
+    from concurrent.futures import Future
+
+    from repro.experiments.parallel import _InflightChunk
+
+    future = Future()
+    future.set_exception(
+        SweepCellError(
+            f"sweep cell {index} ({name!r}) failed",
+            cell_index=index,
+            cell_name=name,
+            traceback_text="worker traceback",
+        )
+    )
+    return future, _InflightChunk([index], [0])
+
+
+class TestDrainInflight:
+    # A chunk can complete with a genuine SweepCellError in the window
+    # between the hang/breakage being noticed and the pool kill.  That
+    # failure must be charged like any main-loop failure — not swallowed
+    # and rescheduled for free, which would defer abort policies by a full
+    # wasted re-execution.
+
+    def test_real_cell_error_is_charged_not_rescheduled_free(self, sweep):
+        supervisor = make_supervisor(sweep, on_error="skip", retries=0)
+        future, info = failed_chunk_future(2, sweep.name)
+        supervisor.unconsumed.add(future)
+        ready = []
+        supervisor._drain_inflight(
+            ready, {future: info}, hung=set(), charge_breakage=True
+        )
+        assert supervisor.failures[2] == 1
+        assert supervisor.quarantined[2]["traceback"] == "worker traceback"
+        assert ready == []  # settled by quarantine, nothing rescheduled
+
+    def test_real_cell_error_consumes_retry_budget(self, sweep):
+        supervisor = make_supervisor(sweep, on_error="retry", retries=2)
+        future, info = failed_chunk_future(1, sweep.name)
+        ready = []
+        supervisor._drain_inflight(ready, {future: info}, hung=set())
+        assert supervisor.failures[1] == 1
+        assert [indices for _, indices in ready] == [[1]]
+
+    def test_real_cell_error_aborts_under_raise_policy(self, sweep):
+        supervisor = make_supervisor(sweep, on_error="raise")
+        future, info = failed_chunk_future(0, sweep.name)
+        with pytest.raises(SweepCellError, match="cell 0"):
+            supervisor._drain_inflight(
+                [], {future: info}, hung=set(), charge_breakage=True
+            )
 
 
 class TestKillFault:
