@@ -1,0 +1,137 @@
+"""Sweep-as-a-service, end to end: sweep → store → query → HTTP.
+
+Runs a small checkpointed sweep (leaving a complete artifact store with
+``manifest.json``, ``metrics.jsonl`` and ``summary.json``), then exercises
+the serving layer three ways:
+
+1. re-executes one cell from the manifest and confirms the regenerated rows
+   match the recorded ones bitwise (``repro reproduce``'s core check);
+2. answers parameter-point queries in process — exact grid point, bilinear
+   interpolation between grid points, nearest cell for an off-grid point —
+   through the LRU answer cache, printing the hit/miss counters;
+3. starts the stdlib HTTP endpoint on an ephemeral port and performs the
+   same queries over ``GET /query``, plus ``/stats`` for the live counters.
+
+Usage::
+
+    python examples/query_service.py [--side 12] [--replicates 2] [--keep]
+
+With ``--keep`` the store directory is printed and preserved so you can
+point ``repro query``/``repro serve`` at it afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro import QueryEngine, reproduce_store
+from repro.core.config import ModelConfig
+from repro.experiments.runner import run_sweep
+from repro.experiments.spec import SweepSpec
+from repro.serving import make_server
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--side", type=int, default=12, help="grid side length")
+    parser.add_argument(
+        "--replicates", type=int, default=2, help="replicates per sweep cell"
+    )
+    parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="preserve the store directory for repro query / repro serve",
+    )
+    return parser.parse_args()
+
+
+def build_store(args: argparse.Namespace, directory: Path) -> None:
+    """Run a 2x2 (tau, rho) sweep with checkpointing into ``directory``."""
+    sweep = SweepSpec(
+        name="service-demo",
+        base_config=ModelConfig.square(side=args.side, horizon=1, tau=0.3),
+        taus=(0.3, 0.45),
+        densities=(0.4, 0.6),
+        n_replicates=args.replicates,
+        seed=42,
+    )
+    print(f"Sweeping {len(list(sweep.cells()))} cells into {directory} ...")
+    run_sweep(sweep, checkpoint_dir=directory)
+    summary = json.loads((directory / "summary.json").read_text())
+    print(
+        f"Store complete: {summary['n_summarized']}/{summary['n_cells']} "
+        "cells summarized in summary.json"
+    )
+
+
+def show(label: str, answer: dict) -> None:
+    """Print one query answer compactly."""
+    mean = answer["metrics"]["final_unhappy_fraction"]["mean"]
+    print(
+        f"  {label:<14} source={answer['source']:<13} "
+        f"cached={str(answer['cached']):<5} final_unhappy_fraction.mean={mean:.4f}"
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    directory = Path(tempfile.mkdtemp(prefix="repro-store-")) / "store"
+    try:
+        build_store(args, directory)
+
+        print("\nReproducing one cell from the manifest (bitwise):")
+        report = reproduce_store(
+            directory, cell="service-demo[w=1,tau=0.3000,p=0.400]"
+        )
+        print(f"  status={report.results[0].status} ok={report.ok}")
+
+        print("\nIn-process queries through the LRU cache:")
+        engine = QueryEngine(directory, interpolate=True)
+        show("exact", engine.answer("tau=0.3,rho=0.4,w=1"))
+        show("exact again", engine.answer("tau=0.3,rho=0.4,w=1"))
+        show("interpolated", engine.answer("tau=0.375,rho=0.5,w=1"))
+        show("nearest", engine.answer("tau=0.9,rho=0.9,w=1"))
+        print(f"  cache counters: {engine.cache.stats()}")
+
+        print("\nSame store over HTTP:")
+        server = make_server(directory, port=0, interpolate=True)
+        thread = threading.Thread(
+            target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        print(f"  listening on {base}")
+        try:
+            for path in (
+                "/query?point=tau=0.3,rho=0.4,w=1",
+                "/query?tau=0.375&rho=0.5&w=1",
+                "/stats",
+            ):
+                with urllib.request.urlopen(base + path, timeout=10) as response:
+                    body = json.loads(response.read())
+                if "source" in body:
+                    print(f"  GET {path} -> source={body['source']}")
+                else:
+                    print(f"  GET {path} -> cache={body['cache']}")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+        if args.keep:
+            print(f"\nStore kept at: {directory}")
+            print(f"  try: PYTHONPATH=src python -m repro serve --store {directory}")
+    finally:
+        if not args.keep:
+            shutil.rmtree(directory.parent, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

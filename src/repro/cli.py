@@ -10,6 +10,13 @@ Three subcommands cover the common workflows without writing any Python:
   aggregated table and optionally write it to CSV.  ``--workers`` and
   ``--ensemble`` pick the execution levers.
 
+Four more subcommands operate on the artifact stores sweeps leave behind:
+``repro summarize`` (re)writes a store's ``summary.json`` of per-cell
+aggregates, ``repro reproduce`` re-executes recorded cells from the manifest
+and asserts bitwise row identity, and ``repro query`` / ``repro serve``
+answer parameter-point queries (exact, interpolated or nearest-cell) from
+the command line or over stdlib HTTP.
+
 Both ``simulate`` and ``sweep`` accept the same variant flags: ``--variant``
 (with ``--tau-high`` / ``--tau-minus``) swaps in the Section I.A/V model
 variants and ``--max-steps`` caps the scheduler steps — applied by default
@@ -162,7 +169,99 @@ def build_parser() -> argparse.ArgumentParser:
         "(atomic; dropped cells simply rerun on resume)",
     )
     repair.add_argument("directory", type=str)
+
+    summarize = subparsers.add_parser(
+        "summarize",
+        help="(re)write a store's summary.json of per-cell aggregates",
+    )
+    summarize.add_argument("directory", type=str)
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="re-execute a store's cells from its manifest and assert the "
+        "regenerated rows match the recorded ones bitwise (exit 1 with "
+        "named diffs on mismatch)",
+    )
+    reproduce.add_argument(
+        "store", type=str, help="checkpoint directory or its manifest.json"
+    )
+    reproduce.add_argument(
+        "--cell",
+        type=str,
+        default=None,
+        help="reproduce only the named cell (default: every cell)",
+    )
+    reproduce.add_argument(
+        "--ensemble",
+        type=int,
+        default=None,
+        help="re-run through the vectorized engine with this batch size "
+        "(rows are engine-independent, so the comparison is unchanged)",
+    )
+    reproduce.add_argument(
+        "--max-diffs",
+        type=int,
+        default=5,
+        help="named diffs reported per mismatching cell",
+    )
+
+    query = subparsers.add_parser(
+        "query",
+        help='answer a parameter-point query like "rho=0.4,tau=0.55,w=2" '
+        "from a sweep store",
+    )
+    query.add_argument(
+        "point", type=str, help='comma-separated axis=value terms, e.g. '
+        '"rho=0.4,tau=0.55,w=2" (aliases: density/p for rho, horizon for w)'
+    )
+    query.add_argument("--store", type=str, required=True)
+    _add_query_policy_arguments(query)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a sweep store over HTTP (stdlib, threaded; routes "
+        "/query /stats /cells /healthz)",
+    )
+    serve.add_argument("--store", type=str, required=True)
+    serve.add_argument("--host", type=str, default=None)
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (0 binds an ephemeral port and prints it)",
+    )
+    _add_query_policy_arguments(serve)
     return parser
+
+
+def _add_query_policy_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared query-resolution flags to ``query`` or ``serve``."""
+    subparser.add_argument(
+        "--interpolate",
+        action="store_true",
+        help="bilinearly interpolate over (rho, tau) at an exact horizon "
+        "when the point is inside the store's grid (default: nearest cell)",
+    )
+    subparser.add_argument(
+        "--on-miss",
+        choices=("error", "compute"),
+        default="error",
+        help="policy when no stored cell can answer: fail (error, default) "
+        "or schedule a deterministic simulation of the point (compute)",
+    )
+    subparser.add_argument(
+        "--max-distance",
+        type=float,
+        default=None,
+        help="largest allowed normalized distance to the nearest cell "
+        "(default: unbounded)",
+    )
+    subparser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="answer-cache capacity (default: 256)",
+    )
 
 
 def _add_variant_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -430,6 +529,131 @@ def _command_checkpoint(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_summarize(args: argparse.Namespace, out) -> int:
+    """(Re)write ``summary.json`` for a store and print where it landed.
+
+    The summary is derived state — aggregates of the recorded rows — so
+    rewriting it offline is always safe and always produces the same bytes
+    for the same store.
+    """
+    from repro.errors import ReproError
+    from repro.experiments.checkpoint import write_summary
+
+    try:
+        path = write_summary(args.directory)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = json.loads(path.read_text())
+    print(
+        f"wrote {path}: {summary['n_summarized']}/{summary['n_cells']} "
+        f"cell(s) summarized, {summary['n_failed']} failed, "
+        f"{summary['n_missing']} missing",
+        file=out,
+    )
+    return 0
+
+
+def _command_reproduce(args: argparse.Namespace, out) -> int:
+    """Re-execute recorded cells and assert bitwise row identity.
+
+    Prints the JSON report (per-cell status and named value diffs) and
+    exits 1 when any cell mismatches or the manifest drifted from its own
+    sweep snapshot.  Quarantined and never-recorded cells are reported but
+    do not fail the run — they are honest store states, not regressions.
+    """
+    from repro.errors import ReproError
+    from repro.serving.store import reproduce_store
+
+    if args.ensemble is not None and args.ensemble <= 0:
+        print("error: --ensemble must be positive", file=sys.stderr)
+        return 2
+    try:
+        report = reproduce_store(
+            args.store,
+            cell=args.cell,
+            ensemble_size=args.ensemble,
+            max_diffs=args.max_diffs,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report.as_dict(), indent=2), file=out)
+    return 0 if report.ok else 1
+
+
+def _make_query_engine(args: argparse.Namespace):
+    """Build the :class:`QueryEngine` shared by ``query`` and ``serve``."""
+    from repro.serving.cache import make_query_cache
+    from repro.serving.query import QueryEngine
+
+    return QueryEngine(
+        args.store,
+        cache=make_query_cache(args.cache_size),
+        interpolate=args.interpolate,
+        on_miss=args.on_miss,
+        max_distance=args.max_distance,
+    )
+
+
+def _command_query(args: argparse.Namespace, out) -> int:
+    """Answer one parameter-point query and print the JSON answer.
+
+    A miss under ``--on-miss error`` exits 1 with the reason on stderr; a
+    malformed or ambiguous query exits 2.
+    """
+    from repro.errors import QueryMiss, ReproError
+    from repro.experiments.io import json_default
+
+    try:
+        engine = _make_query_engine(args)
+        answer = engine.answer(args.point)
+    except QueryMiss as exc:
+        print(f"miss: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(answer, indent=2, default=json_default), file=out)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    """Run the threaded HTTP query service until interrupted."""
+    from repro.errors import ReproError
+    from repro.serving.cache import make_query_cache
+    from repro.serving.http import DEFAULT_HOST, DEFAULT_PORT, make_server
+
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        server = make_server(
+            args.store,
+            host=host,
+            port=port,
+            cache=make_query_cache(args.cache_size),
+            interpolate=args.interpolate,
+            on_miss=args.on_miss,
+            max_distance=args.max_distance,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving {args.store} on http://{bound_host}:{bound_port} "
+        "(routes: /query /stats /cells /healthz; Ctrl-C to stop)",
+        file=out,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("stopping", file=out)
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     if out is None:
@@ -444,6 +668,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_sweep(args, out)
     if args.command == "checkpoint":
         return _command_checkpoint(args, out)
+    if args.command == "summarize":
+        return _command_summarize(args, out)
+    if args.command == "reproduce":
+        return _command_reproduce(args, out)
+    if args.command == "query":
+        return _command_query(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

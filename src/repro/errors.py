@@ -50,6 +50,26 @@ class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failure (empty sweep, inconsistent replicates)."""
 
 
+class ServingError(ReproError, RuntimeError):
+    """The artifact store / query layer received an unusable store or query.
+
+    Raised for stores without a usable manifest, malformed query strings,
+    ambiguous queries (an unspecified axis the store does not pin to a
+    single value), and reproduction runs whose manifest cannot be expanded
+    back into executable specs.
+    """
+
+
+class QueryMiss(ServingError):
+    """A query could not be answered from the store under the active policy.
+
+    Raised by the query engine under ``on_miss="error"`` when no exact cell
+    matches and the nearest cell is farther than the allowed distance (or
+    the store has no answerable cells at all).  ``on_miss="compute"``
+    schedules a simulation instead of raising.
+    """
+
+
 class SweepDegradationWarning(UserWarning):
     """The sweep supervisor degraded gracefully instead of failing.
 

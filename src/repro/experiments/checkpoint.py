@@ -25,6 +25,17 @@ measurements):
     ``failure`` object instead of ``rows`` — provenance for the operator;
     resume reruns those cells.
 
+``summary.json``
+    Per-cell aggregates — mean/std/min/max and a normal confidence interval
+    for every numeric row column, over the cell's replicates — written by
+    :func:`write_summary` when a checkpointed sweep completes, and derivable
+    offline from any ``manifest.json`` + ``metrics.jsonl`` pair via
+    :func:`summarize_store` (``repro summarize``).  This is the read-side
+    artifact: the serving layer (:mod:`repro.serving`) answers queries from
+    it without touching raw rows, so heavy read traffic never pays
+    aggregation cost.  The file is derived state — deleting it loses
+    nothing; rerunning ``repro summarize`` regenerates it byte-for-byte.
+
 Resume is keyed purely by spec hash: :class:`SweepCheckpoint` loads every
 recorded ``(spec_hash, rows)`` pair and a rerun skips exactly the cells whose
 current hash has a record.  Because the hash pins every row-determining
@@ -70,6 +81,16 @@ METRICS_NAME = "metrics.jsonl"
 #: Store format version stamped into new manifests.  Version 2 added the
 #: per-line ``crc32`` field; version-1 lines (no CRC) are still loaded.
 STORE_VERSION = 2
+
+#: Format tag stamped into (and required of) every ``summary.json``.
+SUMMARY_FORMAT = "repro-sweep-summary"
+SUMMARY_NAME = "summary.json"
+
+#: Row columns that legitimately differ between two runs of the same cell —
+#: wall-clock timings captured when the cell actually executed.  Everything
+#: else is pinned by the spec hash, which is what makes ``repro reproduce``'s
+#: bitwise row comparison (:mod:`repro.serving.store`) well-defined.
+VOLATILE_ROW_COLUMNS = frozenset({"wall_clock_seconds"})
 
 
 def _canonical_payload(record: dict) -> dict:
@@ -335,6 +356,15 @@ class SweepCheckpoint:
                     handle.write(b"\n")
             handle.write(line)
 
+    def write_summary(self) -> Path:
+        """Write (or refresh) this store's ``summary.json`` from disk state.
+
+        Called by the sweep runner when a checkpointed sweep finishes;
+        idempotent and rerunnable offline (``repro summarize``) because the
+        summary is derived purely from the manifest and metrics files.
+        """
+        return write_summary(self.directory)
+
 
 # ----------------------------------------------------------------- audit side
 
@@ -573,3 +603,207 @@ def repair_store(directory: PathLike) -> dict[str, object]:
         repair = {"performed": True, "bytes_dropped": len(data) - keep}
     report["repair"] = repair
     return report
+
+
+# --------------------------------------------------------------- summary side
+
+
+def load_manifest(directory: PathLike) -> Optional[dict]:
+    """The store's parsed ``manifest.json``, or ``None`` when unusable.
+
+    "Unusable" covers a missing file, invalid JSON and a foreign format tag;
+    callers that *require* provenance (``repro reproduce``) raise on ``None``,
+    while the summary writer degrades to record-order output.
+    """
+    manifest_path = Path(directory) / MANIFEST_NAME
+    if not manifest_path.exists():
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError:
+        return None
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+        return None
+    return manifest
+
+
+def scan_records(directory: PathLike) -> dict[str, dict[str, object]]:
+    """Latest usable record per spec hash, in first-appearance order.
+
+    Applies the loader's semantics without building a sweep: lines that do
+    not parse or fail their CRC are skipped silently (this is a read-side
+    scan — :class:`SweepCheckpoint` owns the warning on resume), a ``rows``
+    record supersedes an earlier ``failure`` record for the same hash, and a
+    repeated ``failure`` keeps the latest one.  Each value is the parsed
+    record dict (``cell_index``/``cell_name`` plus ``rows`` or ``failure``).
+    """
+    metrics_path = Path(directory) / METRICS_NAME
+    records: dict[str, dict[str, object]] = {}
+    if not metrics_path.exists():
+        return records
+    for line in metrics_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(record, dict) or verify_record_crc(record) is False:
+            continue
+        cell_hash = record.get("spec_hash")
+        if not isinstance(cell_hash, str):
+            continue
+        has_rows = isinstance(record.get("rows"), list)
+        has_failure = isinstance(record.get("failure"), dict)
+        if not (has_rows or has_failure):
+            continue
+        previous = records.get(cell_hash)
+        if (
+            previous is not None
+            and isinstance(previous.get("rows"), list)
+            and not has_rows
+        ):
+            continue  # rows already recorded; a failure never supersedes them
+        records[cell_hash] = record
+    return records
+
+
+def cell_params_from_rows(
+    rows: list,
+) -> Optional[dict[str, object]]:
+    """The serving-layer parameter point ``{tau, w, rho}`` of one cell's rows.
+
+    Rows store the model vocabulary (``tau``/``horizon``/``density``); the
+    serving layer speaks the paper's ``(tau, w, rho)``.  Every row of a cell
+    shares these values (the spec fixes them), so the first row suffices.
+    Returns ``None`` for empty or malformed rows — such cells are recorded in
+    the summary but cannot answer parameter queries.
+    """
+    row = rows[0] if rows else None
+    if not isinstance(row, dict):
+        return None
+    try:
+        return {
+            "tau": float(row["tau"]),
+            "w": int(row["horizon"]),
+            "rho": float(row["density"]),
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _summary_cell(
+    index: Optional[int],
+    name: Optional[str],
+    cell_hash: str,
+    record: Optional[dict],
+) -> dict[str, object]:
+    """One ``summary.json`` cell entry from its (possibly absent) record."""
+    from repro.experiments.results import ResultTable
+
+    entry: dict[str, object] = {
+        "index": index,
+        "name": name,
+        "spec_hash": cell_hash,
+        "params": None,
+        "n_replicates": 0,
+        "metrics": {},
+        "failure": None,
+    }
+    if record is None:
+        return entry
+    if entry["name"] is None and isinstance(record.get("cell_name"), str):
+        entry["name"] = record["cell_name"]
+    if entry["index"] is None and isinstance(record.get("cell_index"), int):
+        entry["index"] = record["cell_index"]
+    rows = record.get("rows")
+    if isinstance(rows, list) and rows:
+        entry["params"] = cell_params_from_rows(rows)
+        entry["n_replicates"] = len(rows)
+        entry["metrics"] = ResultTable(rows).numeric_summary()
+    elif isinstance(record.get("failure"), dict):
+        entry["failure"] = record["failure"]
+    return entry
+
+
+def summarize_store(directory: PathLike) -> dict[str, object]:
+    """Build the ``summary.json`` payload for a checkpoint store.
+
+    Aggregates every recorded cell's rows into per-column summary stats
+    (:meth:`~repro.experiments.results.ResultTable.numeric_summary`), keyed
+    by the cell's identity and its ``(tau, w, rho)`` parameter point.  Cells
+    are ordered by the manifest when one is readable (cells without a record
+    appear with empty metrics and count as missing); without a manifest the
+    records' first-appearance order is used.  Quarantined cells carry their
+    recorded ``failure`` instead of metrics.  Pure function of the on-disk
+    store: rerunning it on an unchanged store reproduces the payload
+    byte-for-byte.
+    """
+    directory = Path(directory)
+    if not (directory / METRICS_NAME).exists() and load_manifest(directory) is None:
+        raise ExperimentError(
+            f"{directory} is not a checkpoint store "
+            f"(no {MANIFEST_NAME} or {METRICS_NAME})"
+        )
+    manifest = load_manifest(directory)
+    records = scan_records(directory)
+    cells: list[dict[str, object]] = []
+    if manifest is not None and isinstance(manifest.get("cells"), list):
+        for entry in manifest["cells"]:
+            if not isinstance(entry, dict):
+                continue
+            cell_hash = entry.get("spec_hash")
+            if not isinstance(cell_hash, str):
+                continue
+            cells.append(
+                _summary_cell(
+                    entry.get("index"),
+                    entry.get("name"),
+                    cell_hash,
+                    records.get(cell_hash),
+                )
+            )
+    else:
+        for cell_hash, record in records.items():
+            cells.append(_summary_cell(None, None, cell_hash, record))
+    n_summarized = sum(1 for cell in cells if cell["metrics"])
+    n_failed = sum(1 for cell in cells if cell["failure"] is not None)
+    return {
+        "format": SUMMARY_FORMAT,
+        "version": 1,
+        "library_version": __version__,
+        "n_cells": len(cells),
+        "n_summarized": n_summarized,
+        "n_failed": n_failed,
+        "n_missing": len(cells) - n_summarized - n_failed,
+        "complete": n_summarized == len(cells),
+        "cells": cells,
+    }
+
+
+def write_summary(directory: PathLike) -> Path:
+    """Write ``summary.json`` for a store, atomically; return its path.
+
+    The write goes through a temp file + ``os.replace`` so readers (the
+    query service polls this file) never observe a half-written summary.
+    """
+    directory = Path(directory)
+    payload = summarize_store(directory)
+    summary_path = directory / SUMMARY_NAME
+    descriptor, tmp = tempfile.mkstemp(dir=directory, suffix=".json")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle, indent=2, default=json_default)
+            handle.write("\n")
+        # mkstemp creates 0600; match the store's other artifacts instead
+        # of leaking the temp file's restrictive mode into summary.json.
+        os.chmod(tmp, 0o644)
+        os.replace(tmp, summary_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return summary_path

@@ -1127,7 +1127,11 @@ def run_sweep_parallel(
                 "hang protection"
             )
         supervisor.run_serial()
-        return supervisor.table
-    if not supervisor.run_pool():
+    elif not supervisor.run_pool():
         supervisor.run_serial()
+    if checkpoint is not None:
+        # The sweep settled every cell (rows or quarantine record), so the
+        # store is final: materialise the read-side summary.json aggregates
+        # the serving layer (repro.serving) answers queries from.
+        checkpoint.write_summary()
     return supervisor.table

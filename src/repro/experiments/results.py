@@ -82,6 +82,40 @@ class ResultTable:
 
     # ----------------------------------------------------------- aggregation
 
+    def numeric_columns(self) -> list[str]:
+        """Columns whose present values are all numeric, in column order.
+
+        Booleans count as numeric (they aggregate as 0/1 rates — the
+        ``terminated`` column's mean is the termination rate); strings and
+        other objects do not.  A column missing from some rows still
+        qualifies as long as every value it *does* have is numeric.
+        """
+        names = []
+        for name in self.columns():
+            values = self.column(name)
+            if values and all(
+                isinstance(value, (bool, int, float)) for value in values
+            ):
+                names.append(name)
+        return names
+
+    def numeric_summary(self) -> dict[str, dict[str, float]]:
+        """Per-column summary stats over every numeric column of the table.
+
+        Returns ``{column: {count, mean, std, min, max, ci_low, ci_high}}``
+        via :func:`~repro.utils.stats.summarize` — the aggregation the sweep
+        artifact store persists per cell in ``summary.json``
+        (:func:`repro.experiments.checkpoint.summarize_store`).
+        """
+        if not self._rows:
+            raise ExperimentError("cannot aggregate an empty table")
+        return {
+            name: summarize(
+                [float(value) for value in self.column(name)]
+            ).as_dict()
+            for name in self.numeric_columns()
+        }
+
     def group_summary(
         self, group_keys: Sequence[str], value_keys: Sequence[str]
     ) -> "ResultTable":

@@ -1,0 +1,59 @@
+"""Sweep-as-a-service: the read/query side of the experiment pipeline.
+
+The experiment layer *writes* artifact stores (checkpointed sweeps with a
+provenance manifest, raw replicate rows and a ``summary.json`` of per-cell
+aggregates).  This package *consumes* them:
+
+- :mod:`repro.serving.store` — :class:`ArtifactStore` (read-side handle),
+  :func:`reproduce_store` (bitwise re-execution of recorded cells) and the
+  snapshot-to-spec rebuild behind both.
+- :mod:`repro.serving.query` — :class:`QueryEngine`: exact / interpolated /
+  nearest-cell parameter lookups with an explicit miss policy.
+- :mod:`repro.serving.cache` — the bounded thread-safe LRU answer cache
+  with exact hit/miss/eviction counters.
+- :mod:`repro.serving.http` — the stdlib ``repro serve`` HTTP endpoint.
+
+The split keeps the dependency direction one-way: serving imports the
+experiment layer, never the reverse.
+"""
+
+from repro.serving.cache import (
+    DEFAULT_CACHE_CAPACITY,
+    LRUCache,
+    cache_key,
+    make_query_cache,
+)
+from repro.serving.http import make_server, serve
+from repro.serving.query import (
+    QueryEngine,
+    axis_scales,
+    bilinear_answer,
+    normalized_distance,
+    parse_query,
+)
+from repro.serving.store import (
+    ArtifactStore,
+    CellReproduction,
+    ReproduceReport,
+    reproduce_store,
+    sweep_from_snapshot,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CellReproduction",
+    "DEFAULT_CACHE_CAPACITY",
+    "LRUCache",
+    "QueryEngine",
+    "ReproduceReport",
+    "axis_scales",
+    "bilinear_answer",
+    "cache_key",
+    "make_query_cache",
+    "make_server",
+    "normalized_distance",
+    "parse_query",
+    "reproduce_store",
+    "serve",
+    "sweep_from_snapshot",
+]

@@ -1,0 +1,155 @@
+"""Bounded thread-safe LRU cache with observable hit/miss/eviction counters.
+
+The query service (:mod:`repro.serving.query`) sits in front of the artifact
+store the way an inference cache sits in front of a model: most traffic
+repeats a small working set of parameter points, so answers are kept in a
+bounded least-recently-used cache and the counters are exported at the HTTP
+``/stats`` endpoint.  The implementation is deliberately stdlib-only — an
+``OrderedDict`` under one re-entrant lock — because the critical section is a
+dict move, far cheaper than the JSON encode that follows it on every request.
+
+Concurrency contract: every public method is atomic under the internal lock.
+:meth:`LRUCache.get_or_compute` runs ``compute`` *outside* the lock, so two
+racing readers of a cold key may both compute; the first insert wins and both
+see a consistent cache (single-flight de-duplication is not worth a condition
+variable for answers that cost milliseconds to recompute and are identical by
+construction).  Counters are exact: every ``get`` is classified as exactly
+one hit or miss, and every capacity displacement as exactly one eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+from repro.errors import ConfigurationError
+
+#: Sentinel distinguishing "absent" from a cached ``None`` value.
+_ABSENT = object()
+
+
+class LRUCache:
+    """A bounded LRU map with exact hit/miss/eviction accounting.
+
+    Reads (:meth:`get`, :meth:`get_or_compute`) refresh recency; writes
+    (:meth:`put`) insert or update at most-recent position and evict the
+    least-recently-used entry once ``len > capacity``.  ``__contains__`` and
+    ``peek`` are observational: they touch neither recency nor counters, so
+    tests and stats endpoints can inspect the cache without perturbing it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or capacity <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be a positive int, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Return the cached value (refreshing recency) or ``default``.
+
+        Counts one hit or one miss.
+        """
+        with self._lock:
+            value = self._entries.get(key, _ABSENT)
+            if value is _ABSENT:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: object = None) -> object:
+        """Return the cached value without touching recency or counters."""
+        with self._lock:
+            value = self._entries.get(key, _ABSENT)
+            return default if value is _ABSENT else value
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert or update ``key`` at most-recent position, evicting if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], object]
+    ) -> tuple[object, bool]:
+        """Return ``(value, was_hit)``, computing and caching on miss.
+
+        ``compute`` runs outside the lock (see the module docstring for the
+        racing-reader contract); on a lost insert race the value computed by
+        this caller is still returned — both racers computed the same answer
+        by construction — and exactly one miss is counted per caller.
+        """
+        cached = self.get(key, _ABSENT)
+        if cached is not _ABSENT:
+            return cached, True
+        value = compute()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every entry.  Counters are preserved (they describe traffic)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict[str, int]:
+        """Consistent snapshot of the counters and occupancy."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def keys(self) -> list:
+        """The cached keys, least- to most-recently used (a copy)."""
+        with self._lock:
+            return list(self._entries.keys())
+
+
+def cache_key(
+    params: dict[str, object], interpolate: bool
+) -> tuple[Hashable, ...]:
+    """Canonical cache key of one resolved query point.
+
+    Axes are sorted by name so semantically identical queries
+    (``"tau=0.4,rho=0.5"`` vs ``"rho=0.5,tau=0.4"``) share an entry;
+    ``interpolate`` is part of the key because it changes the answer.
+    """
+    return tuple(sorted(params.items())) + (bool(interpolate),)
+
+
+#: Default capacity of the query service's answer cache.
+DEFAULT_CACHE_CAPACITY = 256
+
+
+def make_query_cache(capacity: Optional[int] = None) -> LRUCache:
+    """The query layer's answer cache with the serving default capacity."""
+    return LRUCache(DEFAULT_CACHE_CAPACITY if capacity is None else capacity)

@@ -1,0 +1,175 @@
+"""Stdlib HTTP endpoint over the query engine (``repro serve``).
+
+A thin JSON facade on :class:`~repro.serving.query.QueryEngine`, built on
+``http.server.ThreadingHTTPServer`` so the library adds no web-framework
+dependency.  One engine instance backs all request threads — the store
+snapshot is read-only and the answer cache is internally locked, so no
+further synchronisation is needed.
+
+Routes (all ``GET``, all ``application/json``):
+
+- ``/query?point=rho=0.4,tau=0.55,w=2`` — answer a parameter-point query.
+  Axes may instead be passed as individual parameters (``?rho=0.4&tau=0.55``,
+  aliases accepted); ``interpolate=0|1`` overrides the engine default for
+  this request.  Errors map to status codes: a malformed or ambiguous query
+  is ``400``, a miss under ``on_miss="error"`` is ``404``.
+- ``/stats`` — cache hit/miss/eviction counters, store shape, miss policy.
+- ``/cells`` — the store's summary cells (what the service can answer from).
+- ``/healthz`` — liveness: ``200 {"ok": true}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import QueryMiss, ReproError, ServingError
+from repro.experiments.io import json_default
+from repro.serving.cache import LRUCache
+from repro.serving.query import AXIS_ALIASES, QueryEngine
+from repro.serving.store import ArtifactStore, PathLike
+
+#: Default bind address and port of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8639
+
+
+def _request_query(params: dict[str, str]) -> Union[str, dict[str, float]]:
+    """The query expressed by a request's parameters.
+
+    ``point=...`` carries a full comma-separated query string; otherwise
+    every recognised axis parameter contributes one term.
+    """
+    if "point" in params:
+        return params["point"]
+    axes = {
+        name: value
+        for name, value in params.items()
+        if name.lower() in AXIS_ALIASES
+    }
+    if not axes:
+        raise ServingError(
+            "no query given — pass ?point=rho=...,tau=...,w=... or "
+            "individual axis parameters like ?rho=0.4&tau=0.55"
+        )
+    try:
+        return {name: float(value) for name, value in axes.items()}
+    except ValueError as exc:
+        raise ServingError(f"non-numeric axis value: {exc}") from None
+
+
+def _parse_flag(raw: str) -> bool:
+    """Interpret a query-string boolean (``1/0/true/false/yes/no``)."""
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ServingError(f"boolean parameter expects 0/1, got {raw!r}")
+
+
+def make_handler(engine: QueryEngine, quiet: bool = True) -> type:
+    """Build the request-handler class bound to one query engine."""
+
+    class QueryServiceHandler(BaseHTTPRequestHandler):
+        """Routes GET requests into the shared :class:`QueryEngine`."""
+
+        server_version = "repro-serve/1"
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            """Dispatch on path and reply with a JSON document."""
+            url = urlsplit(self.path)
+            params = dict(parse_qsl(url.query))
+            try:
+                if url.path == "/healthz":
+                    self._reply(200, {"ok": True})
+                elif url.path == "/stats":
+                    self._reply(200, engine.stats())
+                elif url.path == "/cells":
+                    self._reply(200, {"cells": engine.store.cells()})
+                elif url.path == "/query":
+                    interpolate = None
+                    if "interpolate" in params:
+                        interpolate = _parse_flag(params["interpolate"])
+                    answer = engine.answer(
+                        _request_query(params), interpolate=interpolate
+                    )
+                    self._reply(200, answer)
+                else:
+                    self._reply(
+                        404,
+                        {
+                            "error": f"unknown path {url.path!r}",
+                            "routes": ["/query", "/stats", "/cells",
+                                       "/healthz"],
+                        },
+                    )
+            except QueryMiss as exc:
+                self._reply(404, {"error": str(exc), "miss": True})
+            except ReproError as exc:
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def _reply(self, status: int, payload: dict) -> None:
+            """Send one JSON response."""
+            body = json.dumps(payload, default=json_default).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args: object) -> None:
+            """Suppress per-request stderr noise unless asked not to."""
+            if not quiet:
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    return QueryServiceHandler
+
+
+def make_server(
+    store: Union[ArtifactStore, PathLike],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache: Optional[LRUCache] = None,
+    interpolate: bool = False,
+    on_miss: str = "error",
+    max_distance: Optional[float] = None,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """A ready-to-run threaded server over ``store``.
+
+    Pass ``port=0`` to bind an ephemeral port (tests do); the bound address
+    is ``server.server_address`` and the engine is reachable as
+    ``server.engine``.  The caller owns the lifecycle: ``serve_forever()``
+    to run, ``shutdown()`` + ``server_close()`` to stop.
+    """
+    engine = QueryEngine(
+        store,
+        cache=cache,
+        interpolate=interpolate,
+        on_miss=on_miss,
+        max_distance=max_distance,
+    )
+    server = ThreadingHTTPServer(
+        (host, port), make_handler(engine, quiet=quiet)
+    )
+    server.engine = engine
+    return server
+
+
+def serve(
+    store: Union[ArtifactStore, PathLike],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    **engine_options: object,
+) -> None:
+    """Blocking convenience wrapper: build a server and run it forever."""
+    server = make_server(store, host=host, port=port, **engine_options)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

@@ -1,0 +1,472 @@
+"""Parameter-point queries against a sweep artifact store.
+
+The store holds aggregates at the sweep's grid points; consumers ask for
+arbitrary ``(rho, tau, w)`` points.  :class:`QueryEngine` resolves a query in
+a fixed priority order:
+
+1. **Exact match** — a summary cell whose parameters equal the query point
+   bit-for-bit returns its stored aggregates unchanged.
+2. **Bilinear interpolation** (opt-in) — for a point inside the convex hull
+   of the ``(rho, tau)`` grid at an exactly-matching horizon ``w``, the four
+   bracketing corner cells are blended with the standard bilinear weights.
+   Every interpolated metric is a convex combination of the corner values,
+   so it is bounded by the corners' extremes (the property the differential
+   test suite asserts).
+3. **Nearest cell** — the cell minimising the *normalized Euclidean
+   distance* ``d(q, c) = sqrt(sum_a ((q_a - c_a) / s_a)^2)`` over the axes
+   ``a in (rho, tau, w)``, where the scale ``s_a`` is the range
+   (``max - min``) of axis ``a`` over the store's answerable cells, or 1.0
+   for a degenerate axis.  Normalizing by range makes the axes commensurate
+   (a horizon step of 1 is not drowned out by a density step of 0.05) and
+   depends only on the *set* of cells, so the lookup is deterministic under
+   any shuffling of store rows; ties break lexicographically on the cell's
+   ``(params, spec_hash)``, never on storage order.  ``max_distance`` can
+   bound how far an answer may be from the query.
+4. **Miss policy** — with no answer within bounds, ``on_miss="error"``
+   raises :class:`~repro.errors.QueryMiss`; ``on_miss="compute"`` schedules
+   a fresh simulation of the point (deterministically seeded from the
+   store's sweep) and answers from its aggregates.
+
+Resolved answers flow through a bounded thread-safe LRU cache
+(:mod:`repro.serving.cache`) keyed on the resolved point, so a service under
+repeated traffic answers from memory; hit/miss/eviction counters are exposed
+via :meth:`QueryEngine.stats` and the HTTP ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from repro.errors import QueryMiss, ServingError
+from repro.serving.cache import LRUCache, cache_key, make_query_cache
+from repro.serving.store import ArtifactStore, PathLike, query_spec_for_point
+
+#: Canonical query axes, in documentation order.
+AXES = ("rho", "tau", "w")
+
+#: Accepted spellings for each axis (the sweep rows call them
+#: ``density``/``tau``/``horizon``; the paper's figures use ``p``/``tau``/``w``).
+AXIS_ALIASES = {
+    "rho": "rho",
+    "density": "rho",
+    "p": "rho",
+    "tau": "tau",
+    "w": "w",
+    "horizon": "w",
+}
+
+#: Valid values of the engine's miss policy.
+ON_MISS_POLICIES = ("error", "compute")
+
+
+def parse_query(text: str) -> dict[str, float]:
+    """Parse ``"rho=0.4,tau=0.55,w=2"`` into a partial axis → value map.
+
+    Accepts the aliases in :data:`AXIS_ALIASES`, rejects unknown axes,
+    duplicates and non-numeric values.  Axes may be omitted — the engine
+    fills an omitted axis when the store pins it to a single value.
+    """
+    point: dict[str, float] = {}
+    for part in str(text).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, raw = part.partition("=")
+        name = name.strip().lower()
+        if not sep:
+            raise ServingError(
+                f"query term {part!r} is not of the form axis=value"
+            )
+        axis = AXIS_ALIASES.get(name)
+        if axis is None:
+            known = ", ".join(sorted(AXIS_ALIASES))
+            raise ServingError(
+                f"unknown query axis {name!r} (known: {known})"
+            )
+        if axis in point:
+            raise ServingError(f"query names axis {axis!r} more than once")
+        try:
+            point[axis] = float(raw.strip())
+        except ValueError:
+            raise ServingError(
+                f"query value {raw.strip()!r} for axis {axis!r} is not a "
+                "number"
+            ) from None
+    if not point:
+        raise ServingError("empty query — name at least one axis=value term")
+    return point
+
+
+def axis_scales(cells: list[dict]) -> dict[str, float]:
+    """Per-axis normalization scales over the answerable cells.
+
+    ``s_a = max_a - min_a`` over the cells' parameter points, with 1.0 for a
+    degenerate axis (single value) so a division never blows up.  A pure
+    function of the cell *set* — invariant under storage order.
+    """
+    scales: dict[str, float] = {}
+    for axis in AXES:
+        values = [float(cell["params"][axis]) for cell in cells]
+        span = max(values) - min(values) if values else 0.0
+        scales[axis] = span if span > 0.0 else 1.0
+    return scales
+
+
+def normalized_distance(
+    point: dict[str, float], params: dict, scales: dict[str, float]
+) -> float:
+    """Normalized Euclidean distance between a query point and a cell."""
+    return math.sqrt(
+        sum(
+            ((point[axis] - float(params[axis])) / scales[axis]) ** 2
+            for axis in AXES
+        )
+    )
+
+
+def _cell_rank(cell: dict) -> tuple:
+    """Deterministic tie-break rank: parameter point, then spec hash."""
+    params = cell["params"]
+    return (
+        float(params["rho"]),
+        float(params["tau"]),
+        float(params["w"]),
+        str(cell.get("spec_hash", "")),
+    )
+
+
+def _blend(corners: list[tuple[float, dict]]) -> dict[str, dict[str, float]]:
+    """Convex combination of corner metrics.
+
+    Blends only the metric columns (and per-column stat fields) present in
+    *every* contributing corner, so a ragged store cannot produce a value
+    that silently mixes populations.
+    """
+    metric_names = set(corners[0][1]["metrics"])
+    for _, cell in corners[1:]:
+        metric_names &= set(cell["metrics"])
+    blended: dict[str, dict[str, float]] = {}
+    for name in sorted(metric_names):
+        fields = set(corners[0][1]["metrics"][name])
+        for _, cell in corners[1:]:
+            fields &= set(cell["metrics"][name])
+        blended[name] = {
+            field: sum(
+                weight * float(cell["metrics"][name][field])
+                for weight, cell in corners
+            )
+            for field in sorted(fields)
+        }
+    return blended
+
+
+def bilinear_answer(
+    cells: list[dict], point: dict[str, float]
+) -> Optional[dict]:
+    """Bilinear interpolation over ``(rho, tau)`` at an exact horizon.
+
+    Returns ``None`` unless the store has, at the query's exact ``w``, the
+    four grid corners bracketing the query in both ``rho`` and ``tau`` (a
+    bracket may be degenerate when the query lies exactly on a grid line).
+    The result's metrics are convex combinations of the corner metrics with
+    the standard bilinear weights, hence bounded by the corner extremes.
+    """
+    at_w = {}
+    for cell in cells:
+        params = cell["params"]
+        if float(params["w"]) != point["w"]:
+            continue
+        key = (float(params["tau"]), float(params["rho"]))
+        best = at_w.get(key)
+        if best is None or _cell_rank(cell) < _cell_rank(best):
+            at_w[key] = cell
+    if not at_w:
+        return None
+    taus = sorted({key[0] for key in at_w})
+    rhos = sorted({key[1] for key in at_w})
+    tau_lo = max((t for t in taus if t <= point["tau"]), default=None)
+    tau_hi = min((t for t in taus if t >= point["tau"]), default=None)
+    rho_lo = max((r for r in rhos if r <= point["rho"]), default=None)
+    rho_hi = min((r for r in rhos if r >= point["rho"]), default=None)
+    if None in (tau_lo, tau_hi, rho_lo, rho_hi):
+        return None  # outside the grid's convex hull
+    weight_tau = (
+        0.0
+        if tau_hi == tau_lo
+        else (point["tau"] - tau_lo) / (tau_hi - tau_lo)
+    )
+    weight_rho = (
+        0.0
+        if rho_hi == rho_lo
+        else (point["rho"] - rho_lo) / (rho_hi - rho_lo)
+    )
+    # Accumulated, not a dict literal: with a degenerate bracket
+    # (lo == hi) two corner labels collapse onto one grid point, and their
+    # weights must add up rather than overwrite each other.
+    corner_weights: dict[tuple[float, float], float] = {}
+    for key, weight in (
+        ((tau_lo, rho_lo), (1.0 - weight_tau) * (1.0 - weight_rho)),
+        ((tau_hi, rho_lo), weight_tau * (1.0 - weight_rho)),
+        ((tau_lo, rho_hi), (1.0 - weight_tau) * weight_rho),
+        ((tau_hi, rho_hi), weight_tau * weight_rho),
+    ):
+        corner_weights[key] = corner_weights.get(key, 0.0) + weight
+    corners: list[tuple[float, dict]] = []
+    for key, weight in corner_weights.items():
+        if weight <= 0.0:
+            continue
+        cell = at_w.get(key)
+        if cell is None:
+            return None  # ragged grid: a needed corner was never swept
+        corners.append((weight, cell))
+    if not corners:
+        return None
+    return {
+        "source": "interpolated",
+        "metrics": _blend(corners),
+        "cells": [
+            {
+                "index": cell.get("index"),
+                "name": cell.get("name"),
+                "spec_hash": cell.get("spec_hash"),
+                "params": cell.get("params"),
+                "weight": weight,
+            }
+            for weight, cell in corners
+        ],
+    }
+
+
+class QueryEngine:
+    """Cached parameter-point lookups against one artifact store.
+
+    Thread-safe: resolution state is read-only after construction and the
+    answer cache takes its own lock, so one engine instance backs the
+    threaded HTTP server directly.
+    """
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, PathLike],
+        cache: Optional[LRUCache] = None,
+        interpolate: bool = False,
+        on_miss: str = "error",
+        max_distance: Optional[float] = None,
+    ) -> None:
+        if on_miss not in ON_MISS_POLICIES:
+            raise ServingError(
+                f"on_miss must be one of {ON_MISS_POLICIES}, got {on_miss!r}"
+            )
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+        self.cache = cache if cache is not None else make_query_cache()
+        self.interpolate = bool(interpolate)
+        self.on_miss = on_miss
+        self.max_distance = max_distance
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve_point(
+        self, query: Union[str, dict[str, float]]
+    ) -> dict[str, float]:
+        """Normalize a query into a full ``{rho, tau, w}`` point.
+
+        String queries go through :func:`parse_query`; dict queries accept
+        the same aliases.  An omitted axis is filled from the store when the
+        answerable cells pin it to a single value, and is an error (the
+        query is ambiguous) otherwise.
+        """
+        if isinstance(query, str):
+            partial = parse_query(query)
+        else:
+            partial = {}
+            for name, value in dict(query).items():
+                axis = AXIS_ALIASES.get(str(name).lower())
+                if axis is None:
+                    known = ", ".join(sorted(AXIS_ALIASES))
+                    raise ServingError(
+                        f"unknown query axis {name!r} (known: {known})"
+                    )
+                if axis in partial:
+                    raise ServingError(
+                        f"query names axis {axis!r} more than once"
+                    )
+                partial[axis] = float(value)
+            if not partial:
+                raise ServingError(
+                    "empty query — name at least one axis=value term"
+                )
+        point: dict[str, float] = {}
+        for axis in AXES:
+            if axis in partial:
+                point[axis] = partial[axis]
+                continue
+            pinned = {
+                float(cell["params"][axis])
+                for cell in self.store.answerable_cells()
+            }
+            if len(pinned) == 1:
+                point[axis] = pinned.pop()
+            else:
+                raise ServingError(
+                    f"query omits axis {axis!r} and the store does not pin "
+                    f"it to a single value ({len(pinned)} distinct values) "
+                    "— specify it explicitly"
+                )
+        return point
+
+    def _lookup(self, point: dict[str, float], interpolate: bool) -> dict:
+        """Resolve one full point against the store (uncached)."""
+        cells = self.store.answerable_cells()
+        if not cells:
+            return self._miss(point, "the store has no answerable cells")
+        for cell in sorted(cells, key=_cell_rank):
+            params = cell["params"]
+            if all(float(params[axis]) == point[axis] for axis in AXES):
+                return {
+                    "point": point,
+                    "source": "exact",
+                    "distance": 0.0,
+                    "metrics": cell["metrics"],
+                    "cells": [
+                        {
+                            "index": cell.get("index"),
+                            "name": cell.get("name"),
+                            "spec_hash": cell.get("spec_hash"),
+                            "params": params,
+                            "weight": 1.0,
+                        }
+                    ],
+                }
+        if interpolate:
+            answer = bilinear_answer(cells, point)
+            if answer is not None:
+                answer["point"] = point
+                answer["distance"] = None
+                return answer
+        scales = axis_scales(cells)
+        nearest = min(
+            cells,
+            key=lambda cell: (
+                normalized_distance(point, cell["params"], scales),
+                _cell_rank(cell),
+            ),
+        )
+        distance = normalized_distance(point, nearest["params"], scales)
+        if self.max_distance is not None and distance > self.max_distance:
+            return self._miss(
+                point,
+                f"nearest cell is at normalized distance {distance:.4f}, "
+                f"beyond the allowed {self.max_distance}",
+            )
+        return {
+            "point": point,
+            "source": "nearest",
+            "distance": distance,
+            "metrics": nearest["metrics"],
+            "cells": [
+                {
+                    "index": nearest.get("index"),
+                    "name": nearest.get("name"),
+                    "spec_hash": nearest.get("spec_hash"),
+                    "params": nearest["params"],
+                    "weight": 1.0,
+                }
+            ],
+        }
+
+    def _miss(self, point: dict[str, float], reason: str) -> dict:
+        """Apply the miss policy: raise, or compute the point fresh."""
+        if self.on_miss != "compute":
+            raise QueryMiss(
+                f"no stored answer for {point} ({reason}); rerun with "
+                "on_miss='compute' to simulate the point"
+            )
+        return self._compute(point)
+
+    def _compute(self, point: dict[str, float]) -> dict:
+        """Simulate the queried point and answer from fresh aggregates."""
+        from repro.experiments.checkpoint import VOLATILE_ROW_COLUMNS
+        from repro.experiments.results import ResultTable
+        from repro.experiments.runner import run_experiment
+
+        sweep = self.store.sweep()
+        w = point["w"]
+        if w != int(w):
+            raise ServingError(
+                f"cannot compute a non-integer horizon w={w!r}"
+            )
+        spec = query_spec_for_point(
+            sweep, tau=point["tau"], rho=point["rho"], w=int(w)
+        )
+        # Wall-clock columns are stripped so a computed answer is a pure
+        # function of (store, point) — rerunning the query reproduces it.
+        table = ResultTable(
+            [
+                {
+                    key: value
+                    for key, value in row.items()
+                    if key not in VOLATILE_ROW_COLUMNS
+                }
+                for row in run_experiment(spec).rows
+            ]
+        )
+        return {
+            "point": point,
+            "source": "computed",
+            "distance": None,
+            "metrics": table.numeric_summary(),
+            "cells": [
+                {
+                    "index": None,
+                    "name": spec.name,
+                    "spec_hash": None,
+                    "params": dict(point),
+                    "weight": 1.0,
+                }
+            ],
+        }
+
+    # ---------------------------------------------------------------- public
+
+    def answer(
+        self,
+        query: Union[str, dict[str, float]],
+        interpolate: Optional[bool] = None,
+    ) -> dict:
+        """Answer a query through the cache.
+
+        Returns the answer payload (point, source, contributing cells,
+        metrics) plus a ``cached`` flag for this call.  Misses under
+        ``on_miss="error"`` raise :class:`~repro.errors.QueryMiss` and are
+        never cached; computed answers are cached like any other.
+        """
+        use_interpolation = (
+            self.interpolate if interpolate is None else bool(interpolate)
+        )
+        point = self.resolve_point(query)
+        key = cache_key(point, use_interpolation)
+        value, was_hit = self.cache.get_or_compute(
+            key, lambda: self._lookup(point, use_interpolation)
+        )
+        answer = dict(value)
+        answer["cached"] = was_hit
+        return answer
+
+    def stats(self) -> dict:
+        """Cache counters plus store and policy descriptors (for ``/stats``)."""
+        return {
+            "cache": self.cache.stats(),
+            "store": {
+                "directory": str(self.store.directory),
+                "n_cells": len(self.store.cells()),
+                "n_answerable": len(self.store.answerable_cells()),
+            },
+            "policy": {
+                "interpolate": self.interpolate,
+                "on_miss": self.on_miss,
+                "max_distance": self.max_distance,
+            },
+        }

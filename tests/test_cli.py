@@ -410,3 +410,110 @@ class TestSweepSupervisorFlags:
             build_parser().parse_args(
                 self.BASE_ARGS + ["--on-error", "explode"]
             )
+
+
+class TestServingCommands:
+    """The serving subcommands: summarize, query, serve (reproduce has its
+    own module, ``test_serving_reproduce.py``)."""
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        """A tiny completed checkpointed sweep to serve."""
+        directory = tmp_path / "store"
+        code, _ = run_cli(
+            [
+                "sweep",
+                "--horizon", "1",
+                "--side", "10",
+                "--taus", "0.3,0.45",
+                "--replicates", "1",
+                "--seed", "9",
+                "--checkpoint-dir", str(directory),
+            ]
+        )
+        assert code == 0
+        return directory
+
+    def test_sweep_checkpoint_writes_summary(self, store):
+        assert (store / "summary.json").exists()
+
+    def test_summarize_rewrites_offline(self, store):
+        import json
+
+        original = (store / "summary.json").read_bytes()
+        (store / "summary.json").unlink()
+        code, output = run_cli(["summarize", str(store)])
+        assert code == 0
+        assert "2/2 cell(s) summarized" in output
+        assert (store / "summary.json").read_bytes() == original
+        assert json.loads(original)["complete"] is True
+
+    def test_summarize_empty_directory_exits_one(self, tmp_path, capsys):
+        code, _ = run_cli(["summarize", str(tmp_path)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_exact_point(self, store):
+        import json
+
+        code, output = run_cli(
+            ["query", "tau=0.3", "--store", str(store)]
+        )
+        assert code == 0
+        answer = json.loads(output)
+        assert answer["source"] == "exact"
+        assert answer["point"]["w"] == 1.0  # pinned by the store
+        assert "final_unhappy_fraction" in answer["metrics"]
+
+    def test_query_nearest_with_interpolate_flag(self, store):
+        import json
+
+        code, output = run_cli(
+            ["query", "tau=0.37", "--store", str(store), "--interpolate"]
+        )
+        assert code == 0
+        answer = json.loads(output)
+        # single rho/w: tau-only grid has no (rho, tau) plane to
+        # interpolate, so the engine falls back to the nearest cell
+        assert answer["source"] in ("interpolated", "nearest")
+
+    def test_query_miss_exits_one(self, store, capsys):
+        code, _ = run_cli(
+            [
+                "query", "tau=0.9", "--store", str(store),
+                "--max-distance", "0.1",
+            ]
+        )
+        assert code == 1
+        assert "miss:" in capsys.readouterr().err
+
+    def test_query_malformed_exits_two(self, store, capsys):
+        code, _ = run_cli(["query", "sigma=1", "--store", str(store)])
+        assert code == 2
+        assert "unknown query axis" in capsys.readouterr().err
+
+    def test_query_missing_store_exits_two(self, tmp_path, capsys):
+        code, _ = run_cli(
+            ["query", "tau=0.3", "--store", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_store_before_binding(self, tmp_path, capsys):
+        code, _ = run_cli(
+            ["serve", "--store", str(tmp_path / "nope"), "--port", "0"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_parser_accepts_policy_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--store", "s", "--port", "0",
+                "--interpolate", "--on-miss", "compute",
+                "--max-distance", "1.5", "--cache-size", "16",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.on_miss == "compute"
+        assert args.cache_size == 16

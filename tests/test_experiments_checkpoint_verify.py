@@ -411,3 +411,60 @@ class TestSigkillMatrix:
         assert verify_store(directory)["ok"] is True
         resumed = run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
         assert comparable_rows(resumed) == uninterrupted
+
+
+class TestZeroByteMetricsRegression:
+    """A manifest plus a zero-byte ``metrics.jsonl`` is a *clean* store.
+
+    This is exactly what a sweep killed after opening the log but before the
+    first record looks like — nothing recorded yet, nothing corrupt.  Verify
+    must report it clean (exit 0 through the CLI), repair must not touch it,
+    resume must run every cell, and the summary side must report every cell
+    missing rather than fail.
+    """
+
+    @pytest.fixture
+    def zero_byte_store(self, tmp_path, sweep):
+        from repro.experiments.checkpoint import SweepCheckpoint
+
+        directory = tmp_path / "zero-byte"
+        SweepCheckpoint(directory, list(sweep.cells()), sweep)  # manifest only
+        (directory / "metrics.jsonl").write_bytes(b"")
+        return directory
+
+    def test_verify_reports_clean(self, zero_byte_store):
+        report = verify_store(zero_byte_store)
+        assert report["ok"] is True
+        assert report["problems"] == []
+        assert report["records"]["total"] == 0
+        assert report["valid_prefix_bytes"] == 0
+
+    def test_cli_verify_exits_zero(self, zero_byte_store):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        assert main(["checkpoint", "verify", str(zero_byte_store)], out=out) == 0
+        assert json.loads(out.getvalue())["ok"] is True
+
+    def test_repair_is_a_no_op(self, zero_byte_store):
+        report = repair_store(zero_byte_store)
+        assert report["repair"]["performed"] is False
+        assert (zero_byte_store / "metrics.jsonl").read_bytes() == b""
+
+    def test_resume_runs_every_cell(self, zero_byte_store, sweep):
+        baseline = comparable_rows(run_sweep_parallel(sweep, workers=1))
+        resumed = run_sweep_parallel(
+            sweep, workers=1, checkpoint_dir=zero_byte_store
+        )
+        assert comparable_rows(resumed) == baseline
+
+    def test_summary_reports_every_cell_missing(self, zero_byte_store, sweep):
+        from repro.experiments.checkpoint import summarize_store
+
+        payload = summarize_store(zero_byte_store)
+        assert payload["n_cells"] == len(list(sweep.cells()))
+        assert payload["n_missing"] == payload["n_cells"]
+        assert payload["complete"] is False
+        assert all(cell["metrics"] == {} for cell in payload["cells"])

@@ -1,0 +1,209 @@
+"""LRU answer-cache unit tests: eviction order, exact counters, thread hammer."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.cache import (
+    DEFAULT_CACHE_CAPACITY,
+    LRUCache,
+    cache_key,
+    make_query_cache,
+)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_capacity(self):
+        for bad in (0, -1):
+            with pytest.raises(ConfigurationError):
+                LRUCache(bad)
+
+    def test_rejects_non_int_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(2.5)
+
+    def test_make_query_cache_default_capacity(self):
+        assert make_query_cache().capacity == DEFAULT_CACHE_CAPACITY
+        assert make_query_cache(3).capacity == 3
+
+
+class TestEviction:
+    def test_evicts_least_recently_used_in_order(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        cache.put("d", "D")  # evicts a
+        assert "a" not in cache
+        assert cache.keys() == ["b", "c", "d"]
+        cache.put("e", "E")  # evicts b
+        assert cache.keys() == ["c", "d", "e"]
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        assert cache.get("a") == "a"  # a is now most recent
+        cache.put("d", "d")  # evicts b, not a
+        assert "a" in cache and "b" not in cache
+
+    def test_put_existing_key_refreshes_without_evicting(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, not insert
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 0
+        cache.put("c", 3)  # evicts b (a was refreshed by the update)
+        assert cache.keys() == ["a", "c"]
+
+    def test_peek_and_contains_do_not_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert "a" in cache
+        cache.put("c", 3)  # a is still least recent -> evicted
+        assert "a" not in cache
+
+    def test_capacity_one(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.keys() == ["b"]
+        assert cache.stats()["evictions"] == 1
+
+
+class TestCounters:
+    def test_every_get_is_exactly_one_hit_or_miss(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("zz") is None
+        assert cache.get("zz", default=7) == 7
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["hits"] + stats["misses"] == 3
+
+    def test_evictions_counted_exactly(self):
+        cache = LRUCache(2)
+        for i in range(10):
+            cache.put(i, i)
+        assert cache.stats()["evictions"] == 8
+        assert cache.stats()["size"] == 2
+
+    def test_peek_contains_len_do_not_count(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.peek("a")
+        cache.peek("missing")
+        "a" in cache  # noqa: B015 - observational on purpose
+        len(cache)
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cached_none_is_a_hit(self):
+        cache = LRUCache(2)
+        cache.put("a", None)
+        assert cache.get("a", default="sentinel") is None
+        assert cache.stats()["hits"] == 1
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_hits(self):
+        cache = LRUCache(4)
+        calls = []
+        value, was_hit = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert (value, was_hit) == (42, False)
+        value, was_hit = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert (value, was_hit) == (42, True)
+        assert len(calls) == 1
+
+    def test_compute_exception_caches_nothing(self):
+        cache = LRUCache(4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert "k" not in cache
+        # the failed lookup still counted its miss; a later success caches
+        value, was_hit = cache.get_or_compute("k", lambda: 1)
+        assert (value, was_hit) == (1, False)
+
+
+class TestThreadSafety:
+    def test_concurrent_hammer_keeps_exact_accounting(self):
+        """Hammer one small cache from many threads; invariants must hold.
+
+        Every ``get`` classifies as exactly one hit or miss, occupancy never
+        exceeds capacity, and the structure survives concurrent eviction
+        churn without losing entries it should hold.
+        """
+        cache = LRUCache(8)
+        n_threads, n_ops = 8, 400
+        barrier = threading.Barrier(n_threads)
+
+        def worker(worker_index):
+            barrier.wait()
+            for op in range(n_ops):
+                key = (worker_index * op) % 16
+                if op % 3 == 0:
+                    cache.put(key, (worker_index, op))
+                else:
+                    cache.get(key)
+                assert len(cache) <= 8
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(worker, range(n_threads)))
+
+        stats = cache.stats()
+        expected_gets = n_threads * sum(1 for op in range(n_ops) if op % 3)
+        assert stats["hits"] + stats["misses"] == expected_gets
+        assert stats["size"] == len(cache.keys()) <= 8
+
+    def test_concurrent_get_or_compute_returns_consistent_values(self):
+        cache = LRUCache(64)
+        compute_calls = []
+
+        def compute_for(key):
+            def compute():
+                compute_calls.append(key)
+                return key * 2
+            return compute
+
+        def worker(_):
+            results = []
+            for key in range(16):
+                value, _ = cache.get_or_compute(key, compute_for(key))
+                results.append(value == key * 2)
+            return all(results)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(worker, range(8)))
+        assert all(outcomes)
+        # racing readers may duplicate computes, but never corrupt values
+        assert len(compute_calls) >= 16
+        for key in range(16):
+            assert cache.peek(key) == key * 2
+
+
+class TestCacheKey:
+    def test_order_insensitive_and_interpolation_sensitive(self):
+        a = cache_key({"rho": 0.4, "tau": 0.5, "w": 2.0}, False)
+        b = cache_key({"w": 2.0, "tau": 0.5, "rho": 0.4}, False)
+        assert a == b
+        assert cache_key({"rho": 0.4, "tau": 0.5, "w": 2.0}, True) != a
+
+    def test_usable_as_dict_key(self):
+        key = cache_key({"rho": 0.4}, True)
+        assert {key: 1}[key] == 1

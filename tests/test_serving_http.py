@@ -1,0 +1,181 @@
+"""HTTP query-service tests: routes, status mapping, live cache counters."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments.checkpoint import SUMMARY_FORMAT, SUMMARY_NAME
+from repro.serving import LRUCache, make_server
+
+from test_serving_query import grid_cells, write_store
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running ephemeral-port server over a synthetic four-cell store."""
+    store = write_store(tmp_path / "store", grid_cells(values=[1.0, 2.0, 3.0, 4.0]))
+    server = make_server(store, port=0, interpolate=True, cache=LRUCache(4))
+    thread = threading.Thread(target=lambda: server.serve_forever(poll_interval=0.05), daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get(base, path):
+    """GET a path and return ``(status, decoded JSON body)``."""
+    with urllib.request.urlopen(f"{base}{path}", timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def get_error(base, path):
+    """GET a path expected to fail; return ``(status, decoded JSON body)``."""
+    try:
+        urllib.request.urlopen(f"{base}{path}", timeout=10)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+    raise AssertionError(f"{path} unexpectedly succeeded")
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        assert get(service, "/healthz") == (200, {"ok": True})
+
+    def test_cells_lists_the_store(self, service):
+        status, body = get(service, "/cells")
+        assert status == 200
+        assert len(body["cells"]) == 4
+
+    def test_query_via_point_parameter(self, service):
+        status, body = get(service, "/query?point=tau=0.3,rho=0.4,w=2")
+        assert status == 200
+        assert body["source"] == "exact"
+        assert body["metrics"]["score"]["mean"] == 1.0
+
+    def test_query_via_individual_axis_parameters(self, service):
+        status, body = get(service, "/query?tau=0.4&rho=0.5&w=2")
+        assert status == 200
+        assert body["source"] == "interpolated"
+        assert body["metrics"]["score"]["mean"] == pytest.approx(2.5)
+
+    def test_interpolate_flag_overrides_per_request(self, service):
+        _, body = get(service, "/query?tau=0.4&rho=0.5&w=2&interpolate=0")
+        assert body["source"] == "nearest"
+
+    def test_unknown_path_is_404_with_route_list(self, service):
+        status, body = get_error(service, "/nope")
+        assert status == 404
+        assert "/query" in body["routes"]
+
+
+class TestErrorMapping:
+    def test_malformed_query_is_400(self, service):
+        status, body = get_error(service, "/query?point=sigma=1")
+        assert status == 400
+        assert "unknown query axis" in body["error"]
+
+    def test_missing_query_is_400(self, service):
+        status, body = get_error(service, "/query")
+        assert status == 400
+        assert "no query given" in body["error"]
+
+    def test_bad_boolean_is_400(self, service):
+        status, _ = get_error(service, "/query?tau=0.3&rho=0.4&interpolate=maybe")
+        assert status == 400
+
+    def test_query_miss_is_404(self, tmp_path):
+        store = write_store(tmp_path / "store", grid_cells())
+        server = make_server(store, port=0, max_distance=0.01)
+        thread = threading.Thread(target=lambda: server.serve_forever(poll_interval=0.05), daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            status, body = get_error(
+                f"http://{host}:{port}", "/query?tau=0.9&rho=0.9&w=2"
+            )
+            assert status == 404
+            assert body["miss"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestStatsEndpoint:
+    def test_counters_track_traffic(self, service):
+        get(service, "/query?point=tau=0.3,rho=0.4,w=2")
+        get(service, "/query?point=tau=0.3,rho=0.4,w=2")
+        get(service, "/query?point=rho=0.4,tau=0.3,w=2")  # same resolved point
+        status, body = get(service, "/stats")
+        assert status == 200
+        assert body["cache"]["capacity"] == 4
+        assert body["cache"]["misses"] == 1
+        assert body["cache"]["hits"] == 2
+        assert body["store"]["n_cells"] == 4
+        assert body["store"]["n_answerable"] == 4
+        assert body["policy"]["interpolate"] is True
+        assert body["policy"]["on_miss"] == "error"
+
+    def test_eviction_counter_over_capacity_traffic(self, service):
+        points = [
+            (0.3, 0.4), (0.3, 0.6), (0.5, 0.4), (0.5, 0.6),
+            (0.35, 0.45), (0.45, 0.55),
+        ]
+        for tau, rho in points:
+            get(service, f"/query?tau={tau}&rho={rho}&w=2")
+        _, body = get(service, "/stats")
+        assert body["cache"]["size"] == 4
+        assert body["cache"]["evictions"] == 2
+
+    def test_concurrent_requests_are_answered_consistently(self, service):
+        def fetch(_):
+            _, body = get(service, "/query?point=tau=0.3,rho=0.4,w=2")
+            return body["metrics"]["score"]["mean"]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            values = list(pool.map(fetch, range(32)))
+        assert values == [1.0] * 32
+        _, body = get(service, "/stats")
+        assert body["cache"]["hits"] + body["cache"]["misses"] == 32
+
+
+class TestRealStoreSmoke:
+    def test_serves_a_real_sweep_store(self, tmp_path):
+        """End-to-end: real checkpointed sweep → HTTP answers + summary file."""
+        from repro.core.config import ModelConfig
+        from repro.experiments.parallel import run_sweep_parallel
+        from repro.experiments.spec import SweepSpec
+
+        directory = tmp_path / "store"
+        sweep = SweepSpec(
+            name="http-smoke",
+            base_config=ModelConfig.square(side=10, horizon=1, tau=0.3),
+            taus=(0.3, 0.45),
+            n_replicates=1,
+            seed=3,
+        )
+        run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        assert json.loads((directory / SUMMARY_NAME).read_text())[
+            "format"
+        ] == SUMMARY_FORMAT
+
+        server = make_server(directory, port=0)
+        thread = threading.Thread(target=lambda: server.serve_forever(poll_interval=0.05), daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            status, body = get(base, "/query?tau=0.3")  # rho, w pinned by store
+            assert status == 200
+            assert body["source"] == "exact"
+            assert "final_unhappy_fraction" in body["metrics"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,374 @@
+"""Differential tests for the query layer: parsing, distance, interpolation.
+
+The hypothesis properties pin the lookup semantics the docs promise:
+
+- an exact-match query returns the stored aggregates *bit-for-bit*;
+- every bilinearly interpolated metric is bounded by the extremes of the
+  corner cells it blends (convex combination);
+- answers are deterministic under any shuffling of the store's cell order
+  (lookup depends on the cell *set*, never on storage order).
+
+Synthetic stores are fabricated by writing a ``summary.json`` directly —
+the query layer reads only the summary, so no simulation is needed.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ModelConfig
+from repro.errors import QueryMiss, ServingError
+from repro.experiments.checkpoint import SUMMARY_FORMAT, SUMMARY_NAME
+from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.spec import SweepSpec
+from repro.serving import ArtifactStore, QueryEngine, parse_query
+from repro.serving.query import axis_scales, normalized_distance
+
+
+def make_cell(index, tau, w, rho, **metrics):
+    """One synthetic summary cell with a ``score`` metric per kwargs."""
+    return {
+        "index": index,
+        "name": f"cell{index}",
+        "spec_hash": f"hash{index:04d}",
+        "params": {"tau": tau, "w": w, "rho": rho},
+        "n_replicates": 2,
+        "metrics": {
+            name: {
+                "count": 2.0,
+                "mean": value,
+                "std": 0.0,
+                "min": value,
+                "max": value,
+                "ci_low": value,
+                "ci_high": value,
+            }
+            for name, value in metrics.items()
+        },
+        "failure": None,
+    }
+
+
+def write_store(directory, cells):
+    """Fabricate a store directory holding only a ``summary.json``."""
+    directory.mkdir(exist_ok=True)
+    payload = {
+        "format": SUMMARY_FORMAT,
+        "version": 1,
+        "n_cells": len(cells),
+        "n_summarized": len(cells),
+        "n_failed": 0,
+        "n_missing": 0,
+        "complete": True,
+        "cells": cells,
+    }
+    (directory / SUMMARY_NAME).write_text(json.dumps(payload))
+    return directory
+
+
+def grid_cells(taus=(0.3, 0.5), rhos=(0.4, 0.6), w=2, values=None):
+    """A full (tau, rho) grid at one horizon, with given ``score`` values."""
+    cells = []
+    for i, tau in enumerate(taus):
+        for j, rho in enumerate(rhos):
+            index = i * len(rhos) + j
+            value = values[index] if values is not None else float(index)
+            cells.append(make_cell(index, tau, w, rho, score=value))
+    return cells
+
+
+class TestParseQuery:
+    def test_parses_canonical_string(self):
+        assert parse_query("rho=0.4,tau=0.55,w=2") == {
+            "rho": 0.4,
+            "tau": 0.55,
+            "w": 2.0,
+        }
+
+    def test_aliases_and_whitespace(self):
+        assert parse_query(" density=0.4 , HORIZON=2 ") == {"rho": 0.4, "w": 2.0}
+        assert parse_query("p=0.5") == {"rho": 0.5}
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ServingError, match="unknown query axis"):
+            parse_query("sigma=1")
+
+    def test_rejects_duplicate_axis_even_via_alias(self):
+        with pytest.raises(ServingError, match="more than once"):
+            parse_query("rho=0.4,density=0.5")
+
+    def test_rejects_non_numeric_and_malformed(self):
+        with pytest.raises(ServingError, match="not a number"):
+            parse_query("tau=abc")
+        with pytest.raises(ServingError, match="axis=value"):
+            parse_query("tau")
+        with pytest.raises(ServingError, match="empty query"):
+            parse_query("  ,  ")
+
+
+class TestResolvePoint:
+    def test_fills_axis_pinned_by_store(self, tmp_path):
+        store = write_store(tmp_path / "s", grid_cells())  # single w=2
+        engine = QueryEngine(store)
+        assert engine.resolve_point("rho=0.4,tau=0.3") == {
+            "rho": 0.4,
+            "tau": 0.3,
+            "w": 2.0,
+        }
+
+    def test_ambiguous_axis_is_an_error(self, tmp_path):
+        cells = grid_cells(w=1) + [
+            make_cell(10, 0.3, 2, 0.4, score=1.0)
+        ]  # two horizons
+        engine = QueryEngine(write_store(tmp_path / "s", cells))
+        with pytest.raises(ServingError, match="omits axis 'w'"):
+            engine.resolve_point("rho=0.4,tau=0.3")
+
+    def test_dict_queries_accept_aliases(self, tmp_path):
+        engine = QueryEngine(write_store(tmp_path / "s", grid_cells()))
+        point = engine.resolve_point({"density": 0.4, "tau": 0.3, "horizon": 2})
+        assert point == {"rho": 0.4, "tau": 0.3, "w": 2.0}
+
+
+class TestDistanceMetric:
+    def test_scales_are_per_axis_ranges(self):
+        cells = grid_cells(taus=(0.2, 0.6), rhos=(0.4, 0.9), w=2)
+        assert axis_scales(cells) == {
+            "tau": pytest.approx(0.4),
+            "rho": pytest.approx(0.5),
+            "w": 1.0,  # degenerate axis falls back to 1
+        }
+
+    def test_distance_is_normalized_euclidean(self):
+        cells = grid_cells(taus=(0.2, 0.6), rhos=(0.4, 0.9), w=2)
+        scales = axis_scales(cells)
+        point = {"tau": 0.4, "rho": 0.4, "w": 2.0}
+        d = normalized_distance(point, cells[0]["params"], scales)
+        assert d == pytest.approx(math.sqrt((0.2 / 0.4) ** 2))
+
+    def test_nearest_respects_normalization(self, tmp_path):
+        # On raw Euclidean distance the w-neighbor (|dw|=1) would lose to
+        # the tau-neighbor (|dtau|=0.19); normalized by axis ranges the
+        # tau-neighbor is nearer (0.19/0.2 < 1/1... actually equal scale
+        # check): tau range 0.2 -> 0.95 units; w range 1 -> 1 unit.
+        cells = [
+            make_cell(0, 0.30, 2, 0.5, score=1.0),
+            make_cell(1, 0.50, 2, 0.5, score=2.0),
+            make_cell(2, 0.30, 3, 0.5, score=3.0),
+        ]
+        engine = QueryEngine(write_store(tmp_path / "s", cells))
+        answer = engine.answer("tau=0.49,rho=0.5,w=2")
+        assert answer["source"] == "nearest"
+        assert answer["cells"][0]["index"] == 1
+
+    def test_max_distance_bounds_the_answer(self, tmp_path):
+        engine = QueryEngine(
+            write_store(tmp_path / "s", grid_cells()), max_distance=0.05
+        )
+        with pytest.raises(QueryMiss, match="beyond the allowed"):
+            engine.answer("tau=0.9,rho=0.9,w=2")
+
+    def test_empty_store_misses(self, tmp_path):
+        engine = QueryEngine(write_store(tmp_path / "s", []))
+        with pytest.raises(QueryMiss, match="no answerable cells"):
+            engine.answer("tau=0.4,rho=0.5,w=2")
+
+
+class TestAnswerShape:
+    def test_exact_answer_carries_provenance(self, tmp_path):
+        engine = QueryEngine(write_store(tmp_path / "s", grid_cells()))
+        answer = engine.answer("tau=0.3,rho=0.4,w=2")
+        assert answer["source"] == "exact"
+        assert answer["distance"] == 0.0
+        assert answer["cached"] is False
+        [cell] = answer["cells"]
+        assert cell["spec_hash"] == "hash0000"
+        assert cell["weight"] == 1.0
+
+    def test_second_identical_query_is_cached(self, tmp_path):
+        engine = QueryEngine(write_store(tmp_path / "s", grid_cells()))
+        engine.answer("tau=0.3,rho=0.4,w=2")
+        answer = engine.answer("rho=0.4,tau=0.3,w=2")  # reordered spelling
+        assert answer["cached"] is True
+        stats = engine.stats()["cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_interpolation_flag_is_part_of_the_key(self, tmp_path):
+        engine = QueryEngine(write_store(tmp_path / "s", grid_cells()))
+        engine.answer("tau=0.4,rho=0.5,w=2", interpolate=False)
+        answer = engine.answer("tau=0.4,rho=0.5,w=2", interpolate=True)
+        assert answer["cached"] is False
+        assert answer["source"] == "interpolated"
+
+
+class TestInterpolation:
+    def test_midpoint_is_mean_of_corners(self, tmp_path):
+        cells = grid_cells(values=[1.0, 2.0, 3.0, 4.0])
+        engine = QueryEngine(write_store(tmp_path / "s", cells), interpolate=True)
+        answer = engine.answer("tau=0.4,rho=0.5,w=2")
+        assert answer["source"] == "interpolated"
+        assert answer["metrics"]["score"]["mean"] == pytest.approx(2.5)
+        assert sum(c["weight"] for c in answer["cells"]) == pytest.approx(1.0)
+
+    def test_on_grid_line_degenerates_to_linear(self, tmp_path):
+        cells = grid_cells(values=[1.0, 2.0, 3.0, 4.0])
+        engine = QueryEngine(write_store(tmp_path / "s", cells), interpolate=True)
+        answer = engine.answer("tau=0.3,rho=0.5,w=2")  # on the tau=0.3 line
+        assert answer["source"] == "interpolated"
+        assert answer["metrics"]["score"]["mean"] == pytest.approx(1.5)
+        assert len(answer["cells"]) == 2  # zero-weight corners dropped
+
+    def test_outside_hull_falls_back_to_nearest(self, tmp_path):
+        engine = QueryEngine(
+            write_store(tmp_path / "s", grid_cells()), interpolate=True
+        )
+        answer = engine.answer("tau=0.9,rho=0.9,w=2")
+        assert answer["source"] == "nearest"
+
+    def test_wrong_horizon_falls_back_to_nearest(self, tmp_path):
+        engine = QueryEngine(
+            write_store(tmp_path / "s", grid_cells(w=2)), interpolate=True
+        )
+        answer = engine.answer("tau=0.4,rho=0.5,w=3")
+        assert answer["source"] == "nearest"
+
+    def test_ragged_grid_missing_corner_falls_back(self, tmp_path):
+        cells = grid_cells()[:3]  # drop the (0.5, 0.6) corner
+        engine = QueryEngine(write_store(tmp_path / "s", cells), interpolate=True)
+        answer = engine.answer("tau=0.4,rho=0.5,w=2")
+        assert answer["source"] == "nearest"
+
+
+finite_metric = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestProperties:
+    @given(
+        values=st.lists(finite_metric, min_size=4, max_size=4),
+        tau_frac=st.floats(min_value=0.0, max_value=1.0),
+        rho_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interpolated_metric_bounded_by_corner_extremes(
+        self, tmp_path_factory, values, tau_frac, rho_frac
+    ):
+        """A bilinear answer never leaves the hull of its corner values."""
+        directory = tmp_path_factory.mktemp("prop")
+        store = write_store(directory, grid_cells(values=values))
+        engine = QueryEngine(store, interpolate=True)
+        # clamped lerp: plain a + frac*(b-a) can land one ulp outside the
+        # hull, where a nearest-cell fallback is the *correct* answer
+        tau = min(0.5, max(0.3, (1 - tau_frac) * 0.3 + tau_frac * 0.5))
+        rho = min(0.6, max(0.4, (1 - rho_frac) * 0.4 + rho_frac * 0.6))
+        answer = engine.answer({"tau": tau, "rho": rho, "w": 2})
+        assert answer["source"] in ("exact", "interpolated")
+        mean = answer["metrics"]["score"]["mean"]
+        tolerance = 1e-9 * max(1.0, max(abs(v) for v in values))
+        assert min(values) - tolerance <= mean <= max(values) + tolerance
+
+    @given(
+        values=st.lists(finite_metric, min_size=4, max_size=4),
+        order=st.permutations(range(4)),
+        interpolate=st.booleans(),
+        tau=st.floats(min_value=0.25, max_value=0.55),
+        rho=st.floats(min_value=0.35, max_value=0.65),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_answers_deterministic_under_store_row_shuffling(
+        self, tmp_path_factory, values, order, interpolate, tau, rho
+    ):
+        """Reordering the summary's cell list never changes any answer."""
+        cells = grid_cells(values=values)
+        shuffled = [cells[i] for i in order]
+        base = tmp_path_factory.mktemp("shuffle")
+        engine_a = QueryEngine(
+            write_store(base / "a", cells), interpolate=interpolate
+        )
+        engine_b = QueryEngine(
+            write_store(base / "b", shuffled), interpolate=interpolate
+        )
+        query = {"tau": tau, "rho": rho, "w": 2}
+        answer_a = engine_a.answer(query)
+        answer_b = engine_b.answer(query)
+        assert json.dumps(answer_a, sort_keys=True) == json.dumps(
+            answer_b, sort_keys=True
+        )
+
+    @given(
+        values=st.lists(finite_metric, min_size=4, max_size=4),
+        cell_index=st.integers(min_value=0, max_value=3),
+        interpolate=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_match_returns_stored_aggregates_bit_for_bit(
+        self, tmp_path_factory, values, cell_index, interpolate
+    ):
+        """Querying a grid point returns that cell's metrics unchanged."""
+        cells = grid_cells(values=values)
+        directory = tmp_path_factory.mktemp("exact")
+        engine = QueryEngine(
+            write_store(directory, cells), interpolate=interpolate
+        )
+        params = cells[cell_index]["params"]
+        answer = engine.answer(dict(params))
+        assert answer["source"] == "exact"
+        assert answer["metrics"] == cells[cell_index]["metrics"]
+
+
+class TestOnMissCompute:
+    @pytest.fixture(scope="class")
+    def real_store(self, tmp_path_factory):
+        """One real single-cell sweep store (compute needs the manifest)."""
+        directory = tmp_path_factory.mktemp("real") / "store"
+        sweep = SweepSpec(
+            name="compute-unit",
+            base_config=ModelConfig.square(side=10, horizon=1, tau=0.3),
+            taus=(0.3,),
+            n_replicates=1,
+            seed=5,
+        )
+        run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+        return directory
+
+    def test_error_policy_raises_and_compute_policy_simulates(self, real_store):
+        strict = QueryEngine(real_store, max_distance=0.01)
+        with pytest.raises(QueryMiss):
+            strict.answer("tau=0.42,rho=0.5,w=1")
+        computing = QueryEngine(
+            real_store, max_distance=0.01, on_miss="compute"
+        )
+        answer = computing.answer("tau=0.42,rho=0.5,w=1")
+        assert answer["source"] == "computed"
+        assert answer["metrics"]["final_unhappy_fraction"]["count"] == 1.0
+
+    def test_computed_answers_are_deterministic_and_cached(self, real_store):
+        first = QueryEngine(real_store, max_distance=0.01, on_miss="compute")
+        second = QueryEngine(real_store, max_distance=0.01, on_miss="compute")
+        answer_a = first.answer("tau=0.42,rho=0.5,w=1")
+        answer_b = second.answer("tau=0.42,rho=0.5,w=1")
+        assert answer_a["metrics"] == answer_b["metrics"]
+        again = first.answer("tau=0.42,rho=0.5,w=1")
+        assert again["cached"] is True
+
+    def test_non_integer_horizon_cannot_be_computed(self, real_store):
+        engine = QueryEngine(real_store, max_distance=0.01, on_miss="compute")
+        with pytest.raises(ServingError, match="non-integer horizon"):
+            engine.answer("tau=0.42,rho=0.5,w=1.5")
+
+    def test_store_without_manifest_cannot_compute(self, tmp_path):
+        engine = QueryEngine(
+            write_store(tmp_path / "s", grid_cells()),
+            max_distance=0.01,
+            on_miss="compute",
+        )
+        with pytest.raises(ServingError, match="manifest"):
+            engine.answer("tau=0.9,rho=0.9,w=2")
+
+    def test_invalid_on_miss_rejected(self, tmp_path):
+        with pytest.raises(ServingError, match="on_miss"):
+            QueryEngine(write_store(tmp_path / "s", []), on_miss="explode")
