@@ -3,7 +3,9 @@
 Every bench's quick mode (and full mode alike) emits one
 ``benchmarks/results/BENCH_<name>.json`` alongside its CSV: a timestamped
 record of the run's configuration and headline metrics (speedups,
-throughputs) plus the interpreter/numpy versions.  CI uploads these files as
+throughputs) plus the host name, the interpreter/numpy (and numba, when
+present) versions and the host's default flip-loop backend.  CI uploads
+these files as
 artifacts, so the perf trajectory of the hot paths is tracked PR over PR
 without scraping pytest output.
 
@@ -61,15 +63,28 @@ def record_benchmark(
         quick_mode = bench_quick_mode()
     import numpy
 
+    from repro.core.backends.registry import default_backend_name
+
     payload = {
         "name": name,
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick_mode": bool(quick_mode),
         "config": _json_safe(config or {}),
         "metrics": _json_safe(metrics or {}),
+        "hostname": platform.node(),
         "python": platform.python_version(),
         "numpy": numpy.__version__,
+        # The flip-loop backend ``auto`` resolves to on this host — the one
+        # a default run would measure.  Benches that pin a backend also put
+        # it in ``config``; this field records the host's capability.
+        "backend": default_backend_name(),
     }
+    try:
+        import numba
+
+        payload["numba"] = numba.__version__
+    except ImportError:
+        pass
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     descriptor, tmp = tempfile.mkstemp(dir=RESULTS_DIR, suffix=".json")

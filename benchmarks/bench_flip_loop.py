@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.backends.registry import available_backends
 from repro.core.config import ModelConfig
 from repro.core.ensemble import EnsembleDynamics, ReferenceEnsembleDynamics
 from repro.experiments.results import ResultTable
@@ -31,6 +32,17 @@ MIN_STEP_SPEEDUP = 1.6
 
 #: Replica counts to profile; the R = 8 row carries the assertion.
 REPLICA_COUNTS = (4, 8, 16)
+
+#: Flips/sec floor a compiled flip-loop backend (numba or cffi) must clear
+#: over the numpy backend at R = 8 on the 128x128 grid.  Asserted whenever a
+#: compiled backend is available — including in quick mode, where the round
+#: budget is trimmed but the ratio is stable.
+MIN_COMPILED_STEP_SPEEDUP = 3.0
+
+#: Backends whose kernels are compiled (vs interpreted); the ``python``
+#: backend is excluded from the bench outright — it exists as numba's
+#: oracle, not as an execution engine anyone would time.
+COMPILED_BACKENDS = ("numba", "cffi")
 
 
 def flip_loop_parameters() -> dict[str, int]:
@@ -101,3 +113,62 @@ def bench_flip_loop_rounds_per_second(benchmark, emit):
     assert speedups[8] >= MIN_STEP_SPEEDUP, (
         f"fused step loop {speedups[8]:.2f}x below the {MIN_STEP_SPEEDUP}x floor"
     )
+
+
+def bench_flip_loop_backends(benchmark, emit):
+    """flips/sec per flip-loop backend at R = 8; compiled floor asserted.
+
+    Times the same ``step_all`` hot path with each available backend on one
+    :class:`EnsembleDynamics` grid (128x128, w=3, R=8).  All backends advance
+    bitwise-identical dynamics (asserted by the cross-backend test suite), so
+    flips/sec is a work-for-work comparison.  Whenever a compiled backend
+    (numba or cffi) is available, its speedup over the numpy backend must
+    clear :data:`MIN_COMPILED_STEP_SPEEDUP`; on numpy-only hosts the bench
+    records the numpy rate and asserts nothing.
+    """
+    params = flip_loop_parameters()
+    config = ModelConfig.square(
+        side=params["side"], horizon=params["horizon"], tau=0.45
+    )
+    rounds = params["rounds"]
+    n_replicas = 8
+    ziggurat_exponential_tables()  # one-time calibration outside the timing
+    backends = [name for name in available_backends() if name != "python"]
+
+    def run() -> ResultTable:
+        table = ResultTable()
+        for name in backends:
+            best = 0.0
+            for _ in range(3 if quick_mode() else 1):
+                engine = EnsembleDynamics(
+                    config, n_replicas=n_replicas, seed=11, backend=name
+                )
+                engine.step_all()  # warm-up: JIT/compile + capture
+                best = max(best, _rounds_per_second(engine, rounds))
+            table.add_row(
+                engine=name,
+                n_replicas=n_replicas,
+                rounds=rounds,
+                rounds_per_second=best,
+                flips_per_second=best * n_replicas,
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = {row["engine"]: row["flips_per_second"] for row in table.rows}
+    benchmark.extra_info["quick_mode"] = quick_mode()
+    benchmark.extra_info["backends"] = ",".join(backends)
+    for name, rate in rates.items():
+        benchmark.extra_info[f"flips_per_second_{name}"] = float(rate)
+        if name != "numpy":
+            benchmark.extra_info[f"speedup_{name}"] = float(
+                rate / rates["numpy"]
+            )
+    emit("PERF_flip_loop_backends", table, benchmark)
+    compiled = [name for name in backends if name in COMPILED_BACKENDS]
+    for name in compiled:
+        speedup = rates[name] / rates["numpy"]
+        assert speedup >= MIN_COMPILED_STEP_SPEEDUP, (
+            f"{name} backend {speedup:.2f}x below the "
+            f"{MIN_COMPILED_STEP_SPEEDUP}x flips/sec floor over numpy"
+        )

@@ -36,6 +36,11 @@ from typing import Optional, Sequence
 
 from repro._version import PAPER, __version__
 from repro.analysis.segregation import default_region_radius, segregation_metrics
+from repro.core.backends.registry import (
+    KNOWN_BACKENDS,
+    resolve_backend_name,
+    select_backend_name,
+)
 from repro.core.config import ModelConfig
 from repro.core.simulation import Simulation
 from repro.core.variants import VariantSpec
@@ -77,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-flips", type=int, default=None)
     simulate.add_argument("--ascii", action="store_true", help="print the final grid")
     simulate.add_argument("--csv", type=str, default=None, help="append metrics row to CSV")
+    _add_backend_argument(simulate)
     _add_variant_arguments(simulate)
 
     sweep = subparsers.add_parser("sweep", help="sweep the intolerance axis")
@@ -149,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trajectory sampling cadence (flips for the scalar engine, "
         "lockstep rounds for --ensemble > 1)",
     )
+    _add_backend_argument(sweep)
     _add_variant_arguments(sweep)
 
     checkpoint = subparsers.add_parser(
@@ -204,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="named diffs reported per mismatching cell",
     )
+    _add_backend_argument(reproduce)
 
     query = subparsers.add_parser(
         "query",
@@ -232,6 +240,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_policy_arguments(serve)
     return parser
+
+
+def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` selector (simulate/sweep/reproduce).
+
+    The flag is the strongest level of the selection precedence
+    (CLI > ``REPRO_BACKEND`` env > spec > auto); every backend is pinned
+    bitwise identical, so the choice affects throughput only.  Requesting a
+    backend that is not available on this host falls back to ``numpy`` with
+    a single warning rather than failing.
+    """
+    subparser.add_argument(
+        "--backend",
+        choices=KNOWN_BACKENDS,
+        default=None,
+        help="flip-loop backend (default: REPRO_BACKEND env var, else auto "
+        "— the fastest available); all backends produce bitwise-identical "
+        "results",
+    )
 
 
 def _add_query_policy_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -393,14 +420,37 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
         # No Lyapunov guarantee: cap the run so the command always returns.
         max_steps = _default_step_budget(config)
     print(f"Model: {config.describe()} variant={variant.describe()}", file=out)
-    simulation = Simulation(config, seed=args.seed, variant=variant)
-    result = simulation.run(max_flips=args.max_flips, max_steps=max_steps)
+    backend_request = select_backend_name(args.backend, None)
+    if backend_request != "auto":
+        # An explicit backend (flag or REPRO_BACKEND) routes the run through
+        # a single-replica ensemble — the scalar engine has no backend seam.
+        # Backends are bitwise-pinned, so the outcome matches the scalar run.
+        backend_name = resolve_backend_name(backend_request)
+        ensemble = variant.make_ensemble(
+            config, replica_seeds=[args.seed], backend=backend_name
+        )
+        print(f"Backend: {ensemble.backend_name}", file=out)
+        initial_spins = ensemble.initial_spins()[0]
+        ensemble_result = ensemble.run(
+            max_flips=args.max_flips, max_steps=max_steps
+        )
+        final_spins = ensemble_result.final_spins[0]
+        terminated = bool(ensemble_result.terminated[0])
+        n_flips = int(ensemble_result.n_flips[0])
+        final_time = float(ensemble_result.final_time[0])
+    else:
+        simulation = Simulation(config, seed=args.seed, variant=variant)
+        result = simulation.run(max_flips=args.max_flips, max_steps=max_steps)
+        initial_spins = result.initial_spins
+        final_spins = result.final_spins
+        terminated = result.terminated
+        n_flips = result.n_flips
+        final_time = result.final_time
     max_radius = default_region_radius(config)
-    before = segregation_metrics(result.initial_spins, config, max_region_radius=max_radius)
-    after = segregation_metrics(result.final_spins, config, max_region_radius=max_radius)
+    before = segregation_metrics(initial_spins, config, max_region_radius=max_radius)
+    after = segregation_metrics(final_spins, config, max_region_radius=max_radius)
     print(
-        f"terminated={result.terminated} flips={result.n_flips} "
-        f"time={result.final_time:.2f}",
+        f"terminated={terminated} flips={n_flips} time={final_time:.2f}",
         file=out,
     )
     table = ResultTable()
@@ -409,8 +459,8 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
         "tau": config.tau,
         "horizon": config.horizon,
         "variant": variant.kind.value,
-        "terminated": result.terminated,
-        "n_flips": result.n_flips,
+        "terminated": terminated,
+        "n_flips": n_flips,
     }
     for key, value in before.as_dict().items():
         row[f"initial_{key}"] = value
@@ -419,7 +469,7 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
     table.add_row(**row)
     print(table.to_markdown(float_format=".4g"), file=out)
     if args.ascii:
-        print(render_ascii(result.final_spins, max_side=60), file=out)
+        print(render_ascii(final_spins, max_side=60), file=out)
     if args.csv:
         table.to_csv(args.csv)
         print(f"wrote {args.csv}", file=out)
@@ -469,9 +519,17 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         f"Sweeping {len(taus)} intolerances x {args.replicates} replicates on a "
         f"{side}x{side} torus with w={args.horizon} "
         f"(variant={variant.describe()}, workers={args.workers}, "
-        f"ensemble={args.ensemble})",
+        f"ensemble={args.ensemble}, "
+        f"backend={select_backend_name(args.backend, None)})",
         file=out,
     )
+    if select_backend_name(args.backend, None) != "auto" and args.ensemble == 1:
+        print(
+            "note: --backend selects the vectorized engine's flip loop; "
+            "pass --ensemble > 1 to engage it (the scalar engine has no "
+            "backend seam)",
+            file=out,
+        )
     if args.checkpoint_dir:
         print(
             f"Checkpointing completed cells under {args.checkpoint_dir} "
@@ -486,6 +544,7 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
         retries=args.retries,
         cell_timeout=args.cell_timeout,
         on_error=args.on_error,
+        backend=args.backend,
     )
     if rows.failures:
         print(
@@ -574,6 +633,7 @@ def _command_reproduce(args: argparse.Namespace, out) -> int:
             cell=args.cell,
             ensemble_size=args.ensemble,
             max_diffs=args.max_diffs,
+            backend=args.backend,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,96 @@
+"""The flip-loop backend protocol.
+
+The ensemble engine's innermost layer — one round's scalar control plane
+(termination/sampler filtering, blocked RNG draws, clock updates, candidate
+gathers), the fused gather-classify-scatter window kernel, and the coded-op
+membership updates on :class:`~repro.utils.indexset.BatchedIndexSet`
+storage — is pluggable.  A :class:`FlipLoopBackend` implements exactly those
+three operations over the engine's batched arrays; everything above them
+(seeding, the run loop, budgets, trajectories, the public result surface)
+is shared, so backends can only differ in *how* a round executes, never in
+what a round means.
+
+The contract is bitwise: every backend must consume the pre-drawn
+:class:`~repro.rng.BlockedReplicaStreams` words in exactly the reference
+order and produce bit-identical spins, clocks, counters and sampler layouts
+— the same guarantee `ReferenceEnsembleDynamics` pins for the fused engine
+itself.  The cross-backend suite in ``tests/test_backends.py`` enforces it
+for every backend the host can run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.ensemble import EnsembleDynamics
+    from repro.utils.indexset import BatchedIndexSet
+
+
+class FlipLoopBackend:
+    """One execution strategy for the engine's per-round hot path.
+
+    Lifecycle: the registry constructs backends unattached (so capability
+    probes and the standalone :meth:`apply_coded_ops` entry point need no
+    engine), then :meth:`attach` binds one to a live
+    :class:`~repro.core.ensemble.EnsembleDynamics` whose batched arrays it
+    will mutate in place.  A backend instance serves exactly one engine.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def attach(self, engine: "EnsembleDynamics") -> None:
+        """Bind this backend to ``engine``'s runtime arrays."""
+        self.engine = engine
+
+    def step_round(self, candidates: np.ndarray) -> np.ndarray:
+        """Advance every candidate replica by one scheduler step.
+
+        The scalar-regime round: per listed replica, termination and sampler
+        checks, the blocked RNG draws (waiting time under the continuous
+        scheduler, then the Lemire candidate), clock/step updates, the member
+        gather and the discrete-scheduler flip gate — then the fused window
+        update and per-flip bookkeeping for every replica that flips.
+        Returns the array of replica indices that flipped.
+        """
+        raise NotImplementedError
+
+    def apply_flips(
+        self,
+        reps: np.ndarray,
+        flats: np.ndarray,
+        bases: Optional[np.ndarray] = None,
+    ) -> None:
+        """Flip one site per listed replica — the fused window kernel.
+
+        Gather each flip's neighbourhood window, update the incremental
+        same-type counts, reclassify via the engine's code LUT, maintain the
+        deferred energy/magnetization counters, and stream the resulting
+        membership deltas into the samplers as coded operations.  Used both
+        by :meth:`step_round` and by the engine's vectorized large-round
+        path.
+        """
+        raise NotImplementedError
+
+    def apply_coded_ops(
+        self,
+        sets: "BatchedIndexSet",
+        rows: Sequence[int],
+        indices: Sequence[int],
+        toggled: Sequence[int],
+        members: Sequence[int],
+        row_offset: int,
+    ) -> None:
+        """Apply one coded membership-op stream to ``sets``, strictly in order.
+
+        Semantics are exactly
+        :meth:`~repro.utils.indexset.BatchedIndexSet.apply_coded_ops` — bit 0
+        of ``toggled[k]`` updates row ``rows[k]``, bit 1 updates row
+        ``rows[k] + row_offset``, bit 0 before bit 1, ``k`` order preserved.
+        Engine-independent so the edge-case suite can drive every backend's
+        membership loop against the scalar oracle directly.
+        """
+        raise NotImplementedError

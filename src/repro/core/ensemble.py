@@ -57,6 +57,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.backends.registry import create_backend
 from repro.core.config import ModelConfig
 from repro.core.dynamics import Trajectory
 from repro.core.initializer import random_configuration
@@ -326,6 +327,16 @@ class EnsembleDynamics:
         :class:`~repro.rng.BlockedReplicaStreams`).  Purely a performance
         knob: results are bitwise independent of it, which the boundary
         property tests assert down to one-word blocks.
+    backend:
+        Flip-loop backend request (``"auto"``, ``"numpy"``, ``"numba"``,
+        ``"cffi"``, ``"python"`` or ``None``), resolved through
+        :mod:`repro.core.backends.registry`: the hot path — the scalar
+        round control plane, the fused window update and the coded-op
+        sampler maintenance — executes behind the
+        :class:`~repro.core.backends.base.FlipLoopBackend` seam, and every
+        backend is pinned bitwise identical, so this too is purely a
+        performance knob.  The resolved name is exposed as
+        :attr:`backend_name`.
     """
 
     def __init__(
@@ -338,6 +349,7 @@ class EnsembleDynamics:
         scheduler: Optional[SchedulerKind] = None,
         flip_rule: Optional[FlipRule] = None,
         rng_block_words: int = 4096,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config
         if replica_seeds is not None:
@@ -382,6 +394,7 @@ class EnsembleDynamics:
         self._n_plus = np.zeros(r, dtype=np.int64)
         self._build_runtime(rng_block_words)
         self.recompute_all()
+        self._init_backend(backend)
 
     # ---------------------------------------------------------------- runtime
 
@@ -416,8 +429,8 @@ class EnsembleDynamics:
         self._streams = BlockedReplicaStreams(
             self._rngs, block_words=rng_block_words
         )
-        #: Scalar round-loop mirrors of the batched state (see
-        #: _step_all_scalar): list-speed element access over the same buffers.
+        #: Scalar round-loop mirrors of the batched state (used by the numpy
+        #: backend's step_round): list-speed element access, same buffers.
         self._times_mv = memoryview(self._times)
         self._steps_mv = memoryview(self._n_steps)
         self._code_mv = memoryview(self._code_flat)
@@ -426,7 +439,24 @@ class EnsembleDynamics:
         #: stale flag triggers an exact O(R * grid) flush on the next read.
         self._track_counters = True
         self._counters_stale = False
+        #: Bumped whenever runtime tables a backend may have captured raw
+        #: views (or raw pointers) into are rebuilt; backends compare it
+        #: against their captured generation and re-capture when it moved.
+        self._runtime_generation = 0
         self._build_window_luts()
+
+    def _init_backend(self, backend: Optional[str]) -> None:
+        """Resolve, construct and attach this engine's flip-loop backend.
+
+        Called once at the end of ``__init__`` (the backend captures runtime
+        tables, so everything — including the first ``recompute_all`` — must
+        exist first).  :class:`ReferenceEnsembleDynamics` overrides this with
+        a no-op: its retained pre-fusion structures are not backend-shaped.
+        """
+        self._backend = create_backend(backend)
+        #: The resolved (concrete) backend executing this engine's hot path.
+        self.backend_name = self._backend.name
+        self._backend.attach(self)
 
     def _build_window_luts(self) -> None:
         """Precompute flat window-index lookups for the fused flip kernel.
@@ -499,8 +529,9 @@ class EnsembleDynamics:
         total = config.neighborhood_agents
         plus = window_sums_batch(self._spins == 1, config.horizon)
         same = np.where(self._spins == 1, plus, total - plus)
-        self._energies = same.sum(axis=(1, 2), dtype=np.int64)
-        self._n_plus = np.count_nonzero(self._spins == 1, axis=(1, 2)).astype(np.int64)
+        # In place: backends may hold pointers into these counter arrays.
+        same.sum(axis=(1, 2), dtype=np.int64, out=self._energies)
+        self._n_plus[:] = np.count_nonzero(self._spins == 1, axis=(1, 2))
         self._counters_stale = False
         happy, flippable = self._classify(self._spins, same)
         self._same_flat[:] = same.reshape(-1)
@@ -519,6 +550,7 @@ class EnsembleDynamics:
             )
         )
         self._refresh_code_lut(same, code)
+        self._runtime_generation += 1
 
     def _refresh_code_lut(self, same: np.ndarray, code: np.ndarray) -> None:
         """Tabulate the classification hook over every possible same-count.
@@ -621,12 +653,11 @@ class EnsembleDynamics:
         """
         if self._counters_stale:
             r = self.n_replicas
-            self._energies = self._same_flat.reshape(r, self._n_sites).sum(
-                axis=1, dtype=np.int64
+            # In place: backends may hold pointers into the counter arrays.
+            self._same_flat.reshape(r, self._n_sites).sum(
+                axis=1, dtype=np.int64, out=self._energies
             )
-            self._n_plus = np.count_nonzero(
-                self._spins == 1, axis=(1, 2)
-            ).astype(np.int64)
+            self._n_plus[:] = np.count_nonzero(self._spins == 1, axis=(1, 2))
             self._counters_stale = False
 
     def energies(self) -> np.ndarray:
@@ -685,11 +716,15 @@ class EnsembleDynamics:
         terminated replicas are always skipped.  Returns the array of replica
         indices that actually flipped this round.
 
-        The whole round is array code: termination/sampler filtering, clock
+        Large rounds run as array code: termination/sampler filtering, clock
         advances, blocked RNG draws, candidate gathers and the fused window
-        refresh all operate on the surviving replica axis at once.  The
-        per-replica draw order (waiting time first under the continuous
-        scheduler, then the candidate index) matches
+        refresh all operate on the surviving replica axis at once.  Small
+        rounds (where per-call numpy dispatch would dominate) go through the
+        attached :class:`~repro.core.backends.base.FlipLoopBackend`'s scalar
+        round instead; both regimes consume the blocked RNG buffers
+        identically, so they are interchangeable mid-run.  The per-replica
+        draw order (waiting time first under the continuous scheduler, then
+        the candidate index) matches
         :meth:`repro.core.dynamics.GlauberDynamics.step` stream-exactly.
         """
         n_rep = self.n_replicas
@@ -698,7 +733,7 @@ class EnsembleDynamics:
         else:
             candidates = np.asarray(active, dtype=np.int64)
         if candidates.size <= BlockedReplicaStreams.SCALAR_PATH_MAX:
-            return self._step_all_scalar(candidates)
+            return self._backend.step_round(candidates)
         only_if_happy = self.flip_rule is FlipRule.ONLY_IF_HAPPY
         continuous = self.scheduler is SchedulerKind.CONTINUOUS
         counts = self._sets.counts
@@ -746,192 +781,19 @@ class EnsembleDynamics:
         self._n_flips[reps] += 1
         return reps
 
-    def _step_all_scalar(self, candidates: np.ndarray) -> np.ndarray:
-        """One round's control plane as a single scalar loop (small batches).
-
-        At small replica counts the per-call dispatch of ~15 tiny array ops
-        dominates a round, so termination/sampler filtering, the blocked RNG
-        draws (ziggurat fast path and Lemire candidate, inlined from
-        :meth:`repro.rng.BlockedReplicaStreams.draw_step`), the clock updates
-        and the candidate gather all run in one Python loop over memoryviews
-        of the batched state.  Draw-for-draw identical to the vectorized
-        path — both consume the same blocked buffers the same way — and the
-        fused window kernel is shared, so the regimes are interchangeable
-        mid-run.
-        """
-        only_if_happy = self.flip_rule is FlipRule.ONLY_IF_HAPPY
-        continuous = self.scheduler is SchedulerKind.CONTINUOUS
-        discrete_gate = only_if_happy and not continuous
-        n_rep = self.n_replicas
-        n_sites = self._n_sites
-        counts_mv = self._sets.counts_view()
-        members_mv = self._sets.members_view()
-        times_mv = self._times_mv
-        steps_mv = self._steps_mv
-        code_mv = self._code_mv
-        streams = self._streams
-        words_mv, pos_mv, has32_mv, buf32_mv = streams.scalar_views()
-        ke_list, we_list = streams.ziggurat_lists()
-        block = streams.block_words
-        term_offset = n_rep if only_if_happy else 0
-        sampler_offset = n_rep if (only_if_happy and continuous) else 0
-        reps: list[int] = []
-        flats: list[int] = []
-        for replica in candidates.tolist():
-            if counts_mv[replica + term_offset] == 0:
-                continue
-            sampler_row = replica + sampler_offset
-            size = counts_mv[sampler_row]
-            if size == 0:
-                continue
-            word_base = replica * block
-            # Same draw order as GlauberDynamics.step: waiting time first
-            # (continuous scheduler only), then the candidate index.
-            if continuous:
-                position = pos_mv[replica]
-                if position >= block:
-                    streams._refill_until_ready(replica)
-                    position = pos_mv[replica]
-                word = words_mv[word_base + position]
-                pos_mv[replica] = position + 1
-                significand = word >> 11
-                layer = (word >> 3) & 0xFF
-                if significand < ke_list[layer]:
-                    wait = significand * we_list[layer]
-                else:
-                    wait = streams._replay_exponential(replica)
-                times_mv[replica] += (1.0 / size) * wait
-            else:
-                times_mv[replica] += 1.0
-            steps_mv[replica] += 1
-            if size > 1:
-                if has32_mv[replica]:
-                    candidate = buf32_mv[replica]
-                    has32_mv[replica] = False
-                else:
-                    position = pos_mv[replica]
-                    if position >= block:
-                        streams._refill_until_ready(replica)
-                        position = pos_mv[replica]
-                    word = words_mv[word_base + position]
-                    pos_mv[replica] = position + 1
-                    candidate = word & 0xFFFFFFFF
-                    buf32_mv[replica] = word >> 32
-                    has32_mv[replica] = True
-                scaled = candidate * size
-                leftover = scaled & 0xFFFFFFFF
-                if leftover < size:
-                    threshold = ((1 << 32) - size) % size
-                    while leftover < threshold:
-                        scaled = streams._next32_scalar(replica) * size
-                        leftover = scaled & 0xFFFFFFFF
-                draw = scaled >> 32
-            else:
-                draw = 0
-            flat = members_mv[sampler_row * n_sites + draw]
-            if discrete_gate and not code_mv[replica * n_sites + flat] & 2:
-                # Discrete scheduler samples unhappy agents, which may
-                # refuse to flip.
-                continue
-            reps.append(replica)
-            flats.append(flat)
-        if not reps:
-            return np.empty(0, dtype=np.int64)
-        rep_arr = np.asarray(reps, dtype=np.int64)
-        self._apply_flips(rep_arr, np.asarray(flats, dtype=np.int64))
-        self._n_flips[rep_arr] += 1
-        return rep_arr
-
     def _apply_flips(
         self, reps: np.ndarray, flats: np.ndarray, bases: Optional[np.ndarray] = None
     ) -> None:
-        """Flip one site per listed replica — the fused window kernel.
+        """Flip one site per listed replica via the attached backend.
 
-        One gather–classify–scatter pass over all flipping replicas: flat
-        window indices come from the precomputed lookup, the incremental
-        same-type counts are updated in place (neighbours move by
-        ``spin * delta``, the flipped agent is re-scored as
-        ``total + 1 - old``), the variant hook reclassifies every touched
-        window, and the packed happy/flippable bit codes turn the membership
-        delta into one coded operation stream for the batched samplers.
-        The (replica, site) pairs are distinct — one flip per replica — so
-        the in-place scatters never collide.
+        The fused gather-classify-scatter window kernel lives behind the
+        :class:`~repro.core.backends.base.FlipLoopBackend` seam (see
+        :meth:`FlipLoopBackend.apply_flips
+        <repro.core.backends.base.FlipLoopBackend.apply_flips>` for the
+        semantics); this shim keeps the vectorized ``step_all`` path and the
+        subclass override point unchanged.
         """
-        config = self.config
-        total = config.neighborhood_agents
-
-        if bases is None:
-            bases = reps * self._n_sites
-        centers = bases + flats
-        spins_flat = self._spins_flat
-        new_values = -spins_flat[centers]
-        spins_flat[centers] = new_values
-
-        if self._window_lut is not None:
-            win = self._window_lut[flats]
-        else:
-            n_cols = config.n_cols
-            rows = flats // n_cols
-            cols = flats - rows * n_cols
-            win = (
-                self._row_lut[rows][:, :, None] + self._col_lut[cols][:, None, :]
-            ).reshape(reps.size, self._window_area)
-        gwin = win + bases[:, None]
-
-        sub_spins = spins_flat[gwin]
-        sub_same = self._same_flat[gwin]
-        center = self._center_col
-        old_same_center = sub_same[:, center]
-        # Incremental per-replica counters, mirroring the O(1) delta of
-        # ModelState.apply_flip: every *other* window agent moves by
-        # spin * delta and the flipped agent is re-scored under its new type
-        # (total + 1 - old same count, for either flip direction).  Both the
-        # energy delta and the new centre score read the pre-update centre
-        # count, so they are computed before the in-place window update.
-        if self._track_counters:
-            self._energies[reps] += (
-                new_values * sub_spins.sum(axis=1, dtype=np.int64)
-                + total
-                - 2 * old_same_center
-            )
-            self._n_plus[reps] += new_values
-        else:
-            self._counters_stale = True
-        new_center_same = total + 1 - old_same_center
-        sub_same += new_values[:, None] * sub_spins
-        sub_same[:, center] = new_center_same
-        self._same_flat[gwin] = sub_same
-
-        if self._code_lut_flat is not None:
-            new_code = self._code_lut_flat[sub_same]
-        elif self._code_lut is not None:
-            new_code = self._code_lut[(sub_spins > 0).view(np.int8), sub_same]
-        else:  # pragma: no cover - non-elementwise subclass rules only
-            sub_happy, sub_flippable = self._classify(sub_spins, sub_same)
-            new_code = sub_flippable.view(np.int8) << 1
-            new_code |= sub_happy.view(np.int8)
-        old_code = self._code_flat[gwin]
-        changed = old_code != new_code
-        self._code_flat[gwin] = new_code
-
-        # changed.nonzero() walks the (flip, window) grid row-major: per
-        # replica this is exactly ModelState._refresh_window's update order,
-        # which keeps the sampler layouts scalar-identical.  Each changed
-        # site carries its two-bit toggle/state codes into the samplers'
-        # coded-op loop (unhappy op before flippable op, as the scalar
-        # update_membership pair does); ``code ^ 1`` turns the happy bit
-        # into an unhappy-membership bit so both bits mean "member".
-        flip_slot, window_slot = changed.nonzero()
-        if flip_slot.size == 0:
-            return
-        code = new_code[flip_slot, window_slot]
-        self._sets.apply_coded_ops(
-            reps[flip_slot].tolist(),
-            win[flip_slot, window_slot].tolist(),
-            (old_code[flip_slot, window_slot] ^ code).tolist(),
-            (code ^ 1).tolist(),
-            self.n_replicas,
-        )
+        self._backend.apply_flips(reps, flats, bases)
 
     def run(
         self,
@@ -1015,6 +877,16 @@ class ReferenceEnsembleDynamics(EnsembleDynamics):
     ``benchmarks/bench_flip_loop.py`` / ``bench_ensemble_throughput.py``
     report the fused engine's speedup over it.
     """
+
+    def _init_backend(self, backend: Optional[str]) -> None:
+        """The reference engine is its own hot path; no backend attaches.
+
+        The retained pre-fusion structures (list-backed samplers, per-flip
+        ``Generator`` calls) are not backend-shaped, and the point of this
+        engine is to *not* share code with what it verifies.
+        """
+        self._backend = None
+        self.backend_name = "reference"
 
     def _build_runtime(self, rng_block_words: int) -> None:
         """Allocate the retained scalar-loop structures (no RNG blocks)."""
@@ -1228,6 +1100,7 @@ def run_ensemble(
     flip_rule: Optional[FlipRule] = None,
     record_trajectory: bool = False,
     record_every: int = 1,
+    backend: Optional[str] = None,
 ) -> EnsembleRunResult:
     """Convenience wrapper: build an :class:`EnsembleDynamics` and run it."""
     ensemble = EnsembleDynamics(
@@ -1236,6 +1109,7 @@ def run_ensemble(
         seed=seed,
         scheduler=scheduler,
         flip_rule=flip_rule,
+        backend=backend,
     )
     return ensemble.run(
         max_flips=max_flips,

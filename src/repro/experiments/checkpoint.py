@@ -162,7 +162,14 @@ class SweepCheckpoint:
         directory: PathLike,
         cells: list[ExperimentSpec],
         sweep: Optional[object] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        #: Resolved flip-loop backend name executing this run's cells
+        #: (``"scalar"`` when the serial engine runs them).  Provenance only:
+        #: rows are backend-invariant, so resume ignores it, but the manifest
+        #: and each newly recorded cell carry it so ``repro reproduce`` can
+        #: name backend drift when rows unexpectedly differ.
+        self.backend = backend
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.directory / MANIFEST_NAME
@@ -247,6 +254,7 @@ class SweepCheckpoint:
             "python": platform.python_version(),
             "numpy": numpy.__version__,
             "sweep": _sweep_snapshot(sweep) if sweep is not None else None,
+            "backend": self.backend,
             "n_cells": len(cells),
             "cells": [
                 {
@@ -303,14 +311,16 @@ class SweepCheckpoint:
         self, index: int, cell: ExperimentSpec, rows: list[dict[str, object]]
     ) -> bytes:
         """The exact self-verifying line :meth:`record` would append."""
-        return encode_record_line(
-            {
-                "spec_hash": self.cell_hashes[index],
-                "cell_index": index,
-                "cell_name": cell.name,
-                "rows": rows,
-            }
-        )
+        record: dict[str, object] = {
+            "spec_hash": self.cell_hashes[index],
+            "cell_index": index,
+            "cell_name": cell.name,
+            "rows": rows,
+        }
+        if self.backend is not None:
+            # Execution provenance; absent on records from older stores.
+            record["backend"] = self.backend
+        return encode_record_line(record)
 
     def record(
         self, index: int, cell: ExperimentSpec, rows: list[dict[str, object]]

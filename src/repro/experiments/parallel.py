@@ -93,6 +93,7 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro.core.backends.registry import resolve_backend_name, select_backend_name
 from repro.errors import ExperimentError, SweepDegradationWarning
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, SweepSpec
@@ -251,6 +252,7 @@ def _run_cell(
     fault_plan=None,
     attempt: int = 0,
     breadcrumb_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> list[dict[str, object]]:
     """Run one cell, wrapping any failure with the cell's identity.
 
@@ -269,7 +271,7 @@ def _run_cell(
             _touch_breadcrumb(breadcrumb_dir, index, attempt, "started")
         if fault_plan is not None:
             fault_plan.fire_in_cell(index, attempt)
-        rows = run_experiment(spec, ensemble_size=ensemble_size).rows
+        rows = run_experiment(spec, ensemble_size=ensemble_size, backend=backend).rows
         if breadcrumb_dir is not None:
             _touch_breadcrumb(breadcrumb_dir, index, attempt, "done")
         return rows
@@ -290,6 +292,7 @@ def _run_chunk(
     fault_plan=None,
     attempts: Optional[list[int]] = None,
     breadcrumb_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> tuple:
     """Worker entry point: run a chunk of cells, return a tagged payload.
 
@@ -308,7 +311,13 @@ def _run_chunk(
             index,
             pack_rows(
                 _run_cell(
-                    index, spec, ensemble_size, fault_plan, attempt, breadcrumb_dir
+                    index,
+                    spec,
+                    ensemble_size,
+                    fault_plan,
+                    attempt,
+                    breadcrumb_dir,
+                    backend=backend,
                 )
             ),
         )
@@ -450,12 +459,14 @@ class _SweepSupervisor:
         sweep_seed: int,
         workers: int,
         chunk_size: Optional[int],
+        backend: Optional[str] = None,
     ) -> None:
         self.cells = cells
         self.resumed_indices = set(resumed)
         self.checkpoint = checkpoint
         self.progress = progress
         self.ensemble_size = ensemble_size
+        self.backend = backend
         self.transfer = transfer
         self.retries = retries
         self.backoff = backoff
@@ -588,7 +599,12 @@ class _SweepSupervisor:
             self.attempts[index] = attempt + 1
             try:
                 rows = _run_cell(
-                    index, cell, self.ensemble_size, self.fault_plan, attempt
+                    index,
+                    cell,
+                    self.ensemble_size,
+                    self.fault_plan,
+                    attempt,
+                    backend=self.backend,
                 )
             except SweepCellError as exc:
                 delay = self._count_failure(index, exc)
@@ -647,6 +663,7 @@ class _SweepSupervisor:
             self.fault_plan,
             attempts,
             self.breadcrumb_dir,
+            backend=self.backend,
         )
         inflight[future] = _InflightChunk(indices, attempts)
         self.unconsumed.add(future)
@@ -985,6 +1002,7 @@ def run_sweep_parallel(
     on_error: str = "raise",
     respawn_budget: int = 2,
     fault_plan=None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run a sweep's cells on a process pool; rows match the serial runner.
 
@@ -1054,6 +1072,16 @@ def run_sweep_parallel(
         A :class:`~repro.experiments.faults.FaultPlan` for deterministic
         fault injection (tests and chaos benches); ``None`` — the default —
         is the zero-overhead production path.
+    backend:
+        Flip-loop backend request for ensemble execution.  The parent
+        resolves it to a concrete backend name *once* (full precedence:
+        this argument > ``REPRO_BACKEND`` > ``sweep.backend`` > auto, then
+        availability fallback with a single warning) and ships the resolved
+        name to the workers, so each worker neither probes nor re-warns.
+        Ignored — recorded as ``"scalar"`` — when ``ensemble_size`` does not
+        select the ensemble engine.  Backends are bitwise identical, so the
+        choice never affects rows; the checkpoint manifest records it as
+        provenance.
     """
     if workers is not None and workers <= 0:
         raise ExperimentError(f"workers must be positive, got {workers}")
@@ -1079,12 +1107,26 @@ def run_sweep_parallel(
         )
     cells = list(sweep.cells())
 
+    # Resolve the backend once in the parent: workers receive the concrete
+    # name, so availability probing (and any fallback warning) happens
+    # exactly once per sweep instead of once per worker process.
+    if ensemble_size is not None and ensemble_size > 1:
+        resolved_backend = resolve_backend_name(
+            select_backend_name(backend, sweep.backend)
+        )
+        worker_backend: Optional[str] = resolved_backend
+    else:
+        resolved_backend = "scalar"
+        worker_backend = None
+
     checkpoint = None
     resumed: dict[int, list[dict[str, object]]] = {}
     if checkpoint_dir is not None:
         from repro.experiments.checkpoint import SweepCheckpoint
 
-        checkpoint = SweepCheckpoint(checkpoint_dir, cells, sweep=sweep)
+        checkpoint = SweepCheckpoint(
+            checkpoint_dir, cells, sweep=sweep, backend=resolved_backend
+        )
         resumed = checkpoint.resumed_rows()
 
     workers = workers if workers is not None else default_worker_count()
@@ -1117,6 +1159,7 @@ def run_sweep_parallel(
         sweep_seed=int(getattr(sweep, "seed", 0) or 0),
         workers=workers,
         chunk_size=chunk_size,
+        backend=worker_backend,
     )
     if workers == 1:
         if cell_timeout is not None and supervisor.unfinished:

@@ -38,6 +38,7 @@ from repro.analysis.segregation import (
     segregation_metrics_batch,
 )
 from repro.analysis.trajectory import summarize_trajectory
+from repro.core.backends.registry import select_backend_name
 from repro.core.config import ModelConfig
 from repro.core.dynamics import Trajectory
 from repro.core.simulation import Simulation
@@ -148,7 +149,9 @@ def run_replicate(
     )
 
 
-def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> ResultTable:
+def _run_experiment_ensemble(
+    spec: ExperimentSpec, ensemble_size: int, backend: Optional[str] = None
+) -> ResultTable:
     """Run a cell's replicates in vectorized batches of ``ensemble_size``.
 
     Replica seeds and RNG streams match the scalar path exactly, so the rows
@@ -158,13 +161,20 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
     too: each batch's initial and final ``(R, n, n)`` stacks go through
     :func:`~repro.analysis.segregation.segregation_metrics_batch`, whose
     per-replica bundles are bitwise identical to the serial path's.
+
+    The flip-loop ``backend`` request takes the full selection precedence
+    (call argument > ``REPRO_BACKEND`` > ``spec.backend`` > auto); backends
+    are bitwise identical, so the choice never changes the rows.
     """
     table = ResultTable()
     seeds = replicate_seeds(spec.seed, spec.n_replicates)
     max_region_radius = _region_radius(spec, spec.config)
+    backend_name = select_backend_name(backend, spec.backend)
     for batch_start in range(0, len(seeds), ensemble_size):
         batch_seeds = seeds[batch_start : batch_start + ensemble_size]
-        ensemble = spec.variant.make_ensemble(spec.config, replica_seeds=batch_seeds)
+        ensemble = spec.variant.make_ensemble(
+            spec.config, replica_seeds=batch_seeds, backend=backend_name
+        )
         initial = ensemble.initial_spins()
         with Timer() as timer:
             result = ensemble.run(
@@ -205,7 +215,9 @@ def _run_experiment_ensemble(spec: ExperimentSpec, ensemble_size: int) -> Result
 
 
 def run_experiment(
-    spec: ExperimentSpec, ensemble_size: Optional[int] = None
+    spec: ExperimentSpec,
+    ensemble_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run all replicates of one experiment cell.
 
@@ -213,9 +225,12 @@ def run_experiment(
     ensemble engine in lockstep batches of that size; the default runs them
     serially through the scalar engine.  Both paths derive replicate seeds
     identically and produce identical rows (up to wall-clock timings).
+    ``backend`` requests a flip-loop backend for the ensemble path (strongest
+    level of the CLI > env > spec > auto precedence); the scalar path has no
+    backend seam and ignores it.
     """
     if ensemble_size is not None and ensemble_size > 1:
-        return _run_experiment_ensemble(spec, ensemble_size)
+        return _run_experiment_ensemble(spec, ensemble_size, backend=backend)
     table = ResultTable()
     seeds = replicate_seeds(spec.seed, spec.n_replicates)
     for index, seed in enumerate(seeds):
@@ -232,6 +247,7 @@ def run_sweep(
     retries: int = 0,
     cell_timeout: Optional[float] = None,
     on_error: str = "raise",
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run every cell of a sweep and concatenate the replicate rows.
 
@@ -248,6 +264,8 @@ def run_sweep(
     fault-tolerant supervisor (retry with seeded backoff, hang detection,
     quarantine — see :func:`~repro.experiments.parallel.run_sweep_parallel`);
     any non-default value also routes through the supervised path.
+    ``backend`` requests a flip-loop backend for ensemble execution (see
+    :func:`run_experiment`), propagated to pool workers unchanged.
     """
     supervised = retries != 0 or cell_timeout is not None or on_error != "raise"
     if (workers is not None and workers > 1) or checkpoint_dir is not None or supervised:
@@ -263,10 +281,11 @@ def run_sweep(
             retries=retries,
             cell_timeout=cell_timeout,
             on_error=on_error,
+            backend=backend,
         )
     table = ResultTable()
     for cell in sweep.cells():
-        cell_table = run_experiment(cell, ensemble_size=ensemble_size)
+        cell_table = run_experiment(cell, ensemble_size=ensemble_size, backend=backend)
         table.extend(cell_table.rows)
         if progress is not None:
             progress(cell)

@@ -68,6 +68,12 @@ class ExperimentSpec:
     record_every: int = 100
     #: Happiness rule applied by every replicate of this cell.
     variant: VariantSpec = BASE_VARIANT
+    #: Flip-loop backend request for ensemble execution (``None`` = auto).
+    #: Deliberately NOT part of :func:`spec_fingerprint`: every backend is
+    #: pinned bitwise identical, so rows are backend-invariant and recorded
+    #: cells stay valid when the execution backend changes.  Provenance is
+    #: recorded separately (checkpoint manifest / per-record field).
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -105,6 +111,9 @@ class SweepSpec:
     record_every: int = 100
     #: Happiness rule applied by every cell of the sweep.
     variant: VariantSpec = BASE_VARIANT
+    #: Flip-loop backend request propagated to every cell (``None`` = auto);
+    #: excluded from cell fingerprints, like :attr:`ExperimentSpec.backend`.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -147,6 +156,7 @@ class SweepSpec:
                         record_trajectory=self.record_trajectory,
                         record_every=self.record_every,
                         variant=self.variant,
+                        backend=self.backend,
                     )
                     index += 1
 
@@ -166,7 +176,9 @@ def spec_fingerprint(spec: ExperimentSpec) -> dict[str, object]:
     because the name is itself a row column (``experiment``), so two cells
     must only be treated as interchangeable when their rows would be
     identical byte for byte.  Wall-clock timings are the only row content not
-    pinned by the fingerprint.
+    pinned by the fingerprint.  The ``backend`` field is deliberately
+    excluded: backends are pinned bitwise identical, so rows are
+    backend-invariant and recorded cells survive backend changes.
     """
     # Imported here: ``io`` depends on results/config only, so the import is
     # acyclic, but keeping it out of module scope keeps spec import-light.

@@ -105,6 +105,7 @@ def sweep_from_snapshot(snapshot: object) -> SweepSpec:
             record_trajectory=snapshot.get("record_trajectory", False),
             record_every=snapshot.get("record_every", 100),
             variant=variant,
+            backend=snapshot.get("backend"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServingError(
@@ -279,8 +280,8 @@ class CellReproduction:
     index: int
     name: str
     spec_hash: str
-    #: ``match`` | ``mismatch`` | ``spec-drift`` | ``missing`` |
-    #: ``recorded-failure``
+    #: ``match`` | ``mismatch`` | ``backend-drift`` | ``spec-drift`` |
+    #: ``missing`` | ``recorded-failure``
     status: str
     detail: str = ""
     diffs: list = field(default_factory=list)
@@ -291,9 +292,13 @@ class CellReproduction:
 
         ``missing`` (never recorded — an interrupted sweep) and
         ``recorded-failure`` (quarantined, reported verbatim) are honest
-        store states, not reproduction failures.
+        store states, not reproduction failures.  ``backend-drift`` is a
+        mismatch whose record was produced by a *different* flip-loop
+        backend than the one reproducing it — still a failure (backends are
+        pinned bitwise identical, so even then rows must match), but named,
+        so the operator immediately sees the one variable that changed.
         """
-        return self.status in ("mismatch", "spec-drift")
+        return self.status in ("mismatch", "spec-drift", "backend-drift")
 
 
 @dataclass
@@ -355,6 +360,7 @@ def reproduce_store(
     cell: Optional[str] = None,
     ensemble_size: Optional[int] = None,
     max_diffs: int = 5,
+    backend: Optional[str] = None,
 ) -> ReproduceReport:
     """Re-execute recorded cells from the manifest and compare rows bitwise.
 
@@ -368,7 +374,12 @@ def reproduce_store(
     else bitwise).  Quarantined cells report their recorded failure;
     never-recorded cells report ``missing``.  ``ensemble_size`` picks the
     vectorized engine — rows are engine-independent, so reproduction under
-    either engine must (and does) match.
+    either engine must (and does) match.  ``backend`` requests a flip-loop
+    backend for ensemble reproduction (full CLI > env > spec > auto
+    precedence); backends are likewise bitwise-pinned, but when rows *do*
+    differ and the record names a different backend than the one that
+    reproduced it, the verdict is the named ``backend-drift`` diagnostic
+    rather than a bare ``mismatch``.
     """
     directory = resolve_store_path(directory)
     store = ArtifactStore(directory)
@@ -393,7 +404,22 @@ def reproduce_store(
 
     # Imported here: reproduction is the only store operation that needs the
     # execution engine, and the serving layer stays import-light without it.
+    from repro.core.backends.registry import (
+        resolve_backend_name,
+        select_backend_name,
+    )
     from repro.experiments.runner import run_experiment
+
+    # The concrete backend reproducing the rows, mirroring the sweep
+    # runner's parent-side resolution — compared against each record's
+    # provenance to tell backend drift apart from a bare mismatch.
+    if ensemble_size is not None and ensemble_size > 1:
+        effective_backend = resolve_backend_name(
+            select_backend_name(backend, sweep.backend)
+        )
+    else:
+        effective_backend = "scalar"
+    manifest_backend = store.manifest.get("backend")
 
     results: list[CellReproduction] = []
     for index in selected:
@@ -448,10 +474,35 @@ def reproduce_store(
             continue
         stored = comparable_rows(record["rows"])
         fresh = comparable_rows(
-            run_experiment(spec, ensemble_size=ensemble_size).rows
+            run_experiment(
+                spec, ensemble_size=ensemble_size, backend=effective_backend
+            ).rows
         )
         diffs = diff_rows(stored, fresh, max_diffs=max_diffs)
         if diffs:
+            recorded_backend = record.get("backend") or manifest_backend
+            if (
+                isinstance(recorded_backend, str)
+                and recorded_backend != effective_backend
+            ):
+                results.append(
+                    CellReproduction(
+                        index=index,
+                        name=spec.name,
+                        spec_hash=regenerated_hash,
+                        status="backend-drift",
+                        detail=(
+                            f"rows were recorded by the "
+                            f"{recorded_backend!r} backend but reproduced by "
+                            f"{effective_backend!r}, and {len(diffs)} "
+                            f"value(s) differ (showing at most {max_diffs}) "
+                            "— backends are pinned bitwise identical, so "
+                            "one of them violates the pin"
+                        ),
+                        diffs=diffs,
+                    )
+                )
+                continue
             results.append(
                 CellReproduction(
                     index=index,

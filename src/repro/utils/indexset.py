@@ -192,6 +192,23 @@ class BatchedIndexSet:
         """Whether ``index`` is currently a member of ``row``."""
         return self._positions_mv[row * self._capacity + index] >= 0
 
+    def storage(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live backing arrays ``(members, positions, counts)``, flattened.
+
+        The flip-loop backends (see :mod:`repro.core.backends`) run the
+        coded-op membership loop directly over these buffers — members and
+        positions as flat ``row * capacity + k`` views of the packed 2-D
+        arrays, counts as the per-row vector.  Mutating them outside the
+        class's own invariants (packed prefixes, position back-pointers,
+        ``-1`` for absent) corrupts the family; backends replicate
+        :meth:`apply_coded_ops` exactly, which preserves them.
+        """
+        return (
+            self._members.reshape(-1),
+            self._positions.reshape(-1),
+            self._counts,
+        )
+
     def packed_members(self, row: int) -> np.ndarray:
         """Copy of ``row``'s packed member array in internal order.
 

@@ -138,9 +138,9 @@ class TestResume:
         calls = []
         original = runner_module.run_experiment
 
-        def counting(spec, ensemble_size=None):
+        def counting(spec, ensemble_size=None, backend=None):
             calls.append(spec.name)
-            return original(spec, ensemble_size=ensemble_size)
+            return original(spec, ensemble_size=ensemble_size, backend=backend)
 
         monkeypatch.setattr(runner_module, "run_experiment", counting)
         return calls
