@@ -222,21 +222,44 @@ def build_parser() -> argparse.ArgumentParser:
         "point", type=str, help='comma-separated axis=value terms, e.g. '
         '"rho=0.4,tau=0.55,w=2" (aliases: density/p for rho, horizon for w)'
     )
-    query.add_argument("--store", type=str, required=True)
+    _add_store_arguments(query)
     _add_query_policy_arguments(query)
 
     serve = subparsers.add_parser(
         "serve",
-        help="serve a sweep store over HTTP (stdlib, threaded; routes "
-        "/query /stats /cells /healthz)",
+        help="serve sweep stores over HTTP (stdlib, threaded; routes "
+        "/query /stats /cells /healthz /readyz; SIGTERM drains gracefully)",
     )
-    serve.add_argument("--store", type=str, required=True)
+    _add_store_arguments(serve)
     serve.add_argument("--host", type=str, default=None)
     serve.add_argument(
         "--port",
         type=int,
         default=None,
         help="TCP port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--max-compute",
+        type=int,
+        default=None,
+        help="largest number of concurrent on-miss simulations; excess "
+        "compute requests degrade to the nearest stored cell (flagged "
+        "degraded) or get 429 with Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=None,
+        help="seconds between store-artifact polls; when metrics.jsonl / "
+        "summary.json / manifest.json change, a fresh snapshot is built and "
+        "atomically swapped in without dropping requests (default: off)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM-triggered graceful drain waits for in-flight "
+        "requests before stopping anyway",
     )
     _add_query_policy_arguments(serve)
     return parser
@@ -258,6 +281,32 @@ def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
         help="flip-loop backend (default: REPRO_BACKEND env var, else auto "
         "— the fastest available); all backends produce bitwise-identical "
         "results",
+    )
+
+
+def _add_store_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared store-selection flags to ``query`` or ``serve``.
+
+    ``--store`` is repeatable: one flag serves a single store, several build
+    a :class:`FederatedQueryEngine` routing queries by parameter coverage.
+    Every named store is integrity-audited at startup; ``--allow-damaged``
+    downgrades a failed audit from a refusal to serving only the cells that
+    pass the line-level checks.
+    """
+    subparser.add_argument(
+        "--store",
+        type=str,
+        action="append",
+        required=True,
+        help="sweep store directory; repeat the flag to federate several "
+        "stores behind one query surface (routed by parameter coverage)",
+    )
+    subparser.add_argument(
+        "--allow-damaged",
+        action="store_true",
+        help="serve a store that fails its startup integrity audit anyway, "
+        "ignoring its summary.json and answering only from records that "
+        "pass the line-level CRC checks (default: refuse with exit 1)",
     )
 
 
@@ -642,13 +691,71 @@ def _command_reproduce(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
-def _make_query_engine(args: argparse.Namespace):
-    """Build the :class:`QueryEngine` shared by ``query`` and ``serve``."""
-    from repro.serving.cache import make_query_cache
-    from repro.serving.query import QueryEngine
+def _open_verified_stores(args: argparse.Namespace) -> list:
+    """Open every ``--store`` directory after its startup integrity audit.
 
-    return QueryEngine(
-        args.store,
+    Stores with checkpoint artifacts (a manifest or metrics log) are run
+    through :func:`verify_store`; a failed audit raises
+    :class:`~repro.errors.StoreDamaged` naming every damage kind — unless
+    ``--allow-damaged`` was passed, which downgrades the failure to a
+    stderr warning and opens the store with ``trust_summary=False`` so only
+    records passing the line-level CRC checks are served.  Summary-only
+    stores (no checkpoint artifacts) have nothing to audit and open as-is;
+    a missing directory raises plain :class:`ServingError` (a usage error,
+    not damage).
+    """
+    from repro.errors import StoreDamaged
+    from repro.experiments.checkpoint import (
+        MANIFEST_NAME,
+        METRICS_NAME,
+        verify_store,
+    )
+    from repro.serving.store import ArtifactStore, resolve_store_path
+
+    stores = []
+    for raw in args.store:
+        directory = resolve_store_path(raw)
+        trust_summary = True
+        if (directory / MANIFEST_NAME).exists() or (
+            directory / METRICS_NAME
+        ).exists():
+            report = verify_store(directory)
+            if not report["ok"]:
+                kinds = sorted(
+                    {
+                        str(problem.get("kind", "unknown"))
+                        for problem in report["problems"]
+                    }
+                )
+                if not args.allow_damaged:
+                    raise StoreDamaged(
+                        f"store {directory} failed its integrity audit "
+                        f"({len(report['problems'])} problem(s): "
+                        f"{', '.join(kinds)}); repair it with "
+                        f"'repro checkpoint repair {directory}' or pass "
+                        "--allow-damaged to serve only verified-clean cells"
+                    )
+                print(
+                    f"WARNING: store {directory} is damaged "
+                    f"({', '.join(kinds)}); ignoring its summary.json and "
+                    "serving only verified-clean cells",
+                    file=sys.stderr,
+                )
+                trust_summary = False
+        stores.append(ArtifactStore(directory, trust_summary=trust_summary))
+    return stores
+
+
+def _make_query_engine(args: argparse.Namespace):
+    """Build the query engine shared by ``query`` and ``serve``.
+
+    One ``--store`` gives a plain :class:`QueryEngine`; several federate.
+    """
+    from repro.serving.cache import make_query_cache
+    from repro.serving.federation import build_engine
+
+    return build_engine(
+        _open_verified_stores(args),
         cache=make_query_cache(args.cache_size),
         interpolate=args.interpolate,
         on_miss=args.on_miss,
@@ -659,15 +766,19 @@ def _make_query_engine(args: argparse.Namespace):
 def _command_query(args: argparse.Namespace, out) -> int:
     """Answer one parameter-point query and print the JSON answer.
 
-    A miss under ``--on-miss error`` exits 1 with the reason on stderr; a
-    malformed or ambiguous query exits 2.
+    A miss under ``--on-miss error`` or a store failing its integrity audit
+    exits 1 with the reason on stderr; a malformed or ambiguous query (or a
+    missing store directory) exits 2.
     """
-    from repro.errors import QueryMiss, ReproError
+    from repro.errors import QueryMiss, ReproError, StoreDamaged
     from repro.experiments.io import json_default
 
     try:
         engine = _make_query_engine(args)
         answer = engine.answer(args.point)
+    except StoreDamaged as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except QueryMiss as exc:
         print(f"miss: {exc}", file=sys.stderr)
         return 1
@@ -679,38 +790,87 @@ def _command_query(args: argparse.Namespace, out) -> int:
 
 
 def _command_serve(args: argparse.Namespace, out) -> int:
-    """Run the threaded HTTP query service until interrupted."""
-    from repro.errors import ReproError
+    """Run the threaded HTTP query service until stopped.
+
+    SIGTERM triggers a graceful drain: the service goes unready (``/readyz``
+    fails, new requests get 503), in-flight requests finish (bounded by
+    ``--drain-timeout``), then the process exits 0.  Ctrl-C (SIGINT) drains
+    the same way.  A store failing its integrity audit refuses to serve with
+    exit 1; a missing store is a usage error (exit 2).
+    """
+    import signal
+    import threading
+
+    from repro.errors import ReproError, StoreDamaged
     from repro.serving.cache import make_query_cache
-    from repro.serving.http import DEFAULT_HOST, DEFAULT_PORT, make_server
+    from repro.serving.http import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        drain_server,
+        make_server,
+    )
 
     host = args.host if args.host is not None else DEFAULT_HOST
     port = args.port if args.port is not None else DEFAULT_PORT
     try:
         server = make_server(
-            args.store,
+            _open_verified_stores(args),
             host=host,
             port=port,
             cache=make_query_cache(args.cache_size),
             interpolate=args.interpolate,
             on_miss=args.on_miss,
             max_distance=args.max_distance,
+            max_compute=args.max_compute,
+            refresh_interval=args.refresh_interval,
         )
+    except StoreDamaged as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     bound_host, bound_port = server.server_address[:2]
     print(
-        f"serving {args.store} on http://{bound_host}:{bound_port} "
-        "(routes: /query /stats /cells /healthz; Ctrl-C to stop)",
+        f"serving {', '.join(args.store)} on "
+        f"http://{bound_host}:{bound_port} "
+        "(routes: /query /stats /cells /healthz /readyz; "
+        "SIGTERM drains, Ctrl-C stops)",
         file=out,
+        flush=True,
     )
+    stop = threading.Event()
+    previous_handler = None
     try:
-        server.serve_forever()
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stop.set()
+        )
+    except ValueError:
+        # Not the main thread (in-process tests drive main() from workers);
+        # the drain path is still reachable via KeyboardInterrupt.
+        pass
+    accept_thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-serve-accept",
+        daemon=True,
+    )
+    accept_thread.start()
+    try:
+        stop.wait()
+        print("draining", file=out, flush=True)
     except KeyboardInterrupt:
-        print("stopping", file=out)
+        print("stopping", file=out, flush=True)
     finally:
-        server.server_close()
+        drained = drain_server(server, timeout=args.drain_timeout)
+        if not drained:
+            print(
+                "WARNING: drain timed out with requests still in flight",
+                file=sys.stderr,
+            )
+        accept_thread.join(timeout=5.0)
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
     return 0
 
 

@@ -70,6 +70,51 @@ class QueryMiss(ServingError):
     """
 
 
+class StoreDamaged(ServingError):
+    """A store failed its startup integrity audit.
+
+    Raised by ``repro serve``/``repro query`` when :func:`verify_store`
+    finds problems (torn tails, corrupt lines, CRC mismatches, manifest
+    drift) in a store about to be served, naming the damage kinds.  The
+    ``--allow-damaged`` opt-out downgrades this to serving only the cells
+    that pass the line-level integrity checks.
+    """
+
+
+class ServiceOverload(ServingError):
+    """The query service is at its concurrent-compute capacity.
+
+    Raised when a compute-on-miss request finds the compute gate full and no
+    degraded (nearest-cell) answer is possible.  The HTTP layer maps it to
+    ``429 Too Many Requests`` with a ``Retry-After`` header taken from
+    :attr:`retry_after`.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline expired while waiting for a shared computation.
+
+    Raised by the single-flight cache when a coalesced request waits past its
+    per-request deadline for the leader's computation.  The leader itself is
+    never aborted mid-simulation — its answer lands in the cache for the next
+    caller — so the deadline bounds *waiting*, not work already underway.
+    """
+
+
+class ServingDegradationWarning(UserWarning):
+    """The query service degraded gracefully instead of failing a request.
+
+    Emitted when the compute gate is saturated and a compute-on-miss request
+    is answered from the nearest stored cell (flagged ``degraded``) instead
+    of running a simulation — the serving-tier analogue of
+    :class:`SweepDegradationWarning`, leaving the same auditable trail.
+    """
+
+
 class SweepDegradationWarning(UserWarning):
     """The sweep supervisor degraded gracefully instead of failing.
 

@@ -8,9 +8,15 @@ aggregates).  This package *consumes* them:
   :func:`reproduce_store` (bitwise re-execution of recorded cells) and the
   snapshot-to-spec rebuild behind both.
 - :mod:`repro.serving.query` — :class:`QueryEngine`: exact / interpolated /
-  nearest-cell parameter lookups with an explicit miss policy.
-- :mod:`repro.serving.cache` — the bounded thread-safe LRU answer cache
-  with exact hit/miss/eviction counters.
+  nearest-cell parameter lookups with an explicit miss policy and the
+  overload degradation ladder.
+- :mod:`repro.serving.federation` — :class:`FederatedQueryEngine`: one
+  query surface over many stores, routed by parameter coverage.
+- :mod:`repro.serving.cache` — the bounded thread-safe single-flight LRU
+  answer cache with exact hit/miss/eviction/coalesce counters.
+- :mod:`repro.serving.lifecycle` — :class:`ComputeGate` (backpressure),
+  :class:`QueryService` (snapshot swaps, readiness, graceful drain) and
+  :class:`StoreWatcher` (live-store refresh polling).
 - :mod:`repro.serving.http` — the stdlib ``repro serve`` HTTP endpoint.
 
 The split keeps the dependency direction one-way: serving imports the
@@ -23,7 +29,14 @@ from repro.serving.cache import (
     cache_key,
     make_query_cache,
 )
-from repro.serving.http import make_server, serve
+from repro.serving.federation import FederatedQueryEngine, build_engine
+from repro.serving.http import drain_server, make_server, serve
+from repro.serving.lifecycle import (
+    ComputeGate,
+    QueryService,
+    StoreWatcher,
+    store_signature,
+)
 from repro.serving.query import (
     QueryEngine,
     axis_scales,
@@ -42,18 +55,25 @@ from repro.serving.store import (
 __all__ = [
     "ArtifactStore",
     "CellReproduction",
+    "ComputeGate",
     "DEFAULT_CACHE_CAPACITY",
+    "FederatedQueryEngine",
     "LRUCache",
     "QueryEngine",
+    "QueryService",
     "ReproduceReport",
+    "StoreWatcher",
     "axis_scales",
     "bilinear_answer",
+    "build_engine",
     "cache_key",
+    "drain_server",
     "make_query_cache",
     "make_server",
     "normalized_distance",
     "parse_query",
     "reproduce_store",
     "serve",
+    "store_signature",
     "sweep_from_snapshot",
 ]

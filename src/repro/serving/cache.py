@@ -1,4 +1,4 @@
-"""Bounded thread-safe LRU cache with observable hit/miss/eviction counters.
+"""Bounded thread-safe LRU cache with single-flight computation de-duplication.
 
 The query service (:mod:`repro.serving.query`) sits in front of the artifact
 store the way an inference cache sits in front of a model: most traffic
@@ -9,12 +9,19 @@ bounded least-recently-used cache and the counters are exported at the HTTP
 dict move, far cheaper than the JSON encode that follows it on every request.
 
 Concurrency contract: every public method is atomic under the internal lock.
-:meth:`LRUCache.get_or_compute` runs ``compute`` *outside* the lock, so two
-racing readers of a cold key may both compute; the first insert wins and both
-see a consistent cache (single-flight de-duplication is not worth a condition
-variable for answers that cost milliseconds to recompute and are identical by
-construction).  Counters are exact: every ``get`` is classified as exactly
-one hit or miss, and every capacity displacement as exactly one eviction.
+:meth:`LRUCache.get_or_compute` is **single-flight**: concurrent misses on
+the same key share one in-flight computation.  The first caller (the
+*leader*) registers a per-key flight and runs ``compute`` outside the lock;
+every concurrent caller for the same key (a *follower*) blocks on the
+flight's event and receives the leader's value — or the leader's exception —
+without computing anything.  Under ``--on-miss compute`` every cache miss is
+a full simulation, so N identical concurrent requests must run exactly one.
+
+Counters are exact: every ``get`` is classified as exactly one hit or miss;
+every :meth:`~LRUCache.get_or_compute` call as exactly one of hit, miss
+(leader) or coalesced (follower); and every capacity displacement as exactly
+one eviction.  ``inflight`` is a gauge: the number of leader computations
+currently running.
 """
 
 from __future__ import annotations
@@ -23,20 +30,34 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceeded
 
 #: Sentinel distinguishing "absent" from a cached ``None`` value.
 _ABSENT = object()
 
+#: The three exact-accounting outcomes of :meth:`LRUCache.get_or_compute`.
+GET_OR_COMPUTE_OUTCOMES = ("hit", "miss", "coalesced")
+
+
+class _Flight:
+    """One in-flight computation, shared by its leader and followers."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = _ABSENT
+        self.error: Optional[BaseException] = None
+
 
 class LRUCache:
-    """A bounded LRU map with exact hit/miss/eviction accounting.
+    """A bounded LRU map with exact hit/miss/eviction/coalesce accounting.
 
     Reads (:meth:`get`, :meth:`get_or_compute`) refresh recency; writes
     (:meth:`put`) insert or update at most-recent position and evict the
     least-recently-used entry once ``len > capacity``.  ``__contains__`` and
-    ``peek`` are observational: they touch neither recency nor counters, so
-    tests and stats endpoints can inspect the cache without perturbing it.
+    :meth:`peek` are observational: they touch neither recency nor counters,
+    so tests and stats endpoints can inspect the cache without perturbing it.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -46,10 +67,12 @@ class LRUCache:
             )
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._flights: dict[Hashable, _Flight] = {}
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._coalesced = 0
 
     # ------------------------------------------------------------------ reads
 
@@ -94,21 +117,66 @@ class LRUCache:
                 self._evictions += 1
 
     def get_or_compute(
-        self, key: Hashable, compute: Callable[[], object]
-    ) -> tuple[object, bool]:
-        """Return ``(value, was_hit)``, computing and caching on miss.
+        self,
+        key: Hashable,
+        compute: Callable[[], object],
+        timeout: Optional[float] = None,
+    ) -> tuple[object, str]:
+        """Return ``(value, outcome)``, computing once per key across threads.
 
-        ``compute`` runs outside the lock (see the module docstring for the
-        racing-reader contract); on a lost insert race the value computed by
-        this caller is still returned — both racers computed the same answer
-        by construction — and exactly one miss is counted per caller.
+        ``outcome`` is exactly one of :data:`GET_OR_COMPUTE_OUTCOMES`:
+
+        - ``"hit"`` — the key was cached; no computation.
+        - ``"miss"`` — this caller was the flight leader: it ran ``compute``
+          outside the lock and cached the result.
+        - ``"coalesced"`` — another thread's flight for the same key was
+          already running; this caller waited and shares its value.
+
+        A leader's exception propagates to the leader *and* to every
+        follower coalesced onto its flight (the flight is then cleared, so a
+        later caller retries fresh).  ``timeout`` bounds how long a follower
+        waits for the leader; expiry raises
+        :class:`~repro.errors.DeadlineExceeded`.  The leader itself is never
+        interrupted — its result still lands in the cache.
         """
-        cached = self.get(key, _ABSENT)
-        if cached is not _ABSENT:
-            return cached, True
-        value = compute()
+        with self._lock:
+            value = self._entries.get(key, _ABSENT)
+            if value is not _ABSENT:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value, "hit"
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+                self._misses += 1
+            else:
+                leader = False
+                self._coalesced += 1
+        if not leader:
+            if not flight.event.wait(timeout):
+                raise DeadlineExceeded(
+                    f"timed out after {timeout}s waiting for the in-flight "
+                    f"computation of {key!r}"
+                )
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, "coalesced"
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                flight.error = exc
+                self._flights.pop(key, None)
+            flight.event.set()
+            raise
         self.put(key, value)
-        return value, False
+        with self._lock:
+            flight.value = value
+            self._flights.pop(key, None)
+        flight.event.set()
+        return value, "miss"
 
     def clear(self) -> None:
         """Drop every entry.  Counters are preserved (they describe traffic)."""
@@ -118,7 +186,7 @@ class LRUCache:
     # ------------------------------------------------------------------ stats
 
     def stats(self) -> dict[str, int]:
-        """Consistent snapshot of the counters and occupancy."""
+        """Consistent snapshot of the counters, occupancy and in-flight gauge."""
         with self._lock:
             return {
                 "capacity": self.capacity,
@@ -126,6 +194,8 @@ class LRUCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "coalesced": self._coalesced,
+                "inflight": len(self._flights),
             }
 
     def keys(self) -> list:
@@ -135,15 +205,18 @@ class LRUCache:
 
 
 def cache_key(
-    params: dict[str, object], interpolate: bool
+    params: dict[str, object], interpolate: bool, generation: int = 0
 ) -> tuple[Hashable, ...]:
     """Canonical cache key of one resolved query point.
 
     Axes are sorted by name so semantically identical queries
     (``"tau=0.4,rho=0.5"`` vs ``"rho=0.5,tau=0.4"``) share an entry;
-    ``interpolate`` is part of the key because it changes the answer.
+    ``interpolate`` is part of the key because it changes the answer, and
+    ``generation`` is the store-snapshot generation so entries cached
+    against a superseded snapshot can never answer for a refreshed one —
+    they simply age out of the LRU.
     """
-    return tuple(sorted(params.items())) + (bool(interpolate),)
+    return tuple(sorted(params.items())) + (bool(interpolate), int(generation))
 
 
 #: Default capacity of the query service's answer cache.

@@ -1,0 +1,208 @@
+"""One query endpoint over many sweep artifact stores.
+
+A phase diagram rarely lives in one sweep: different runs cover different
+``(rho, tau, w)`` regions, at different resolutions, on different hosts.
+:class:`FederatedQueryEngine` serves them as one surface, routing each query
+by **parameter coverage**:
+
+1. **Exact match anywhere wins** — if any member store holds a cell whose
+   parameters equal the query bit-for-bit, its stored aggregates answer,
+   exactly as a single-store engine would.  When several stores hold the
+   same point, the deterministic cell rank (params, spec hash, store tag)
+   picks one — never storage or registration order.
+2. **Interpolation and nearest-cell fall back over the union** — the
+   bracketing corners (opt-in bilinear) and the nearest cell are found over
+   the union of every member's answerable cells, with the range-normalized
+   distance scales computed over that union so the metric is commensurate
+   across stores.  Ties break on the same deterministic rank.
+3. **Compute-on-miss routes to the owning store** — a computed answer
+   inherits its methodology (replicates, budgets, variant) from the member
+   store nearest to the query point (deterministic tie-break on the store
+   tag), so the simulated point is comparable to the data around it.
+
+The federated engine *is a* :class:`~repro.serving.query.QueryEngine` — it
+overrides only the store-access hooks, so every resolution rule, the
+single-flight cache, the compute gate and the degradation ladder are
+inherited verbatim.  Each union cell is tagged with its member store's
+directory, which also surfaces in answers' ``cells`` entries for
+observability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import ServingError
+from repro.serving.cache import LRUCache
+from repro.serving.lifecycle import ComputeGate
+from repro.serving.query import (
+    QueryEngine,
+    _cell_rank,
+    axis_scales,
+    normalized_distance,
+)
+from repro.serving.store import ArtifactStore, PathLike
+
+
+class FederatedQueryEngine(QueryEngine):
+    """Parameter-point lookups routed across many artifact stores.
+
+    Construction accepts store directories or :class:`ArtifactStore`
+    handles; at least one is required, and duplicate directories are
+    rejected (a store answering twice would silently double its weight in
+    nothing but tie-breaks — almost certainly a CLI typo).  Thread-safety
+    matches the base engine: snapshots are read-only after load and the
+    cache/gate carry their own locks.
+    """
+
+    def __init__(
+        self,
+        stores: Sequence[Union[ArtifactStore, PathLike]],
+        cache: Optional[LRUCache] = None,
+        interpolate: bool = False,
+        on_miss: str = "error",
+        max_distance: Optional[float] = None,
+        gate: Optional[ComputeGate] = None,
+        generation: int = 0,
+    ) -> None:
+        members = [
+            store
+            if isinstance(store, ArtifactStore)
+            else ArtifactStore(store)
+            for store in stores
+        ]
+        if not members:
+            raise ServingError(
+                "a federated engine needs at least one store"
+            )
+        directories = [str(member.directory) for member in members]
+        if len(set(directories)) != len(directories):
+            raise ServingError(
+                f"duplicate store directories in federation: {directories}"
+            )
+        # The base engine's single-store surface (``self.store``) points at
+        # the first member so single-store code paths (e.g. stats headers)
+        # stay meaningful; every resolution hook below uses the full list.
+        super().__init__(
+            members[0],
+            cache=cache,
+            interpolate=interpolate,
+            on_miss=on_miss,
+            max_distance=max_distance,
+            gate=gate,
+            generation=generation,
+        )
+        self.stores = members
+
+    # ----------------------------------------------------------- store hooks
+
+    def answer_cells(self) -> list[dict]:
+        """The union of every member's answerable cells, store-tagged.
+
+        Tagging happens on shallow copies — member stores cache their
+        summaries, and annotating the cached dicts in place would leak the
+        tag into single-store engines sharing the same handle.
+        """
+        union: list[dict] = []
+        for member in self.stores:
+            tag = str(member.directory)
+            for cell in member.answerable_cells():
+                tagged = dict(cell)
+                tagged["store"] = tag
+                union.append(tagged)
+        return union
+
+    def _sweep_for_compute(self, point: dict[str, float]):
+        """The sweep of the member store that owns the query's region.
+
+        Ownership = the member holding the nearest answerable cell under
+        the union-wide normalized metric (deterministic tie-break on the
+        store tag); members whose manifest cannot rebuild a sweep are
+        skipped.  With no answerable cells anywhere, the first member able
+        to rebuild its sweep routes the compute.
+        """
+        cells = self.answer_cells()
+        ordered: list[ArtifactStore] = []
+        if cells:
+            scales = axis_scales(cells)
+            best = min(
+                cells,
+                key=lambda cell: (
+                    normalized_distance(point, cell["params"], scales),
+                    _cell_rank(cell),
+                ),
+            )
+            by_tag = {str(member.directory): member for member in self.stores}
+            ordered.append(by_tag[best["store"]])
+        ordered.extend(
+            member for member in self.stores if member not in ordered
+        )
+        errors: list[str] = []
+        for member in ordered:
+            try:
+                return member.sweep()
+            except ServingError as exc:
+                errors.append(f"{member.directory}: {exc}")
+        raise ServingError(
+            "no federation member can rebuild a sweep to compute "
+            f"{point} from: " + "; ".join(errors)
+        )
+
+    def _store_stats(self) -> dict:
+        """Per-member store descriptors plus federation-level counts."""
+        members = [
+            {
+                "directory": str(member.directory),
+                "n_cells": len(member.cells()),
+                "n_answerable": len(member.answerable_cells()),
+            }
+            for member in self.stores
+        ]
+        return {
+            "federated": True,
+            "n_stores": len(members),
+            "n_cells": sum(entry["n_cells"] for entry in members),
+            "n_answerable": sum(entry["n_answerable"] for entry in members),
+            "generation": self.generation,
+            "stores": members,
+        }
+
+
+def build_engine(
+    stores: Sequence[Union[ArtifactStore, PathLike]],
+    cache: Optional[LRUCache] = None,
+    interpolate: bool = False,
+    on_miss: str = "error",
+    max_distance: Optional[float] = None,
+    gate: Optional[ComputeGate] = None,
+    generation: int = 0,
+) -> QueryEngine:
+    """One engine over the given stores: plain for one, federated for many.
+
+    The shared construction point for ``repro query``, ``repro serve`` and
+    the refresh poller — all three must build byte-identical engines for a
+    given store list so a refreshed snapshot differs from its predecessor
+    only by store content and generation.
+    """
+    stores = list(stores)
+    if not stores:
+        raise ServingError("no store directories given")
+    if len(stores) == 1:
+        return QueryEngine(
+            stores[0],
+            cache=cache,
+            interpolate=interpolate,
+            on_miss=on_miss,
+            max_distance=max_distance,
+            gate=gate,
+            generation=generation,
+        )
+    return FederatedQueryEngine(
+        stores,
+        cache=cache,
+        interpolate=interpolate,
+        on_miss=on_miss,
+        max_distance=max_distance,
+        gate=gate,
+        generation=generation,
+    )

@@ -27,19 +27,39 @@ a fixed priority order:
    a fresh simulation of the point (deterministically seeded from the
    store's sweep) and answers from its aggregates.
 
-Resolved answers flow through a bounded thread-safe LRU cache
-(:mod:`repro.serving.cache`) keyed on the resolved point, so a service under
-repeated traffic answers from memory; hit/miss/eviction counters are exposed
-via :meth:`QueryEngine.stats` and the HTTP ``/stats`` endpoint.
+Resolved answers flow through a bounded thread-safe **single-flight** LRU
+cache (:mod:`repro.serving.cache`) keyed on the resolved point and the
+store-snapshot generation, so a service under repeated traffic answers from
+memory and N concurrent misses on the same point run exactly one
+computation; hit/miss/eviction/coalesce counters are exposed via
+:meth:`QueryEngine.stats` and the HTTP ``/stats`` endpoint.
+
+Under load, compute-on-miss admission is bounded by an optional
+:class:`~repro.serving.lifecycle.ComputeGate`.  A saturated gate triggers
+the **degradation ladder**: the request is answered from the nearest stored
+cell flagged ``degraded`` (with a
+:class:`~repro.errors.ServingDegradationWarning`, mirroring the sweep
+supervisor's pattern); when the store has no cells at all to fall back on,
+the request fails with :class:`~repro.errors.ServiceOverload`, which the
+HTTP layer maps to ``429`` with ``Retry-After``.  Degraded answers are
+never cached — they are a capacity artifact, not the point's true answer.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Optional, Union
 
-from repro.errors import QueryMiss, ServingError
+from repro.errors import (
+    DeadlineExceeded,
+    QueryMiss,
+    ServiceOverload,
+    ServingDegradationWarning,
+    ServingError,
+)
 from repro.serving.cache import LRUCache, cache_key, make_query_cache
+from repro.serving.lifecycle import ComputeGate
 from repro.serving.store import ArtifactStore, PathLike, query_spec_for_point
 
 #: Canonical query axes, in documentation order.
@@ -103,7 +123,9 @@ def axis_scales(cells: list[dict]) -> dict[str, float]:
 
     ``s_a = max_a - min_a`` over the cells' parameter points, with 1.0 for a
     degenerate axis (single value) so a division never blows up.  A pure
-    function of the cell *set* — invariant under storage order.
+    function of the cell *set* — invariant under storage order, and in a
+    federation computed over the union of every member store's cells so the
+    metric is commensurate across stores.
     """
     scales: dict[str, float] = {}
     for axis in AXES:
@@ -126,14 +148,34 @@ def normalized_distance(
 
 
 def _cell_rank(cell: dict) -> tuple:
-    """Deterministic tie-break rank: parameter point, then spec hash."""
+    """Deterministic tie-break rank: parameter point, spec hash, then store.
+
+    The trailing store tag (set by the federated engine, empty for a single
+    store) makes ties deterministic even when two member stores hold cells
+    with identical parameters and hashes.
+    """
     params = cell["params"]
     return (
         float(params["rho"]),
         float(params["tau"]),
         float(params["w"]),
         str(cell.get("spec_hash", "")),
+        str(cell.get("store", "")),
     )
+
+
+def _answer_cell_entry(cell: dict, weight: float) -> dict:
+    """One contributing-cell entry of an answer payload."""
+    entry = {
+        "index": cell.get("index"),
+        "name": cell.get("name"),
+        "spec_hash": cell.get("spec_hash"),
+        "params": cell.get("params"),
+        "weight": weight,
+    }
+    if cell.get("store") is not None:
+        entry["store"] = cell["store"]
+    return entry
 
 
 def _blend(corners: list[tuple[float, dict]]) -> dict[str, dict[str, float]]:
@@ -226,14 +268,7 @@ def bilinear_answer(
         "source": "interpolated",
         "metrics": _blend(corners),
         "cells": [
-            {
-                "index": cell.get("index"),
-                "name": cell.get("name"),
-                "spec_hash": cell.get("spec_hash"),
-                "params": cell.get("params"),
-                "weight": weight,
-            }
-            for weight, cell in corners
+            _answer_cell_entry(cell, weight) for weight, cell in corners
         ],
     }
 
@@ -243,7 +278,17 @@ class QueryEngine:
 
     Thread-safe: resolution state is read-only after construction and the
     answer cache takes its own lock, so one engine instance backs the
-    threaded HTTP server directly.
+    threaded HTTP server directly.  An engine is a *snapshot*: it answers
+    from the store state it first loaded.  The refresh poller
+    (:class:`~repro.serving.lifecycle.StoreWatcher`) replaces the whole
+    engine with a successor of the next ``generation`` rather than mutating
+    one in place; ``generation`` is folded into every cache key so a shared
+    cache never serves a superseded snapshot's answer.
+
+    The store-access points (:meth:`answer_cells`,
+    :meth:`_sweep_for_compute`, :meth:`_store_stats`) are overridable hooks —
+    :class:`~repro.serving.federation.FederatedQueryEngine` reroutes them
+    over many stores while inheriting every resolution rule unchanged.
     """
 
     def __init__(
@@ -253,6 +298,8 @@ class QueryEngine:
         interpolate: bool = False,
         on_miss: str = "error",
         max_distance: Optional[float] = None,
+        gate: Optional[ComputeGate] = None,
+        generation: int = 0,
     ) -> None:
         if on_miss not in ON_MISS_POLICIES:
             raise ServingError(
@@ -265,6 +312,37 @@ class QueryEngine:
         self.interpolate = bool(interpolate)
         self.on_miss = on_miss
         self.max_distance = max_distance
+        self.gate = gate
+        self.generation = int(generation)
+
+    # ----------------------------------------------------------- store hooks
+
+    def answer_cells(self) -> list[dict]:
+        """The answerable cells this snapshot resolves against."""
+        return self.store.answerable_cells()
+
+    def _sweep_for_compute(self, point: dict[str, float]):
+        """The sweep spec computed answers inherit their parameters from."""
+        return self.store.sweep()
+
+    def _store_stats(self) -> dict:
+        """The ``store`` section of :meth:`stats`."""
+        return {
+            "directory": str(self.store.directory),
+            "n_cells": len(self.store.cells()),
+            "n_answerable": len(self.store.answerable_cells()),
+            "generation": self.generation,
+        }
+
+    def load(self) -> "QueryEngine":
+        """Eagerly read the store so this snapshot never touches disk again.
+
+        The refresh poller builds successors with this before swapping them
+        in: the (possibly mid-append) disk read happens in the poller
+        thread, and requests only ever see fully loaded snapshots.
+        """
+        self.answer_cells()
+        return self
 
     # ------------------------------------------------------------ resolution
 
@@ -293,7 +371,13 @@ class QueryEngine:
                     raise ServingError(
                         f"query names axis {axis!r} more than once"
                     )
-                partial[axis] = float(value)
+                try:
+                    partial[axis] = float(value)
+                except (TypeError, ValueError):
+                    raise ServingError(
+                        f"query value {value!r} for axis {axis!r} is not a "
+                        "number"
+                    ) from None
             if not partial:
                 raise ServingError(
                     "empty query — name at least one axis=value term"
@@ -304,8 +388,7 @@ class QueryEngine:
                 point[axis] = partial[axis]
                 continue
             pinned = {
-                float(cell["params"][axis])
-                for cell in self.store.answerable_cells()
+                float(cell["params"][axis]) for cell in self.answer_cells()
             }
             if len(pinned) == 1:
                 point[axis] = pinned.pop()
@@ -317,9 +400,31 @@ class QueryEngine:
                 )
         return point
 
+    def _nearest_answer(
+        self, point: dict[str, float], cells: list[dict]
+    ) -> tuple[dict, float]:
+        """The nearest-cell answer payload and its normalized distance."""
+        scales = axis_scales(cells)
+        nearest = min(
+            cells,
+            key=lambda cell: (
+                normalized_distance(point, cell["params"], scales),
+                _cell_rank(cell),
+            ),
+        )
+        distance = normalized_distance(point, nearest["params"], scales)
+        answer = {
+            "point": point,
+            "source": "nearest",
+            "distance": distance,
+            "metrics": nearest["metrics"],
+            "cells": [_answer_cell_entry(nearest, 1.0)],
+        }
+        return answer, distance
+
     def _lookup(self, point: dict[str, float], interpolate: bool) -> dict:
         """Resolve one full point against the store (uncached)."""
-        cells = self.store.answerable_cells()
+        cells = self.answer_cells()
         if not cells:
             return self._miss(point, "the store has no answerable cells")
         for cell in sorted(cells, key=_cell_rank):
@@ -330,15 +435,7 @@ class QueryEngine:
                     "source": "exact",
                     "distance": 0.0,
                     "metrics": cell["metrics"],
-                    "cells": [
-                        {
-                            "index": cell.get("index"),
-                            "name": cell.get("name"),
-                            "spec_hash": cell.get("spec_hash"),
-                            "params": params,
-                            "weight": 1.0,
-                        }
-                    ],
+                    "cells": [_answer_cell_entry(cell, 1.0)],
                 }
         if interpolate:
             answer = bilinear_answer(cells, point)
@@ -346,36 +443,14 @@ class QueryEngine:
                 answer["point"] = point
                 answer["distance"] = None
                 return answer
-        scales = axis_scales(cells)
-        nearest = min(
-            cells,
-            key=lambda cell: (
-                normalized_distance(point, cell["params"], scales),
-                _cell_rank(cell),
-            ),
-        )
-        distance = normalized_distance(point, nearest["params"], scales)
+        answer, distance = self._nearest_answer(point, cells)
         if self.max_distance is not None and distance > self.max_distance:
             return self._miss(
                 point,
                 f"nearest cell is at normalized distance {distance:.4f}, "
                 f"beyond the allowed {self.max_distance}",
             )
-        return {
-            "point": point,
-            "source": "nearest",
-            "distance": distance,
-            "metrics": nearest["metrics"],
-            "cells": [
-                {
-                    "index": nearest.get("index"),
-                    "name": nearest.get("name"),
-                    "spec_hash": nearest.get("spec_hash"),
-                    "params": nearest["params"],
-                    "weight": 1.0,
-                }
-            ],
-        }
+        return answer
 
     def _miss(self, point: dict[str, float], reason: str) -> dict:
         """Apply the miss policy: raise, or compute the point fresh."""
@@ -387,12 +462,29 @@ class QueryEngine:
         return self._compute(point)
 
     def _compute(self, point: dict[str, float]) -> dict:
+        """Simulate the queried point, bounded by the compute gate."""
+        if self.gate is None:
+            return self._compute_ungated(point)
+        if not self.gate.admit():
+            # Not yet counted: answer() classifies the overload as exactly
+            # one degraded fallback or one rejection.
+            raise ServiceOverload(
+                f"compute capacity exhausted ({self.gate.limit} concurrent "
+                f"simulation(s) already running) for {point}",
+                retry_after=self.gate.retry_after,
+            )
+        try:
+            return self._compute_ungated(point)
+        finally:
+            self.gate.release()
+
+    def _compute_ungated(self, point: dict[str, float]) -> dict:
         """Simulate the queried point and answer from fresh aggregates."""
         from repro.experiments.checkpoint import VOLATILE_ROW_COLUMNS
         from repro.experiments.results import ResultTable
         from repro.experiments.runner import run_experiment
 
-        sweep = self.store.sweep()
+        sweep = self._sweep_for_compute(point)
         w = point["w"]
         if w != int(w):
             raise ServingError(
@@ -429,44 +521,90 @@ class QueryEngine:
             ],
         }
 
+    def _degrade(self, point: dict[str, float]) -> Optional[dict]:
+        """The overload fallback: nearest stored cell, flagged ``degraded``.
+
+        Ignores ``max_distance`` on purpose — under overload a far answer
+        honestly flagged beats a 429 — and is never cached.  Returns
+        ``None`` when the store holds nothing to fall back on.
+        """
+        cells = self.answer_cells()
+        if not cells:
+            return None
+        answer, _ = self._nearest_answer(point, cells)
+        answer["degraded"] = True
+        return answer
+
     # ---------------------------------------------------------------- public
 
     def answer(
         self,
         query: Union[str, dict[str, float]],
         interpolate: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> dict:
-        """Answer a query through the cache.
+        """Answer a query through the single-flight cache.
 
         Returns the answer payload (point, source, contributing cells,
-        metrics) plus a ``cached`` flag for this call.  Misses under
+        metrics) plus a ``cached`` flag for this call.  Concurrent misses on
+        the same resolved point share one computation; ``deadline`` bounds
+        (in seconds) how long this request may wait on another request's
+        in-flight computation, raising
+        :class:`~repro.errors.DeadlineExceeded` on expiry.  Misses under
         ``on_miss="error"`` raise :class:`~repro.errors.QueryMiss` and are
-        never cached; computed answers are cached like any other.
+        never cached; computed answers are cached like any other.  When the
+        compute gate is saturated the degradation ladder applies (see the
+        module docstring).
         """
         use_interpolation = (
             self.interpolate if interpolate is None else bool(interpolate)
         )
         point = self.resolve_point(query)
-        key = cache_key(point, use_interpolation)
-        value, was_hit = self.cache.get_or_compute(
-            key, lambda: self._lookup(point, use_interpolation)
-        )
+        key = cache_key(point, use_interpolation, self.generation)
+        try:
+            value, outcome = self.cache.get_or_compute(
+                key,
+                lambda: self._lookup(point, use_interpolation),
+                timeout=deadline,
+            )
+        except ServiceOverload:
+            fallback = self._degrade(point)
+            if fallback is None:
+                if self.gate is not None:
+                    self.gate.note_rejected()
+                raise
+            if self.gate is not None:
+                self.gate.note_degraded()
+            warnings.warn(
+                ServingDegradationWarning(
+                    f"compute gate saturated: answered {point} from the "
+                    "nearest stored cell (flagged degraded) instead of "
+                    "simulating it"
+                ),
+                stacklevel=2,
+            )
+            fallback = dict(fallback)
+            fallback["cached"] = False
+            return fallback
+        except DeadlineExceeded:
+            if self.gate is not None:
+                self.gate.note_timeout()
+            raise
         answer = dict(value)
-        answer["cached"] = was_hit
+        answer["cached"] = outcome == "hit"
         return answer
 
     def stats(self) -> dict:
         """Cache counters plus store and policy descriptors (for ``/stats``)."""
-        return {
+        stats = {
             "cache": self.cache.stats(),
-            "store": {
-                "directory": str(self.store.directory),
-                "n_cells": len(self.store.cells()),
-                "n_answerable": len(self.store.answerable_cells()),
-            },
+            "store": self._store_stats(),
             "policy": {
                 "interpolate": self.interpolate,
                 "on_miss": self.on_miss,
                 "max_distance": self.max_distance,
             },
         }
+        if self.gate is not None:
+            stats["compute"] = self.gate.stats()
+        return stats

@@ -126,10 +126,17 @@ class ArtifactStore:
     sweep.
     """
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(
+        self, directory: PathLike, trust_summary: bool = True
+    ) -> None:
         self.directory = resolve_store_path(directory)
         if not self.directory.is_dir():
             raise ServingError(f"{self.directory} is not a directory")
+        #: With ``trust_summary=False`` the on-disk ``summary.json`` is
+        #: ignored and aggregates are always re-derived from the records
+        #: that pass the line-level integrity checks — the ``repro serve
+        #: --allow-damaged`` mode, which serves only verified-clean cells.
+        self.trust_summary = bool(trust_summary)
         self._manifest: Optional[dict] = None
         self._manifest_loaded = False
         self._summary: Optional[dict] = None
@@ -148,7 +155,7 @@ class ArtifactStore:
         """The store's summary payload (from disk, else derived in memory)."""
         if self._summary is None:
             summary_path = self.directory / SUMMARY_NAME
-            if summary_path.exists():
+            if self.trust_summary and summary_path.exists():
                 try:
                     loaded = json.loads(summary_path.read_text())
                 except ValueError:

@@ -517,3 +517,240 @@ class TestServingCommands:
         assert args.command == "serve"
         assert args.on_miss == "compute"
         assert args.cache_size == 16
+
+    def test_serve_parser_accepts_lifecycle_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--store", "a", "--store", "b", "--port", "0",
+                "--allow-damaged", "--max-compute", "4",
+                "--refresh-interval", "2.5", "--drain-timeout", "3",
+            ]
+        )
+        assert args.store == ["a", "b"]
+        assert args.allow_damaged is True
+        assert args.max_compute == 4
+        assert args.refresh_interval == 2.5
+        assert args.drain_timeout == 3.0
+
+    def test_query_repeated_store_flags_federate(self, store, tmp_path):
+        import json
+        import shutil
+
+        second = tmp_path / "second"
+        shutil.copytree(store, second)
+        code, output = run_cli(
+            [
+                "query", "tau=0.3",
+                "--store", str(store), "--store", str(second),
+            ]
+        )
+        assert code == 0
+        answer = json.loads(output)
+        assert answer["source"] == "exact"
+        # federated answers are tagged with the owning store; identical
+        # cells tie-break on the store tag, not registration order
+        assert answer["cells"][0]["store"] in (str(store), str(second))
+
+    def test_query_duplicate_store_flags_rejected(self, store, capsys):
+        code, _ = run_cli(
+            ["query", "tau=0.3", "--store", str(store), "--store", str(store)]
+        )
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err
+
+
+def _corrupt_second_record(store):
+    """Bit-flip a digit inside the second metrics record (CRC mismatch)."""
+    metrics = store / "metrics.jsonl"
+    lines = metrics.read_bytes().splitlines(keepends=True)
+    assert len(lines) >= 2
+    target = lines[1]
+    for index, byte in enumerate(target):
+        if chr(byte).isdigit():
+            replacement = b"1" if chr(byte) != "1" else b"2"
+            lines[1] = target[:index] + replacement + target[index + 1 :]
+            break
+    metrics.write_bytes(b"".join(lines))
+
+
+class TestStartupVerification:
+    """query/serve audit their stores at startup (ISSUE 10 satellite)."""
+
+    @pytest.fixture
+    def damaged(self, tmp_path):
+        """A checkpointed store whose second record fails its CRC."""
+        directory = tmp_path / "damaged"
+        code, _ = run_cli(
+            [
+                "sweep",
+                "--horizon", "1",
+                "--side", "10",
+                "--taus", "0.3,0.45",
+                "--replicates", "1",
+                "--seed", "9",
+                "--checkpoint-dir", str(directory),
+            ]
+        )
+        assert code == 0
+        _corrupt_second_record(directory)
+        return directory
+
+    def test_query_refuses_damaged_store_with_named_damage(
+        self, damaged, capsys
+    ):
+        code, _ = run_cli(["query", "tau=0.3", "--store", str(damaged)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "failed its integrity audit" in err
+        assert "crc-mismatch" in err
+        assert "--allow-damaged" in err
+
+    def test_serve_refuses_damaged_store_before_binding(
+        self, damaged, capsys
+    ):
+        code, _ = run_cli(
+            ["serve", "--store", str(damaged), "--port", "0"]
+        )
+        assert code == 1
+        assert "failed its integrity audit" in capsys.readouterr().err
+
+    def test_allow_damaged_serves_only_verified_clean_cells(
+        self, damaged, capsys
+    ):
+        import json
+
+        # the intact first record still answers...
+        code, output = run_cli(
+            ["query", "tau=0.3", "--store", str(damaged), "--allow-damaged"]
+        )
+        assert code == 0
+        assert json.loads(output)["source"] == "exact"
+        assert "verified-clean" in capsys.readouterr().err
+
+        # ...but the corrupt record's cell is gone, even though the on-disk
+        # summary.json (written before the damage) still lists it
+        code, _ = run_cli(
+            [
+                "query", "tau=0.45", "--store", str(damaged),
+                "--allow-damaged", "--max-distance", "0.01",
+            ]
+        )
+        assert code == 1
+        assert "miss:" in capsys.readouterr().err
+
+    def test_clean_store_passes_the_audit_silently(self, tmp_path, capsys):
+        directory = tmp_path / "clean"
+        code, _ = run_cli(
+            [
+                "sweep", "--horizon", "1", "--side", "10", "--taus", "0.3",
+                "--replicates", "1", "--seed", "2",
+                "--checkpoint-dir", str(directory),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code, _ = run_cli(["query", "tau=0.3", "--store", str(directory)])
+        assert code == 0
+        assert "WARNING" not in capsys.readouterr().err
+
+
+class TestServeDrain:
+    """End-to-end SIGTERM drain of a real `repro serve` process."""
+
+    def test_sigterm_drains_gracefully(self, tmp_path):
+        import json
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import threading
+        import urllib.error
+        import urllib.request
+
+        directory = tmp_path / "store"
+        code, _ = run_cli(
+            [
+                "sweep", "--horizon", "1", "--side", "10", "--taus",
+                "0.3,0.45", "--replicates", "1", "--seed", "9",
+                "--checkpoint-dir", str(directory),
+            ]
+        )
+        assert code == 0
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src_root, env.get("PYTHONPATH", "")) if part
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(directory), "--port", "0",
+                "--on-miss", "compute", "--max-distance", "0.01",
+                "--drain-timeout", "30",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no address in banner: {banner!r}"
+            base = f"http://{match.group(1)}:{match.group(2)}"
+
+            def get_json(path, timeout=30):
+                with urllib.request.urlopen(
+                    f"{base}{path}", timeout=timeout
+                ) as response:
+                    return response.status, json.loads(response.read())
+
+            assert get_json("/readyz") == (200, {"ready": True})
+
+            # a compute-on-miss request is slow enough to still be in
+            # flight when the signal lands
+            inflight_result = {}
+
+            def slow_request():
+                inflight_result["value"] = get_json("/query?tau=0.5")
+
+            worker = threading.Thread(target=slow_request)
+            worker.start()
+            deadline = 50
+            for _ in range(deadline):
+                if not worker.is_alive():
+                    break  # completed before the signal: still a valid run
+                try:
+                    _, stats = get_json("/stats", timeout=5)
+                except (OSError, urllib.error.URLError):
+                    continue
+                if stats["service"]["inflight_requests"] >= 2:
+                    break  # the slow request + this /stats probe
+
+            process.send_signal(signal.SIGTERM)
+            worker.join(timeout=60)
+            assert not worker.is_alive()
+            status, body = inflight_result["value"]
+            assert status == 200  # in-flight work finished during drain
+            assert body["source"] == "computed"
+
+            # new connections are refused (socket closed) or told 503
+            try:
+                status, _ = get_json("/query?tau=0.3", timeout=5)
+                assert status == 503
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+            except (OSError, urllib.error.URLError):
+                pass  # connection refused: the listener is gone
+
+            assert process.wait(timeout=60) == 0
+            remaining = process.stdout.read()
+            assert "draining" in remaining
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)

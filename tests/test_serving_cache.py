@@ -125,10 +125,10 @@ class TestGetOrCompute:
     def test_computes_once_then_hits(self):
         cache = LRUCache(4)
         calls = []
-        value, was_hit = cache.get_or_compute("k", lambda: calls.append(1) or 42)
-        assert (value, was_hit) == (42, False)
-        value, was_hit = cache.get_or_compute("k", lambda: calls.append(1) or 42)
-        assert (value, was_hit) == (42, True)
+        value, outcome = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert (value, outcome) == (42, "miss")
+        value, outcome = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert (value, outcome) == (42, "hit")
         assert len(calls) == 1
 
     def test_compute_exception_caches_nothing(self):
@@ -137,8 +137,15 @@ class TestGetOrCompute:
             cache.get_or_compute("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
         assert "k" not in cache
         # the failed lookup still counted its miss; a later success caches
-        value, was_hit = cache.get_or_compute("k", lambda: 1)
-        assert (value, was_hit) == (1, False)
+        value, outcome = cache.get_or_compute("k", lambda: 1)
+        assert (value, outcome) == (1, "miss")
+
+    def test_stats_expose_inflight_and_coalesced(self):
+        cache = LRUCache(4)
+        stats = cache.stats()
+        assert stats["inflight"] == 0 and stats["coalesced"] == 0
+        cache.get_or_compute("k", lambda: 1)
+        assert cache.stats()["inflight"] == 0  # flight retired on success
 
 
 class TestThreadSafety:
@@ -174,10 +181,12 @@ class TestThreadSafety:
     def test_concurrent_get_or_compute_returns_consistent_values(self):
         cache = LRUCache(64)
         compute_calls = []
+        lock = threading.Lock()
 
         def compute_for(key):
             def compute():
-                compute_calls.append(key)
+                with lock:
+                    compute_calls.append(key)
                 return key * 2
             return compute
 
@@ -191,10 +200,112 @@ class TestThreadSafety:
         with ThreadPoolExecutor(max_workers=8) as pool:
             outcomes = list(pool.map(worker, range(8)))
         assert all(outcomes)
-        # racing readers may duplicate computes, but never corrupt values
-        assert len(compute_calls) >= 16
+        # single-flight: each key computes exactly once across all threads
+        assert sorted(compute_calls) == list(range(16))
         for key in range(16):
             assert cache.peek(key) == key * 2
+
+
+class TestSingleFlight:
+    def test_hammer_runs_exactly_one_compute(self):
+        """16 threads miss one key at once: 1 compute, identical answers.
+
+        The leader counts the sole miss; every other thread is coalesced
+        onto the leader's flight and receives the same object.
+        """
+        cache = LRUCache(8)
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        release = threading.Event()
+        compute_calls = []
+        call_lock = threading.Lock()
+
+        def compute():
+            with call_lock:
+                compute_calls.append(1)
+            # hold the flight open until every thread has joined it
+            release.wait(timeout=10)
+            return {"answer": 42}
+
+        def worker(_):
+            barrier.wait()
+            return cache.get_or_compute("hot", compute)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [pool.submit(worker, i) for i in range(n_threads)]
+            # let followers pile onto the in-flight computation
+            while cache.stats()["inflight"] == 0:
+                pass
+            release.set()
+            results = [future.result(timeout=30) for future in futures]
+
+        assert len(compute_calls) == 1
+        values = [value for value, _ in results]
+        assert all(value is values[0] for value in values)
+        outcomes = [outcome for _, outcome in results]
+        stats = cache.stats()
+        assert outcomes.count("miss") == 1
+        assert stats["misses"] == 1
+        assert stats["coalesced"] == outcomes.count("coalesced")
+        assert (
+            outcomes.count("miss")
+            + outcomes.count("coalesced")
+            + outcomes.count("hit")
+            == n_threads
+        )
+        assert stats["inflight"] == 0
+
+    def test_leader_exception_propagates_to_followers(self):
+        cache = LRUCache(8)
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        release = threading.Event()
+
+        def compute():
+            release.wait(timeout=10)
+            raise RuntimeError("leader failed")
+
+        def worker(_):
+            barrier.wait()
+            try:
+                return cache.get_or_compute("k", compute)
+            except RuntimeError as exc:
+                return str(exc)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [pool.submit(worker, i) for i in range(n_threads)]
+            while cache.stats()["inflight"] == 0:
+                pass
+            release.set()
+            results = [future.result(timeout=30) for future in futures]
+
+        assert results == ["leader failed"] * n_threads
+        assert "k" not in cache
+        # the failed flight is retired: the next call is a fresh leader
+        value, outcome = cache.get_or_compute("k", lambda: 7)
+        assert (value, outcome) == (7, "miss")
+
+    def test_follower_deadline_raises_deadline_exceeded(self):
+        from repro.errors import DeadlineExceeded
+
+        cache = LRUCache(8)
+        leader_started = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            leader_started.set()
+            release.wait(timeout=10)
+            return "slow"
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            leader = pool.submit(cache.get_or_compute, "k", slow_compute)
+            assert leader_started.wait(timeout=10)
+            with pytest.raises(DeadlineExceeded):
+                cache.get_or_compute("k", lambda: "fast", timeout=0.05)
+            release.set()
+            assert leader.result(timeout=30) == ("slow", "miss")
+        # the leader's answer landed despite the follower's timeout
+        assert cache.peek("k") == "slow"
 
 
 class TestCacheKey:
@@ -207,3 +318,15 @@ class TestCacheKey:
     def test_usable_as_dict_key(self):
         key = cache_key({"rho": 0.4}, True)
         assert {key: 1}[key] == 1
+
+    def test_generation_isolates_snapshots(self):
+        """Keys from different store generations never collide.
+
+        A refreshed snapshot bumps the generation, so entries cached
+        against the superseded snapshot can never answer for the new one.
+        """
+        point = {"rho": 0.4, "tau": 0.5}
+        assert cache_key(point, False, generation=0) != cache_key(
+            point, False, generation=1
+        )
+        assert cache_key(point, False) == cache_key(point, False, generation=0)

@@ -1,0 +1,244 @@
+"""Federation tests: routing by parameter coverage across many stores.
+
+Synthetic summary-only stores fabricate coverage shapes (disjoint regions,
+overlapping points, ragged grids); the compute-routing seam is exercised by
+stubbing member sweeps, plus one end-to-end computed answer over real
+checkpointed stores.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    ArtifactStore,
+    FederatedQueryEngine,
+    LRUCache,
+    QueryEngine,
+    build_engine,
+)
+
+from test_serving_query import grid_cells, make_cell, write_store
+
+
+@pytest.fixture
+def two_regions(tmp_path):
+    """Two stores covering disjoint (tau, rho) regions at w=2."""
+    low = write_store(
+        tmp_path / "low",
+        grid_cells(taus=(0.2, 0.3), rhos=(0.4, 0.5), values=[1.0, 2.0, 3.0, 4.0]),
+    )
+    high = write_store(
+        tmp_path / "high",
+        grid_cells(taus=(0.7, 0.8), rhos=(0.4, 0.5), values=[5.0, 6.0, 7.0, 8.0]),
+    )
+    return low, high
+
+
+class TestConstruction:
+    def test_build_engine_dispatches_on_store_count(self, two_regions):
+        low, high = two_regions
+        single = build_engine([ArtifactStore(low)])
+        assert type(single) is QueryEngine
+        federated = build_engine([low, high])
+        assert isinstance(federated, FederatedQueryEngine)
+
+    def test_no_stores_is_an_error(self):
+        with pytest.raises(ServingError, match="no store"):
+            build_engine([])
+        with pytest.raises(ServingError, match="at least one"):
+            FederatedQueryEngine([])
+
+    def test_duplicate_directories_are_rejected(self, two_regions):
+        low, _ = two_regions
+        with pytest.raises(ServingError, match="duplicate"):
+            FederatedQueryEngine([low, low])
+
+    def test_missing_member_directory_fails_fast(self, two_regions, tmp_path):
+        low, _ = two_regions
+        with pytest.raises(ServingError, match="not a directory"):
+            FederatedQueryEngine([low, tmp_path / "nope"])
+
+
+class TestRouting:
+    def test_exact_match_anywhere_wins(self, two_regions):
+        engine = FederatedQueryEngine(two_regions)
+        low_answer = engine.answer("tau=0.2,rho=0.4,w=2")
+        assert low_answer["source"] == "exact"
+        assert low_answer["metrics"]["score"]["mean"] == 1.0
+        high_answer = engine.answer("tau=0.8,rho=0.5,w=2")
+        assert high_answer["source"] == "exact"
+        assert high_answer["metrics"]["score"]["mean"] == 8.0
+
+    def test_answers_are_tagged_with_the_owning_store(self, two_regions):
+        low, high = two_regions
+        engine = FederatedQueryEngine([low, high])
+        answer = engine.answer("tau=0.8,rho=0.5,w=2")
+        assert answer["cells"][0]["store"] == str(high)
+        # single-store engines carry no tag (nothing to disambiguate)
+        solo = QueryEngine(high).answer("tau=0.8,rho=0.5,w=2")
+        assert "store" not in solo["cells"][0]
+
+    def test_nearest_uses_union_wide_scales(self, two_regions):
+        """The nearest cell is found over the union of all members' cells.
+
+        The query sits between the regions, slightly nearer the high store's
+        corner under the union-normalized metric — a per-store metric (range
+        0.1 per axis within each store) would rank cells differently.
+        """
+        engine = FederatedQueryEngine(two_regions)
+        answer = engine.answer("tau=0.56,rho=0.45,w=2")
+        assert answer["source"] == "nearest"
+        assert answer["cells"][0]["store"].endswith("high")
+        mirrored = engine.answer("tau=0.44,rho=0.45,w=2")
+        assert mirrored["cells"][0]["store"].endswith("low")
+
+    def test_identical_cells_tie_break_deterministically(self, tmp_path):
+        """Two stores holding the same point: the rank picks one, stably."""
+        cell = make_cell(0, 0.3, 2, 0.4, score=1.0)
+        a = write_store(tmp_path / "a", [cell])
+        b = write_store(tmp_path / "b", [json.loads(json.dumps(cell))])
+        answer = FederatedQueryEngine([b, a]).answer("tau=0.3,rho=0.4,w=2")
+        reversed_answer = FederatedQueryEngine([a, b]).answer(
+            "tau=0.3,rho=0.4,w=2"
+        )
+        # registration order must not matter; the store tag breaks the tie
+        assert answer["cells"][0]["store"] == str(a)
+        assert reversed_answer["cells"][0]["store"] == str(a)
+
+    def test_interpolation_blends_corners_across_stores(self, tmp_path):
+        """A bracket whose corners live in different stores still blends."""
+        left = write_store(
+            tmp_path / "left",
+            [make_cell(0, 0.3, 2, 0.4, score=1.0), make_cell(1, 0.5, 2, 0.4, score=1.0)],
+        )
+        right = write_store(
+            tmp_path / "right",
+            [make_cell(0, 0.3, 2, 0.6, score=3.0), make_cell(1, 0.5, 2, 0.6, score=3.0)],
+        )
+        engine = FederatedQueryEngine([left, right], interpolate=True)
+        answer = engine.answer("tau=0.4,rho=0.5,w=2")
+        assert answer["source"] == "interpolated"
+        assert answer["metrics"]["score"]["mean"] == pytest.approx(2.0)
+        stores = {entry["store"] for entry in answer["cells"]}
+        assert stores == {str(left), str(right)}
+
+    def test_axis_pinning_requires_union_wide_agreement(self, tmp_path):
+        """An omitted axis resolves only when every member pins it alike."""
+        a = write_store(tmp_path / "a", grid_cells(w=2))
+        b = write_store(tmp_path / "b", grid_cells(w=3))
+        engine = FederatedQueryEngine([a, b])
+        with pytest.raises(ServingError, match="does not pin"):
+            engine.answer("tau=0.3,rho=0.4")
+        assert engine.answer("tau=0.3,rho=0.4,w=3")["source"] == "exact"
+
+
+class TestComputeRouting:
+    def test_compute_routes_to_the_member_owning_the_nearest_cell(
+        self, two_regions
+    ):
+        low, high = two_regions
+        engine = FederatedQueryEngine([low, high], on_miss="compute")
+        low_sentinel, high_sentinel = object(), object()
+        engine.stores[0].sweep = lambda: low_sentinel
+        engine.stores[1].sweep = lambda: high_sentinel
+        assert (
+            engine._sweep_for_compute({"tau": 0.75, "rho": 0.45, "w": 2.0})
+            is high_sentinel
+        )
+        assert (
+            engine._sweep_for_compute({"tau": 0.25, "rho": 0.45, "w": 2.0})
+            is low_sentinel
+        )
+
+    def test_unrebuildable_owner_falls_through_to_the_next_member(
+        self, two_regions
+    ):
+        low, high = two_regions
+        engine = FederatedQueryEngine([low, high], on_miss="compute")
+
+        def broken():
+            raise ServingError("no manifest")
+
+        fallback = object()
+        engine.stores[1].sweep = broken
+        engine.stores[0].sweep = lambda: fallback
+        point = {"tau": 0.75, "rho": 0.45, "w": 2.0}  # owned by high
+        assert engine._sweep_for_compute(point) is fallback
+
+    def test_no_rebuildable_member_names_every_failure(self, two_regions):
+        engine = FederatedQueryEngine(two_regions, on_miss="compute")
+        for member in engine.stores:
+            member.sweep = lambda member=member: (_ for _ in ()).throw(
+                ServingError(f"broken {member.directory.name}")
+            )
+        with pytest.raises(ServingError) as exc_info:
+            engine._sweep_for_compute({"tau": 0.5, "rho": 0.45, "w": 2.0})
+        assert "broken low" in str(exc_info.value)
+        assert "broken high" in str(exc_info.value)
+
+    def test_end_to_end_computed_answer_over_real_stores(self, tmp_path):
+        from repro.core.config import ModelConfig
+        from repro.experiments.parallel import run_sweep_parallel
+        from repro.experiments.spec import SweepSpec
+
+        directories = []
+        for name, tau in (("a", 0.3), ("b", 0.45)):
+            directory = tmp_path / name
+            sweep = SweepSpec(
+                name=f"fed-{name}",
+                base_config=ModelConfig.square(side=10, horizon=1, tau=tau),
+                taus=(tau,),
+                n_replicates=1,
+                seed=5,
+            )
+            run_sweep_parallel(sweep, workers=1, checkpoint_dir=directory)
+            directories.append(directory)
+
+        engine = FederatedQueryEngine(
+            directories, on_miss="compute", max_distance=1e-9
+        )
+        answer = engine.answer("tau=0.4,rho=0.5,w=1")
+        assert answer["source"] == "computed"
+        assert answer["cached"] is False
+        # the same query answers bitwise-identically from the cache
+        again = engine.answer("tau=0.4,rho=0.5,w=1")
+        assert again["cached"] is True
+        again.pop("cached")
+        answer.pop("cached")
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            answer, sort_keys=True
+        )
+
+
+class TestFederatedStats:
+    def test_store_section_reports_members_and_totals(self, two_regions):
+        low, high = two_regions
+        engine = FederatedQueryEngine(
+            [low, high], cache=LRUCache(4), generation=3
+        )
+        stats = engine.stats()
+        store = stats["store"]
+        assert store["federated"] is True
+        assert store["n_stores"] == 2
+        assert store["n_cells"] == 8
+        assert store["n_answerable"] == 8
+        assert store["generation"] == 3
+        assert [entry["directory"] for entry in store["stores"]] == [
+            str(low),
+            str(high),
+        ]
+
+    def test_cells_surface_covers_the_union(self, two_regions):
+        engine = FederatedQueryEngine(two_regions)
+        cells = engine.answer_cells()
+        assert len(cells) == 8
+        assert {cell["store"] for cell in cells} == {
+            str(directory) for directory in two_regions
+        }
+        # tagging copies: the member stores' cached cells stay untouched
+        for member in engine.stores:
+            assert all(
+                "store" not in cell for cell in member.answerable_cells()
+            )

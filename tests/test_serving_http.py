@@ -5,6 +5,7 @@ import threading
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 import pytest
 
@@ -45,7 +46,10 @@ def get_error(base, path):
 
 class TestRoutes:
     def test_healthz(self, service):
-        assert get(service, "/healthz") == (200, {"ok": True})
+        assert get(service, "/healthz") == (200, {"ok": True, "draining": False})
+
+    def test_readyz(self, service):
+        assert get(service, "/readyz") == (200, {"ready": True})
 
     def test_cells_lists_the_store(self, service):
         status, body = get(service, "/cells")
@@ -107,6 +111,54 @@ class TestErrorMapping:
             thread.join(timeout=5)
 
 
+class TestHandlerHardening:
+    """The service never answers with a traceback or HTML error page."""
+
+    def test_non_numeric_axis_parameter_is_json_400(self, service):
+        status, body = get_error(service, "/query?tau=abc&rho=0.4&w=2")
+        assert status == 400
+        assert "non-numeric" in body["error"]
+
+    def test_non_numeric_point_value_is_json_400(self, service):
+        status, body = get_error(service, "/query?point=tau=oops,rho=0.4")
+        assert status == 400
+        assert "not a number" in body["error"]
+
+    def test_bad_deadline_is_json_400(self, service):
+        status, body = get_error(service, "/query?tau=0.3&rho=0.4&w=2&deadline=soon")
+        assert status == 400
+        assert "deadline" in body["error"]
+        status, body = get_error(service, "/query?tau=0.3&rho=0.4&w=2&deadline=-1")
+        assert status == 400
+
+    def test_unknown_route_is_json_404(self, service):
+        status, body = get_error(service, "/admin/../etc/passwd")
+        assert status == 404
+        assert body["routes"] == ["/query", "/stats", "/cells", "/healthz", "/readyz"]
+
+    def test_oversized_request_line_is_json_not_html(self, service):
+        status, body = get_error(service, "/query?point=" + "x" * 70000)
+        assert status == 414
+        assert "error" in body  # json.loads in get_error already proves JSON
+
+    def test_unsupported_method_is_json(self, service):
+        request = urllib.request.Request(f"{service}/query", method="POST")
+        try:
+            urllib.request.urlopen(request, data=b"{}", timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 501
+            assert "error" in json.loads(exc.read())
+        else:
+            raise AssertionError("POST unexpectedly succeeded")
+
+    def test_repeated_garbage_never_kills_the_service(self, service):
+        for path in ("/query?point=,,=,", "/query?%ff=1", "/%00", "/query?w="):
+            status, body = get_error(service, path)
+            assert status in (400, 404)
+            assert "error" in body
+        assert get(service, "/healthz")[0] == 200
+
+
 class TestStatsEndpoint:
     def test_counters_track_traffic(self, service):
         get(service, "/query?point=tau=0.3,rho=0.4,w=2")
@@ -143,6 +195,208 @@ class TestStatsEndpoint:
         assert values == [1.0] * 32
         _, body = get(service, "/stats")
         assert body["cache"]["hits"] + body["cache"]["misses"] == 32
+
+
+@contextmanager
+def running_server(store, **options):
+    """A live ephemeral-port server; yields ``(base_url, server)``."""
+    server = make_server(store, port=0, **options)
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def block_compute(engine, release, answer_value=1.0):
+    """Patch the engine's simulation hook to block until ``release`` is set."""
+    def blocked(point):
+        release.wait(timeout=30)
+        return {
+            "point": point,
+            "source": "computed",
+            "distance": None,
+            "metrics": {"score": {"mean": answer_value}},
+            "cells": [],
+        }
+    engine._compute_ungated = blocked
+
+
+class TestOverloadLadder:
+    def test_saturated_gate_with_no_fallback_is_429_with_retry_after(
+        self, tmp_path
+    ):
+        store = write_store(tmp_path / "store", [])
+        with running_server(
+            store, on_miss="compute", max_compute=1, retry_after=7
+        ) as (base, server):
+            release = threading.Event()
+            block_compute(server.engine, release)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                holder = pool.submit(get, base, "/query?tau=0.3&rho=0.4&w=2")
+                while server.engine.gate.stats()["inflight"] == 0:
+                    pass
+                try:
+                    urllib.request.urlopen(
+                        f"{base}/query?tau=0.9&rho=0.9&w=2", timeout=10
+                    )
+                except urllib.error.HTTPError as exc:
+                    assert exc.code == 429
+                    assert exc.headers["Retry-After"] == "7"
+                    assert json.loads(exc.read())["retry_after"] == 7.0
+                else:
+                    raise AssertionError("expected 429")
+                release.set()
+                status, body = holder.result(timeout=30)
+            assert status == 200 and body["source"] == "computed"
+            _, stats = get(base, "/stats")
+            assert stats["compute"]["rejected"] == 1
+            assert stats["compute"]["degraded"] == 0
+            assert stats["compute"]["inflight"] == 0
+
+    def test_saturated_gate_degrades_to_nearest_cell(self, tmp_path):
+        store = write_store(tmp_path / "store", grid_cells())
+        with running_server(
+            store, on_miss="compute", max_compute=1, max_distance=0.01
+        ) as (base, server):
+            release = threading.Event()
+            block_compute(server.engine, release)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                holder = pool.submit(get, base, "/query?tau=0.9&rho=0.9&w=2")
+                while server.engine.gate.stats()["inflight"] == 0:
+                    pass
+                status, body = get(base, "/query?tau=0.8&rho=0.8&w=2")
+                release.set()
+                holder.result(timeout=30)
+            assert status == 200
+            assert body["degraded"] is True
+            assert body["source"] == "nearest"
+            assert body["cached"] is False
+            _, stats = get(base, "/stats")
+            assert stats["compute"]["degraded"] == 1
+            assert stats["compute"]["rejected"] == 0
+            # degraded answers are never cached: asking again degrades again
+            # (the gate is free now, so this one computes instead)
+
+    def test_follower_deadline_expires_as_504(self, tmp_path):
+        store = write_store(tmp_path / "store", [])
+        with running_server(store, on_miss="compute") as (base, server):
+            release = threading.Event()
+            block_compute(server.engine, release)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                leader = pool.submit(get, base, "/query?tau=0.3&rho=0.4&w=2")
+                while server.engine.cache.stats()["inflight"] == 0:
+                    pass
+                status, body = get_error(
+                    base, "/query?tau=0.3&rho=0.4&w=2&deadline=0.05"
+                )
+                assert status == 504
+                assert body["deadline"] is True
+                release.set()
+                assert leader.result(timeout=30)[0] == 200
+            _, stats = get(base, "/stats")
+            assert stats["compute"]["timeouts"] == 1
+
+    def test_single_flight_over_http(self, tmp_path):
+        """Concurrent identical misses: one compute, exact coalesce stats."""
+        store = write_store(tmp_path / "store", [])
+        with running_server(store, on_miss="compute") as (base, server):
+            release = threading.Event()
+            calls = []
+            original = server.engine._compute_ungated
+
+            def counting(point):
+                calls.append(1)
+                release.wait(timeout=30)
+                return {
+                    "point": point, "source": "computed", "distance": None,
+                    "metrics": {"score": {"mean": 9.0}}, "cells": [],
+                }
+            server.engine._compute_ungated = counting
+            n = 8
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                futures = [
+                    pool.submit(get, base, "/query?tau=0.3&rho=0.4&w=2")
+                    for _ in range(n)
+                ]
+                while server.engine.cache.stats()["inflight"] == 0:
+                    pass
+                release.set()
+                results = [future.result(timeout=30) for future in futures]
+            assert len(calls) == 1
+            assert all(status == 200 for status, _ in results)
+            means = {body["metrics"]["score"]["mean"] for _, body in results}
+            assert means == {9.0}
+            _, stats = get(base, "/stats")
+            assert stats["cache"]["misses"] == 1
+            # late arrivals may hit the cache instead of coalescing; both
+            # paths must account exactly
+            assert (
+                stats["cache"]["coalesced"] + stats["cache"]["hits"] == n - 1
+            )
+            server.engine._compute_ungated = original
+
+
+class TestDrain:
+    def test_draining_service_rejects_new_work_but_stays_alive(self, tmp_path):
+        store = write_store(tmp_path / "store", grid_cells())
+        with running_server(store) as (base, server):
+            assert get(base, "/readyz") == (200, {"ready": True})
+            assert server.service.drain(timeout=1) is True
+            status, body = get_error(base, "/readyz")
+            assert status == 503
+            assert body == {"ready": False, "draining": True}
+            status, body = get_error(base, "/query?tau=0.3&rho=0.4&w=2")
+            assert status == 503
+            assert body["error"] == "service is draining"
+            # liveness is unaffected: the process is up, just unready
+            assert get(base, "/healthz") == (200, {"ok": True, "draining": True})
+
+    def test_drain_waits_for_inflight_requests(self, tmp_path):
+        store = write_store(tmp_path / "store", [])
+        with running_server(store, on_miss="compute") as (base, server):
+            release = threading.Event()
+            block_compute(server.engine, release, answer_value=5.0)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                inflight = pool.submit(get, base, "/query?tau=0.3&rho=0.4&w=2")
+                while server.service.stats()["inflight_requests"] == 0:
+                    pass
+                # a zero-timeout drain cannot finish while work is in flight
+                assert server.service.drain(timeout=0.05) is False
+                drain = pool.submit(server.service.drain, 30)
+                release.set()
+                status, body = inflight.result(timeout=30)
+                assert status == 200
+                assert body["metrics"]["score"]["mean"] == 5.0
+                assert drain.result(timeout=30) is True
+            assert server.service.stats()["inflight_requests"] == 0
+
+
+class TestServiceStats:
+    def test_stats_carry_service_and_compute_sections(self, service):
+        get(service, "/query?point=tau=0.3,rho=0.4,w=2")
+        status, body = get(service, "/stats")
+        assert status == 200
+        assert body["service"]["draining"] is False
+        assert body["service"]["requests_total"] >= 2  # the query + this /stats
+        assert body["service"]["inflight_requests"] >= 1  # this /stats itself
+        assert body["service"]["refreshes"] == 0
+        assert body["compute"] == {
+            "limit": None,
+            "inflight": 0,
+            "rejected": 0,
+            "degraded": 0,
+            "timeouts": 0,
+        }
+        assert body["cache"]["coalesced"] == 0
+        assert body["cache"]["inflight"] == 0
+        assert body["store"]["generation"] == 0
 
 
 class TestRealStoreSmoke:
